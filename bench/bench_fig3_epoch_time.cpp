@@ -1,0 +1,149 @@
+// Figure 3 reproduction: epoch time across process counts for the
+// Exa.TrkX GNN stage, comparing
+//
+//   baseline — reference per-batch ShaDow ("PyG implementation") with
+//              per-tensor all-reduce, vs
+//   ours     — matrix-based bulk ShaDow sampling with coalesced all-reduce
+//
+// on CTD-like and Ex3-like data, with the sampling / training /
+// all-reduce time split the paper plots. As in the paper, the bulk batch
+// count k grows with the number of ranks (more aggregate memory).
+//
+// Substitution note (DESIGN.md §2): ranks are threads on one CPU, so
+// epoch wall time does not shrink with P here; the per-rank sampling and
+// training times (which do shrink — each rank handles batch/P vertices)
+// and the all-reduce call pattern carry the paper's comparison. The
+// modelled all-reduce column projects the measured call pattern onto the
+// paper's NVLink α–β parameters.
+//
+//   ./bench_fig3_epoch_time [--ex3-scale 0.05] [--ctd-scale 0.004]
+//       [--train 2] [--epochs 1] [--batch 256] [--hidden 32] [--layers 4]
+//       [--max-ranks 4]
+
+#include <cstdio>
+
+#include "detector/presets.hpp"
+#include "io/csv.hpp"
+#include "pipeline/gnn_train.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+using namespace trkx;
+
+namespace {
+
+struct RunConfig {
+  const char* impl;  // "baseline" or "ours"
+  SamplerKind sampler;
+  SyncStrategy sync;
+};
+
+void run_dataset(const char* name, const Dataset& data, const IgnnConfig& gnn,
+                 GnnTrainConfig cfg, const std::vector<int>& rank_counts,
+                 CsvWriter& csv) {
+  std::printf("\n--- %s: avg %.0f vertices / %.0f edges per graph ---\n",
+              name, data.avg_vertices(), data.avg_edges());
+  std::printf("%-9s %-3s %-3s | %-9s %-9s %-11s %-11s | %-9s\n", "impl", "P",
+              "k", "sample[s]", "train[s]", "allred[s]", "allred-mdl",
+              "epoch[s]");
+
+  const RunConfig runs[] = {
+      {"baseline", SamplerKind::kReference, SyncStrategy::kPerTensor},
+      {"ours", SamplerKind::kMatrixBulk, SyncStrategy::kCoalesced},
+  };
+  for (const RunConfig& run : runs) {
+    for (int p : rank_counts) {
+      GnnTrainConfig c = cfg;
+      c.sync = run.sync;
+      // The paper samples more minibatches in bulk as aggregate GPU
+      // memory grows with P.
+      c.bulk_k = run.sampler == SamplerKind::kMatrixBulk
+                     ? static_cast<std::size_t>(2 * p)
+                     : 1;
+      c.evaluate_every_epoch = false;
+      GnnModel model(gnn, c.seed);
+      TrainResult r;
+      if (p == 1) {
+        r = train_shadow(model, data.train, data.val, c, run.sampler);
+      } else {
+        DistRuntime rt(p);
+        r = train_shadow_ddp(model, data.train, data.val, c, rt, run.sampler);
+      }
+      // Per-epoch means.
+      const double n = static_cast<double>(r.epochs.size());
+      const double sample = r.total_phase("sample") / n;
+      const double train = r.total_phase("train") / n;
+      const double allred = r.total_phase("allreduce") / n;
+      const double modeled = r.comm.modeled_seconds / n;
+      double epoch_wall = 0.0;
+      for (const auto& e : r.epochs) epoch_wall += e.wall_seconds / n;
+      std::printf("%-9s %-3d %-3zu | %-9.3f %-9.3f %-11.3f %-11.5f | %-9.3f\n",
+                  run.impl, p, c.bulk_k, sample, train, allred, modeled,
+                  epoch_wall);
+      csv.row(std::vector<std::string>{
+          name, run.impl, std::to_string(p), std::to_string(c.bulk_k),
+          format_double(sample), format_double(train), format_double(allred),
+          format_double(modeled), format_double(epoch_wall)});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  ArgParser args(argc, argv);
+  const double ex3_scale = args.get_double("ex3-scale", 0.05);
+  const double ctd_scale = args.get_double("ctd-scale", 0.004);
+  const std::size_t n_train = static_cast<std::size_t>(args.get_int("train", 2));
+  const int max_ranks = args.get_int("max-ranks", 4);
+
+  GnnTrainConfig cfg;
+  cfg.epochs = static_cast<std::size_t>(args.get_int("epochs", 1));
+  cfg.batch_size = static_cast<std::size_t>(args.get_int("batch", 256));
+  cfg.shadow = {.depth = 2, .fanout = 4};  // CPU-sized (paper: d=3, s=6)
+  cfg.seed = 9;
+
+  std::vector<int> ranks;
+  for (int p = 1; p <= max_ranks; p *= 2) ranks.push_back(p);
+
+  std::printf("=== Figure 3: epoch time across process counts ===\n");
+  CsvWriter csv("fig3_epoch_time.csv",
+                {"dataset", "impl", "ranks", "bulk_k", "sample_s", "train_s",
+                 "allreduce_s", "allreduce_modeled_s", "epoch_s"});
+
+  {
+    DatasetSpec spec = ctd_spec(ctd_scale);
+    Dataset data =
+        generate_dataset(spec.name, spec.detector, n_train, 1, 0, 31);
+    IgnnConfig gnn;
+    gnn.node_input_dim = spec.detector.node_feature_dim;
+    gnn.edge_input_dim = spec.detector.edge_feature_dim;
+    gnn.hidden_dim = static_cast<std::size_t>(args.get_int("hidden", 32));
+    gnn.num_layers = static_cast<std::size_t>(args.get_int("layers", 4));
+    gnn.mlp_hidden = spec.mlp_hidden_layers - 1;
+    run_dataset("CTD", data, gnn, cfg, ranks, csv);
+  }
+  {
+    DatasetSpec spec = ex3_spec(ex3_scale);
+    Dataset data =
+        generate_dataset(spec.name, spec.detector, n_train, 1, 0, 32);
+    IgnnConfig gnn;
+    gnn.node_input_dim = spec.detector.node_feature_dim;
+    gnn.edge_input_dim = spec.detector.edge_feature_dim;
+    gnn.hidden_dim = static_cast<std::size_t>(args.get_int("hidden", 32));
+    gnn.num_layers = static_cast<std::size_t>(args.get_int("layers", 4));
+    gnn.mlp_hidden = spec.mlp_hidden_layers - 1;
+    run_dataset("Ex3", data, gnn, cfg, ranks, csv);
+  }
+
+  std::printf(
+      "\nReading the table: 'ours' vs 'baseline' at equal P shows the "
+      "paper's two levers —\nbulk sampling cuts sample[s], the coalesced "
+      "all-reduce cuts the modelled all-reduce\ntime (fewer latency "
+      "terms; measured thread time also drops with fewer barrier\nrounds). "
+      "Per-rank sample/train times shrink with P (1/P of each batch per "
+      "rank).\n");
+  std::printf("series written to fig3_epoch_time.csv\n");
+  return 0;
+}

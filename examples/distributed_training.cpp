@@ -1,0 +1,77 @@
+// Distributed data-parallel GNN training on simulated ranks.
+//
+//   ./distributed_training [--ranks 4] [--scale 0.06] [--epochs 3]
+//
+// Trains the Interaction GNN with ShaDow minibatches sharded across P
+// thread-backed ranks (the stand-in for one-process-per-GPU DDP), once
+// with per-tensor all-reduce and once with the paper's coalesced
+// all-reduce, and prints the communication statistics side by side.
+// On this machine ranks share one CPU, so wall-clock numbers show
+// correctness overheads only; the modelled column projects the α–β cost
+// of the same call pattern on NVLink-class hardware (paper Section IV-A).
+
+#include <cstdio>
+
+#include "detector/presets.hpp"
+#include "pipeline/gnn_train.hpp"
+#include "util/cli.hpp"
+
+using namespace trkx;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const int ranks = args.get_int("ranks", 4);
+  const double scale = args.get_double("scale", 0.06);
+  const std::size_t epochs = static_cast<std::size_t>(args.get_int("epochs", 3));
+
+  DatasetSpec spec = ex3_spec(scale);
+  Dataset data =
+      generate_dataset(spec.name, spec.detector, /*train=*/4, 1, 0, 33);
+
+  IgnnConfig gnn;
+  gnn.node_input_dim = spec.detector.node_feature_dim;
+  gnn.edge_input_dim = spec.detector.edge_feature_dim;
+  gnn.hidden_dim = 64;  // paper hidden dim → realistic parameter count
+  gnn.num_layers = 4;
+  gnn.mlp_hidden = 1;
+
+  GnnTrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 256;
+  cfg.shadow = {.depth = 2, .fanout = 4};
+  cfg.bulk_k = 4;
+  cfg.seed = 5;
+
+  std::printf("model: %zu parameter matrices, %zu floats total\n",
+              GnnModel(gnn, cfg.seed).store.count(),
+              GnnModel(gnn, cfg.seed).store.total_size());
+
+  for (SyncStrategy sync :
+       {SyncStrategy::kPerTensor, SyncStrategy::kCoalesced}) {
+    cfg.sync = sync;
+    GnnModel model(gnn, cfg.seed);
+    DistRuntime runtime(ranks);
+    TrainResult result = train_shadow_ddp(model, data.train, data.val, cfg,
+                                          runtime, SamplerKind::kMatrixBulk);
+    const char* name =
+        sync == SyncStrategy::kPerTensor ? "per-tensor" : "coalesced ";
+    std::printf(
+        "\n[%s] P=%d  final val P %.4f R %.4f\n", name, ranks,
+        result.last().val.precision(), result.last().val.recall());
+    std::printf("  all-reduce calls      %zu\n", result.comm.all_reduce_calls);
+    std::printf("  all-reduce bytes      %.1f MB\n",
+                result.comm.all_reduce_bytes / 1e6);
+    std::printf("  measured comm time    %.3f s (threads on one CPU)\n",
+                result.comm.measured_seconds);
+    std::printf("  modelled NVLink time  %.4f s (alpha-beta ring model)\n",
+                result.comm.modeled_seconds);
+    std::printf("  epoch wall times     ");
+    for (const auto& e : result.epochs) std::printf(" %.2fs", e.wall_seconds);
+    std::printf("\n");
+  }
+  std::printf(
+      "\nThe coalesced strategy issues one all-reduce per step instead of "
+      "one per\nparameter matrix: same bytes, a fraction of the latency "
+      "terms.\n");
+  return 0;
+}

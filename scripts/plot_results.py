@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the bench harness.
+
+Usage:
+    python3 scripts/plot_results.py [result_dir] [output_dir]
+
+Reads (any that exist):
+    fig3_epoch_time.csv      -> fig3_epoch_time.png
+    fig4_convergence.csv     -> fig4_convergence.png
+    batchsize_ablation.csv   -> batchsize_ablation.png
+    memory_wall.csv          -> memory_wall.png
+
+Only matplotlib is required; every plot degrades gracefully when its CSV
+is missing.
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def plot_fig4(rows, out):
+    import matplotlib.pyplot as plt
+
+    modes = sorted({r["mode"] for r in rows})
+    fig, axes = plt.subplots(1, 2, figsize=(10, 4), sharex=True)
+    for metric, ax in zip(("precision", "recall"), axes):
+        for mode in modes:
+            pts = [(int(r["epoch"]), float(r[metric])) for r in rows
+                   if r["mode"] == mode]
+            pts.sort()
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                    label=mode)
+        ax.set_xlabel("epoch")
+        ax.set_ylabel(f"validation {metric}")
+        ax.grid(alpha=0.3)
+    axes[0].legend()
+    fig.suptitle("Figure 4: convergence on Ex3-like data")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_fig3(rows, out):
+    import matplotlib.pyplot as plt
+
+    datasets = sorted({r["dataset"] for r in rows})
+    fig, axes = plt.subplots(1, len(datasets), figsize=(5 * len(datasets), 4))
+    if len(datasets) == 1:
+        axes = [axes]
+    for ds, ax in zip(datasets, axes):
+        series = defaultdict(list)
+        for r in rows:
+            if r["dataset"] != ds:
+                continue
+            series[r["impl"]].append((int(r["ranks"]), float(r["epoch_s"])))
+        for impl, pts in sorted(series.items()):
+            pts.sort()
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="s",
+                    label=impl)
+        ax.set_title(ds)
+        ax.set_xlabel("ranks (P)")
+        ax.set_ylabel("epoch time [s]")
+        ax.set_xscale("log", base=2)
+        ax.grid(alpha=0.3)
+        ax.legend()
+    fig.suptitle("Figure 3: epoch time across process counts")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_batchsize(rows, out):
+    import matplotlib.pyplot as plt
+
+    labels = [r["batch"] for r in rows]
+    f1 = [float(r["f1"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.bar(labels, f1)
+    ax.set_xlabel("batch size")
+    ax.set_ylabel("final validation F1")
+    ax.set_title("Batch size vs convergence quality")
+    ax.grid(alpha=0.3, axis="y")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_memory_wall(rows, out):
+    import matplotlib.pyplot as plt
+
+    budget = [float(r["budget_mb"]) for r in rows]
+    frac = [float(r["edge_fraction_kept"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(budget, frac, marker="o")
+    ax.set_xlabel("simulated device memory [MB]")
+    ax.set_ylabel("fraction of labelled edges trainable")
+    ax.set_title("Full-graph memory wall (CTD-like)")
+    ax.grid(alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "."
+    dst = sys.argv[2] if len(sys.argv) > 2 else src
+    os.makedirs(dst, exist_ok=True)
+    jobs = [
+        ("fig4_convergence.csv", plot_fig4, "fig4_convergence.png"),
+        ("fig3_epoch_time.csv", plot_fig3, "fig3_epoch_time.png"),
+        ("batchsize_ablation.csv", plot_batchsize, "batchsize_ablation.png"),
+        ("memory_wall.csv", plot_memory_wall, "memory_wall.png"),
+    ]
+    for csv_name, fn, png_name in jobs:
+        path = os.path.join(src, csv_name)
+        if not os.path.exists(path):
+            print(f"skip {csv_name} (not found)")
+            continue
+        fn(read_csv(path), os.path.join(dst, png_name))
+
+
+if __name__ == "__main__":
+    main()

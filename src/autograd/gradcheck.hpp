@@ -1,0 +1,33 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace trkx {
+
+/// Result of comparing analytic vs numeric gradients for one input.
+struct GradcheckResult {
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  bool passed = false;
+};
+
+/// Checks the analytic gradient of `scalar_fn` w.r.t. each matrix in
+/// `inputs` against central finite differences.
+///
+/// `scalar_fn` must build a fresh Tape internally, mark each input as a
+/// gradient-requiring leaf, run forward + backward, return the scalar loss
+/// value, and write each input's analytic gradient into `grads` (same order
+/// as inputs) — the driver perturbs the inputs and re-invokes it.
+///
+/// Uses double-sided differences with step `eps`; passes when every element
+/// satisfies |a - n| <= atol + rtol * |n|.
+GradcheckResult gradcheck(
+    const std::function<double(const std::vector<Matrix>& inputs,
+                               std::vector<Matrix>* grads)>& scalar_fn,
+    std::vector<Matrix> inputs, float eps = 1e-3f, float atol = 2e-3f,
+    float rtol = 5e-2f);
+
+}  // namespace trkx

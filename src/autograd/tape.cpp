@@ -1,0 +1,493 @@
+#include "autograd/tape.hpp"
+
+#include <memory>
+
+#include <cmath>
+
+#include "sparse/spgemm.hpp"
+
+namespace trkx {
+
+const Matrix& Var::value() const {
+  TRKX_CHECK(tape_ != nullptr);
+  return tape_->node(*this).value;
+}
+
+const Matrix& Var::grad() const {
+  TRKX_CHECK(tape_ != nullptr);
+  const auto& n = tape_->node(*this);
+  TRKX_CHECK_MSG(!n.grad.empty(), "grad() read before backward()");
+  return n.grad;
+}
+
+bool Var::requires_grad() const {
+  TRKX_CHECK(tape_ != nullptr);
+  return tape_->node(*this).requires_grad;
+}
+
+Var Tape::leaf(Matrix value, bool requires_grad) {
+  return emit(std::move(value), requires_grad, nullptr);
+}
+
+Var Tape::emit(Matrix value, bool requires_grad,
+               std::function<void(Node&)> backward) {
+  nodes_.push_back(Node{std::move(value), Matrix{}, requires_grad,
+                        std::move(backward)});
+  return Var(this, nodes_.size() - 1);
+}
+
+void Tape::accumulate(Var v, const Matrix& g) {
+  Node& n = node(v);
+  if (!n.requires_grad) return;
+  if (n.grad.empty()) {
+    n.grad = g;
+  } else {
+    add_inplace(n.grad, g);
+  }
+}
+
+std::size_t Tape::activation_floats() const {
+  std::size_t total = 0;
+  for (const auto& n : nodes_) total += n.value.size();
+  return total;
+}
+
+Var Tape::matmul(Var a, Var b) {
+  Matrix out = trkx::matmul(a.value(), b.value());
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Tape* t = this;
+  return emit(std::move(out), rg, [t, a, b](Node& n) {
+    if (t->node(a).requires_grad)
+      t->accumulate(a, matmul_nt(n.grad, b.value()));
+    if (t->node(b).requires_grad)
+      t->accumulate(b, matmul_tn(a.value(), n.grad));
+  });
+}
+
+Var Tape::linear(Var x, Var w, Var bias) {
+  TRKX_CHECK(bias.value().rows() == 1 &&
+             bias.value().cols() == w.value().cols());
+  Matrix out = add_row_broadcast(trkx::matmul(x.value(), w.value()),
+                                 bias.value());
+  const bool rg = node(x).requires_grad || node(w).requires_grad ||
+                  node(bias).requires_grad;
+  Tape* t = this;
+  return emit(std::move(out), rg, [t, x, w, bias](Node& n) {
+    if (t->node(x).requires_grad)
+      t->accumulate(x, matmul_nt(n.grad, w.value()));
+    if (t->node(w).requires_grad)
+      t->accumulate(w, matmul_tn(x.value(), n.grad));
+    if (t->node(bias).requires_grad) t->accumulate(bias, colwise_sum(n.grad));
+  });
+}
+
+Var Tape::add(Var a, Var b) {
+  Matrix out = trkx::add(a.value(), b.value());
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Tape* t = this;
+  return emit(std::move(out), rg, [t, a, b](Node& n) {
+    t->accumulate(a, n.grad);
+    t->accumulate(b, n.grad);
+  });
+}
+
+Var Tape::sub(Var a, Var b) {
+  Matrix out = trkx::sub(a.value(), b.value());
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Tape* t = this;
+  return emit(std::move(out), rg, [t, a, b](Node& n) {
+    t->accumulate(a, n.grad);
+    t->accumulate(b, trkx::scale(n.grad, -1.0f));
+  });
+}
+
+Var Tape::hadamard(Var a, Var b) {
+  Matrix out = trkx::hadamard(a.value(), b.value());
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Tape* t = this;
+  return emit(std::move(out), rg, [t, a, b](Node& n) {
+    if (t->node(a).requires_grad)
+      t->accumulate(a, trkx::hadamard(n.grad, b.value()));
+    if (t->node(b).requires_grad)
+      t->accumulate(b, trkx::hadamard(n.grad, a.value()));
+  });
+}
+
+Var Tape::scale(Var a, float s) {
+  Matrix out = trkx::scale(a.value(), s);
+  Tape* t = this;
+  return emit(std::move(out), node(a).requires_grad, [t, a, s](Node& n) {
+    t->accumulate(a, trkx::scale(n.grad, s));
+  });
+}
+
+Var Tape::relu(Var a) {
+  Matrix out = apply(a.value(), [](float x) { return x > 0.0f ? x : 0.0f; });
+  Tape* t = this;
+  return emit(std::move(out), node(a).requires_grad, [t, a](Node& n) {
+    t->accumulate(a, apply2(n.grad, a.value(), [](float g, float x) {
+                    return x > 0.0f ? g : 0.0f;
+                  }));
+  });
+}
+
+Var Tape::tanh(Var a) {
+  Matrix out = apply(a.value(), [](float x) { return std::tanh(x); });
+  Tape* t = this;
+  Var v = emit(std::move(out), node(a).requires_grad, nullptr);
+  // Backward reads the op's own output (y): d/dx tanh = 1 - y².
+  node(v).backward = [t, a, v](Node& n) {
+    t->accumulate(a, apply2(n.grad, v.value(), [](float g, float y) {
+                    return g * (1.0f - y * y);
+                  }));
+  };
+  return v;
+}
+
+Var Tape::sigmoid(Var a) {
+  Matrix out = apply(a.value(), [](float x) {
+    return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                     : std::exp(x) / (1.0f + std::exp(x));
+  });
+  Tape* t = this;
+  Var v = emit(std::move(out), node(a).requires_grad, nullptr);
+  node(v).backward = [t, a, v](Node& n) {
+    t->accumulate(a, apply2(n.grad, v.value(), [](float g, float y) {
+                    return g * y * (1.0f - y);
+                  }));
+  };
+  return v;
+}
+
+Var Tape::layer_norm(Var x, Var gamma, Var beta, float eps) {
+  const Matrix& xv = x.value();
+  const std::size_t rows = xv.rows(), cols = xv.cols();
+  TRKX_CHECK(gamma.value().rows() == 1 && gamma.value().cols() == cols);
+  TRKX_CHECK(beta.value().rows() == 1 && beta.value().cols() == cols);
+  // Save per-row mean and inverse stddev for the backward pass.
+  auto mean = std::make_shared<std::vector<float>>(rows);
+  auto inv_std = std::make_shared<std::vector<float>>(rows);
+  Matrix normed(rows, cols);  // x_hat, pre-affine
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* xr = xv.data() + i * cols;
+    float m = 0.0f;
+    for (std::size_t j = 0; j < cols; ++j) m += xr[j];
+    m /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (std::size_t j = 0; j < cols; ++j) var += (xr[j] - m) * (xr[j] - m);
+    var /= static_cast<float>(cols);
+    const float is = 1.0f / std::sqrt(var + eps);
+    (*mean)[i] = m;
+    (*inv_std)[i] = is;
+    float* nr = normed.data() + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) nr[j] = (xr[j] - m) * is;
+  }
+  Matrix out(rows, cols);
+  const float* pg = gamma.value().data();
+  const float* pb = beta.value().data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* nr = normed.data() + i * cols;
+    float* orow = out.data() + i * cols;
+    for (std::size_t j = 0; j < cols; ++j)
+      orow[j] = nr[j] * pg[j] + pb[j];
+  }
+  auto xhat = std::make_shared<Matrix>(std::move(normed));
+  const bool rg = node(x).requires_grad || node(gamma).requires_grad ||
+                  node(beta).requires_grad;
+  Tape* t = this;
+  return emit(std::move(out), rg,
+              [t, x, gamma, beta, xhat, inv_std, cols](Node& n) {
+    const std::size_t rows = n.grad.rows();
+    const float* pg = gamma.value().data();
+    if (t->node(gamma).requires_grad) {
+      Matrix dg(1, cols, 0.0f);
+      for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+          dg(0, j) += n.grad(i, j) * (*xhat)(i, j);
+      t->accumulate(gamma, dg);
+    }
+    if (t->node(beta).requires_grad) t->accumulate(beta, colwise_sum(n.grad));
+    if (t->node(x).requires_grad) {
+      Matrix dx(rows, cols);
+      // Standard layer-norm backward per row:
+      // dx = (is/cols) * (cols*dy*g - sum(dy*g) - xhat * sum(dy*g*xhat))
+      for (std::size_t i = 0; i < rows; ++i) {
+        float sum_dyg = 0.0f, sum_dyg_xhat = 0.0f;
+        for (std::size_t j = 0; j < cols; ++j) {
+          const float dyg = n.grad(i, j) * pg[j];
+          sum_dyg += dyg;
+          sum_dyg_xhat += dyg * (*xhat)(i, j);
+        }
+        const float is = (*inv_std)[i];
+        const float inv_cols = 1.0f / static_cast<float>(cols);
+        for (std::size_t j = 0; j < cols; ++j) {
+          const float dyg = n.grad(i, j) * pg[j];
+          dx(i, j) = is * (dyg - inv_cols * sum_dyg -
+                           (*xhat)(i, j) * inv_cols * sum_dyg_xhat);
+        }
+      }
+      t->accumulate(x, dx);
+    }
+  });
+}
+
+Var Tape::concat_cols(const std::vector<Var>& blocks) {
+  TRKX_CHECK(!blocks.empty());
+  std::vector<const Matrix*> mats;
+  mats.reserve(blocks.size());
+  bool rg = false;
+  for (Var b : blocks) {
+    mats.push_back(&b.value());
+    rg = rg || node(b).requires_grad;
+  }
+  Matrix out = trkx::concat_cols(mats);
+  Tape* t = this;
+  auto blocks_copy = blocks;
+  return emit(std::move(out), rg, [t, blocks_copy](Node& n) {
+    std::size_t off = 0;
+    for (Var b : blocks_copy) {
+      const std::size_t w = b.value().cols();
+      if (t->node(b).requires_grad)
+        t->accumulate(b, trkx::slice_cols(n.grad, off, w));
+      off += w;
+    }
+  });
+}
+
+Var Tape::slice_cols(Var a, std::size_t start, std::size_t len) {
+  Matrix out = trkx::slice_cols(a.value(), start, len);
+  Tape* t = this;
+  return emit(std::move(out), node(a).requires_grad,
+              [t, a, start, len](Node& n) {
+    Matrix g(a.value().rows(), a.value().cols(), 0.0f);
+    for (std::size_t i = 0; i < n.grad.rows(); ++i)
+      for (std::size_t j = 0; j < len; ++j) g(i, start + j) = n.grad(i, j);
+    t->accumulate(a, g);
+  });
+}
+
+Var Tape::scale_rows(Var rows, Var scalars) {
+  const Matrix& r = rows.value();
+  const Matrix& s = scalars.value();
+  TRKX_CHECK_MSG(s.rows() == r.rows() && s.cols() == 1,
+                 "scale_rows expects m x 1 scalars, got " << s.shape_str());
+  Matrix out(r.rows(), r.cols());
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    const float w = s(i, 0);
+    for (std::size_t j = 0; j < r.cols(); ++j) out(i, j) = r(i, j) * w;
+  }
+  const bool rg = node(rows).requires_grad || node(scalars).requires_grad;
+  Tape* t = this;
+  return emit(std::move(out), rg, [t, rows, scalars](Node& n) {
+    const Matrix& r = rows.value();
+    const Matrix& s = scalars.value();
+    if (t->node(rows).requires_grad) {
+      Matrix gr(r.rows(), r.cols());
+      for (std::size_t i = 0; i < r.rows(); ++i) {
+        const float w = s(i, 0);
+        for (std::size_t j = 0; j < r.cols(); ++j)
+          gr(i, j) = n.grad(i, j) * w;
+      }
+      t->accumulate(rows, gr);
+    }
+    if (t->node(scalars).requires_grad) {
+      Matrix gs(r.rows(), 1);
+      for (std::size_t i = 0; i < r.rows(); ++i) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < r.cols(); ++j)
+          acc += n.grad(i, j) * r(i, j);
+        gs(i, 0) = acc;
+      }
+      t->accumulate(scalars, gs);
+    }
+  });
+}
+
+Var Tape::spmm(const CsrMatrix& a, Var x) {
+  TRKX_CHECK(a.cols() == x.value().rows());
+  Matrix out = trkx::spmm(a, x.value());
+  Tape* t = this;
+  // Backward: dL/dX = Aᵀ · dL/dY. Transposing per backward call is fine —
+  // the GCN models cache their normalised adjacency per step anyway.
+  return emit(std::move(out), node(x).requires_grad, [t, x, &a](Node& n) {
+    t->accumulate(x, trkx::spmm(a.transpose(), n.grad));
+  });
+}
+
+Var Tape::row_gather(Var x, std::vector<std::uint32_t> index) {
+  Matrix out = trkx::row_gather(x.value(), index);
+  Tape* t = this;
+  auto idx = std::make_shared<std::vector<std::uint32_t>>(std::move(index));
+  return emit(std::move(out), node(x).requires_grad, [t, x, idx](Node& n) {
+    Matrix g(x.value().rows(), x.value().cols(), 0.0f);
+    row_scatter_add(g, *idx, n.grad);
+    t->accumulate(x, g);
+  });
+}
+
+Var Tape::segment_sum(Var y, std::vector<std::uint32_t> index,
+                      std::size_t num_segments) {
+  Matrix out = trkx::segment_sum(y.value(), index, num_segments);
+  Tape* t = this;
+  auto idx = std::make_shared<std::vector<std::uint32_t>>(std::move(index));
+  return emit(std::move(out), node(y).requires_grad, [t, y, idx](Node& n) {
+    // Gradient of scatter-add is gather.
+    t->accumulate(y, trkx::row_gather(n.grad, *idx));
+  });
+}
+
+Var Tape::bce_with_logits(Var logits, const std::vector<float>& labels,
+                          const std::vector<float>& weights,
+                          float pos_weight) {
+  const Matrix& z = logits.value();
+  TRKX_CHECK_MSG(z.cols() == 1, "bce expects m x 1 logits, got "
+                                    << z.shape_str());
+  TRKX_CHECK(labels.size() == z.rows());
+  TRKX_CHECK(weights.empty() || weights.size() == z.rows());
+  const std::size_t m = z.rows();
+  TRKX_CHECK(m > 0);
+
+  double total_weight = 0.0;
+  double loss = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const float zi = z(i, 0);
+    const float y = labels[i];
+    const float w = weights.empty() ? 1.0f : weights[i];
+    // Stable form: with class weight c = 1 + (pos_weight-1)*y,
+    // l = c * [ log(1 + exp(-|z|)) + max(z,0) ] - c*y*z  ... specialised:
+    const float cw = w * (1.0f + (pos_weight - 1.0f) * y);
+    const float log1p = std::log1p(std::exp(-std::fabs(zi)));
+    const float term = std::max(zi, 0.0f) - zi * y + log1p;
+    // For pos_weight != 1 the standard form weights only the positive term;
+    // we use the common "effective sample weight" formulation (PyTorch's
+    // pos_weight behaviour for y in {0,1} reduces to this).
+    loss += static_cast<double>(cw) * term;
+    total_weight += cw;
+  }
+  TRKX_CHECK(total_weight > 0.0);
+  Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss / total_weight);
+
+  Tape* t = this;
+  auto lbl = std::make_shared<std::vector<float>>(labels);
+  auto wts = std::make_shared<std::vector<float>>(weights);
+  return emit(std::move(out), node(logits).requires_grad,
+              [t, logits, lbl, wts, pos_weight, total_weight](Node& n) {
+    const Matrix& z = logits.value();
+    const std::size_t m = z.rows();
+    Matrix g(m, 1);
+    const float gscale =
+        n.grad(0, 0) / static_cast<float>(total_weight);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float zi = z(i, 0);
+      const float y = (*lbl)[i];
+      const float w = wts->empty() ? 1.0f : (*wts)[i];
+      const float cw = w * (1.0f + (pos_weight - 1.0f) * y);
+      const float s = zi >= 0.0f ? 1.0f / (1.0f + std::exp(-zi))
+                                 : std::exp(zi) / (1.0f + std::exp(zi));
+      g(i, 0) = gscale * cw * (s - y);
+    }
+    t->accumulate(logits, g);
+  });
+}
+
+Var Tape::contrastive_pair_loss(Var a, Var b,
+                                const std::vector<float>& labels,
+                                float margin) {
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  TRKX_CHECK(av.same_shape(bv));
+  TRKX_CHECK(labels.size() == av.rows());
+  const std::size_t n = av.rows(), f = av.cols();
+  TRKX_CHECK(n > 0);
+
+  auto dist = std::make_shared<std::vector<float>>(n);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < f; ++j) {
+      const double diff = av(i, j) - bv(i, j);
+      d2 += diff * diff;
+    }
+    const float d = static_cast<float>(std::sqrt(d2 + 1e-12));
+    (*dist)[i] = d;
+    if (labels[i] > 0.5f) {
+      loss += d2;
+    } else {
+      const float gap = margin - d;
+      if (gap > 0.0f) loss += static_cast<double>(gap) * gap;
+    }
+  }
+  Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss / static_cast<double>(n));
+
+  const bool rg = node(a).requires_grad || node(b).requires_grad;
+  Tape* t = this;
+  auto lbl = std::make_shared<std::vector<float>>(labels);
+  return emit(std::move(out), rg, [t, a, b, lbl, dist, margin](Node& nd) {
+    const Matrix& av = a.value();
+    const Matrix& bv = b.value();
+    const std::size_t n = av.rows(), f = av.cols();
+    const float gscale = nd.grad(0, 0) / static_cast<float>(n);
+    Matrix ga(n, f, 0.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+      float coeff;  // d(loss_i)/d(d²) scaled into d(loss_i)/d(diff) = coeff*diff
+      if ((*lbl)[i] > 0.5f) {
+        coeff = 2.0f;
+      } else {
+        const float d = (*dist)[i];
+        const float gap = margin - d;
+        // d/d(diff) of gap² = 2·gap·(−d'/d(diff)) = −2·gap·diff/d
+        coeff = gap > 0.0f ? -2.0f * gap / std::max(d, 1e-6f) : 0.0f;
+      }
+      for (std::size_t j = 0; j < f; ++j)
+        ga(i, j) = gscale * coeff * (av(i, j) - bv(i, j));
+    }
+    if (t->node(a).requires_grad) t->accumulate(a, ga);
+    if (t->node(b).requires_grad) {
+      for (float& x : ga.flat()) x = -x;
+      t->accumulate(b, ga);
+    }
+  });
+}
+
+Var Tape::mean_square(Var a) {
+  const Matrix& v = a.value();
+  TRKX_CHECK(v.size() > 0);
+  double s = 0.0;
+  for (float x : v.flat()) s += static_cast<double>(x) * x;
+  Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(s / static_cast<double>(v.size()));
+  Tape* t = this;
+  return emit(std::move(out), node(a).requires_grad, [t, a](Node& n) {
+    const float c = 2.0f * n.grad(0, 0) / static_cast<float>(a.value().size());
+    t->accumulate(a, trkx::scale(a.value(), c));
+  });
+}
+
+Var Tape::sum(Var a) {
+  Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(a.value().sum());
+  Tape* t = this;
+  return emit(std::move(out), node(a).requires_grad, [t, a](Node& n) {
+    Matrix g(a.value().rows(), a.value().cols(), n.grad(0, 0));
+    t->accumulate(a, g);
+  });
+}
+
+void Tape::backward(Var root) {
+  TRKX_CHECK_MSG(!backward_done_, "backward() may run once per tape");
+  backward_done_ = true;
+  Node& r = node(root);
+  TRKX_CHECK_MSG(r.value.rows() == 1 && r.value.cols() == 1,
+                 "backward root must be scalar, got " << r.value.shape_str());
+  r.grad = Matrix(1, 1, 1.0f);
+  TRKX_CHECK(root.index_ < nodes_.size());
+  for (std::size_t i = root.index_ + 1; i-- > 0;) {
+    Node& n = nodes_[i];
+    if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
+    n.backward(n);
+  }
+}
+
+}  // namespace trkx

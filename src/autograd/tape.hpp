@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace trkx {
+
+class Tape;
+
+/// Handle to a node on a Tape. Cheap to copy; lifetime is bounded by the
+/// owning Tape (one Tape per forward/backward pass in training loops).
+class Var {
+ public:
+  Var() = default;
+
+  const Matrix& value() const;
+  const Matrix& grad() const;
+  bool requires_grad() const;
+  std::size_t rows() const { return value().rows(); }
+  std::size_t cols() const { return value().cols(); }
+  bool valid() const { return tape_ != nullptr; }
+
+ private:
+  friend class Tape;
+  Var(Tape* tape, std::size_t index) : tape_(tape), index_(index) {}
+  Tape* tape_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+/// Reverse-mode automatic differentiation tape.
+///
+/// Records every op during the forward pass; backward() replays the tape in
+/// reverse, accumulating gradients into each node. Nodes whose subtree
+/// contains no gradient-requiring leaf skip gradient work entirely.
+///
+/// The op set is exactly what the Exa.TrkX pipeline needs: dense linear
+/// algebra for the MLPs plus the two graph primitives (row_gather for
+/// MSG indexing, segment_sum for AGG) from Algorithm 1 of the paper.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Record a leaf holding `value`. If requires_grad, backward() will
+  /// accumulate into its grad().
+  Var leaf(Matrix value, bool requires_grad = false);
+
+  // ---- dense ops ----
+  Var matmul(Var a, Var b);
+  /// x·w + broadcast bias (bias is 1×out). Fused: one node, one backward.
+  Var linear(Var x, Var w, Var bias);
+  Var add(Var a, Var b);
+  Var sub(Var a, Var b);
+  Var hadamard(Var a, Var b);
+  Var scale(Var a, float s);
+  Var relu(Var a);
+  Var tanh(Var a);
+  Var sigmoid(Var a);
+  /// Row-wise LayerNorm with learned affine (gamma, beta are 1×cols).
+  Var layer_norm(Var x, Var gamma, Var beta, float eps = 1e-5f);
+  Var concat_cols(const std::vector<Var>& blocks);
+  Var slice_cols(Var a, std::size_t start, std::size_t len);
+  /// out[i,:] = rows[i,:] · scalars[i,0] — per-row scaling by an m×1
+  /// column (the attention-gating primitive: weights each edge message).
+  Var scale_rows(Var rows, Var scalars);
+
+  // ---- graph ops ----
+  /// Y = A·X for a constant sparse A (the GCN aggregation primitive).
+  /// The caller keeps `a` alive for the tape's lifetime; backward
+  /// multiplies by Aᵀ.
+  Var spmm(const CsrMatrix& a, Var x);
+  /// out[i,:] = x[index[i],:]
+  Var row_gather(Var x, std::vector<std::uint32_t> index);
+  /// out[s,:] = sum_{i: index[i]==s} y[i,:]   (AGG in Algorithm 1)
+  Var segment_sum(Var y, std::vector<std::uint32_t> index,
+                  std::size_t num_segments);
+
+  // ---- losses (return 1×1 scalars) ----
+  /// Binary cross-entropy with logits, numerically stable, mean-reduced.
+  /// `labels` in {0,1}; optional per-example weights (empty = all 1);
+  /// `pos_weight` scales the positive-class term (class imbalance).
+  Var bce_with_logits(Var logits, const std::vector<float>& labels,
+                      const std::vector<float>& weights = {},
+                      float pos_weight = 1.0f);
+  /// Hinge contrastive loss over row pairs (metric-learning stage):
+  /// with dᵢ = ‖aᵢ − bᵢ‖, the per-pair loss is dᵢ² for positives and
+  /// max(0, margin − dᵢ)² for negatives; mean-reduced. `labels` in {0,1}.
+  Var contrastive_pair_loss(Var a, Var b, const std::vector<float>& labels,
+                            float margin);
+
+  /// Mean of squared elements (used by gradcheck and the embedding loss).
+  Var mean_square(Var a);
+  /// Sum of all elements.
+  Var sum(Var a);
+
+  /// Run reverse-mode accumulation from `root` (must be 1×1). Seeds the
+  /// root gradient with 1. May be called once per tape.
+  void backward(Var root);
+
+  /// True if backward() produced a gradient for v (a node can legitimately
+  /// receive none when its branch does not reach the loss).
+  bool has_grad(Var v) const { return !node(v).grad.empty(); }
+
+  /// Number of recorded nodes (for tests / memory accounting).
+  std::size_t num_nodes() const { return nodes_.size(); }
+  /// Total floats held in node values — the "activation memory" that the
+  /// paper's full-graph mode blows up on; exposed for the memory bench.
+  std::size_t activation_floats() const;
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;            // lazily sized on first accumulation
+    bool requires_grad = false;
+    std::function<void(Node&)> backward;  // reads node.grad, pushes to parents
+  };
+
+  Node& node(Var v) {
+    TRKX_CHECK(v.tape_ == this && v.index_ < nodes_.size());
+    return nodes_[v.index_];
+  }
+  const Node& node(Var v) const {
+    TRKX_CHECK(v.tape_ == this && v.index_ < nodes_.size());
+    return nodes_[v.index_];
+  }
+
+  Var emit(Matrix value, bool requires_grad,
+           std::function<void(Node&)> backward);
+  /// Accumulate g into the node's grad (allocating if needed).
+  void accumulate(Var v, const Matrix& g);
+
+  friend class Var;
+  std::deque<Node> nodes_;
+  bool backward_done_ = false;
+};
+
+}  // namespace trkx

@@ -1,0 +1,97 @@
+#include "detector/event.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+float Hit::r() const { return std::hypot(x, y); }
+float Hit::phi() const { return std::atan2(y, x); }
+
+float Hit::eta() const {
+  const float rr = r();
+  if (rr == 0.0f) return 0.0f;
+  const float theta = std::atan2(rr, z);
+  return -std::log(std::tan(theta / 2.0f));
+}
+
+double Event::positive_edge_fraction() const {
+  if (edge_labels.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (char l : edge_labels) pos += (l != 0);
+  return static_cast<double>(pos) / static_cast<double>(edge_labels.size());
+}
+
+namespace {
+
+/// Wrap an angle difference into (-π, π].
+float wrap_angle(float d) {
+  while (d > static_cast<float>(M_PI)) d -= 2.0f * static_cast<float>(M_PI);
+  while (d <= -static_cast<float>(M_PI)) d += 2.0f * static_cast<float>(M_PI);
+  return d;
+}
+
+}  // namespace
+
+void build_features(Event& event, std::size_t node_dim, std::size_t edge_dim,
+                    const FeatureScales& scales, std::size_t num_layers) {
+  TRKX_CHECK(node_dim > 0 && edge_dim > 0);
+  const std::size_t n = event.hits.size();
+  const std::size_t m = event.graph.num_edges();
+  const float pi = static_cast<float>(M_PI);
+
+  event.node_features.resize(n, node_dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Hit& h = event.hits[i];
+    const float r = h.r(), phi = h.phi(), eta = h.eta();
+    // Candidate pool; the first node_dim entries are used.
+    const float pool[14] = {
+        r / scales.r_max,
+        phi / pi,
+        h.z / scales.z_max,
+        eta / scales.eta_max,
+        std::cos(phi),
+        std::sin(phi),
+        static_cast<float>(h.layer) /
+            static_cast<float>(num_layers > 1 ? num_layers - 1 : 1),
+        h.x / scales.r_max,
+        h.y / scales.r_max,
+        r > 0.0f ? h.z / r : 0.0f,
+        std::tanh(eta),
+        (r / scales.r_max) * (r / scales.r_max),
+        std::cos(2.0f * phi),
+        std::sin(2.0f * phi),
+    };
+    TRKX_CHECK_MSG(node_dim <= 14, "node_dim > 14 not supported");
+    for (std::size_t j = 0; j < node_dim; ++j)
+      event.node_features(i, j) = pool[j];
+  }
+
+  event.edge_features.resize(m, edge_dim);
+  for (std::size_t e = 0; e < m; ++e) {
+    const Hit& a = event.hits[event.graph.edge(e).src];
+    const Hit& b = event.hits[event.graph.edge(e).dst];
+    const float dr = b.r() - a.r();
+    const float dphi = wrap_angle(b.phi() - a.phi());
+    const float dz = b.z - a.z;
+    const float deta = b.eta() - a.eta();
+    const float dR = std::sqrt(deta * deta + dphi * dphi);
+    const float mid_r = 0.5f * (a.r() + b.r());
+    const float pool[8] = {
+        dr / scales.r_max,
+        dphi / pi,
+        dz / scales.z_max,
+        deta / scales.eta_max,
+        dR,
+        mid_r / scales.r_max,
+        std::fabs(dr) > 1e-3f ? dz / dr : 0.0f,          // slope dz/dr
+        std::fabs(dr) > 1e-3f ? dphi / (dr / scales.r_max) : 0.0f,  // curvature proxy
+    };
+    TRKX_CHECK_MSG(edge_dim <= 8, "edge_dim > 8 not supported");
+    for (std::size_t j = 0; j < edge_dim; ++j)
+      event.edge_features(e, j) = pool[j];
+  }
+}
+
+}  // namespace trkx

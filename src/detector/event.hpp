@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/matrix.hpp"
+
+namespace trkx {
+
+/// One recorded detector hit (a space point).
+struct Hit {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+  std::uint32_t layer = 0;
+  /// Truth particle index within the event, or kNoise for noise hits.
+  std::int32_t particle = kNoise;
+  static constexpr std::int32_t kNoise = -1;
+
+  float r() const;
+  float phi() const;
+  float eta() const;  ///< pseudorapidity of the hit position
+};
+
+/// Truth record for one generated particle.
+struct TruthParticle {
+  float pt = 0.0f;
+  float phi0 = 0.0f;
+  float eta = 0.0f;
+  float z0 = 0.0f;
+  int charge = 1;
+  /// Hit indices in layer order (the true track).
+  std::vector<std::uint32_t> hits;
+};
+
+/// One collision event: hits, truth, the constructed candidate graph, and
+/// the tensors the GNN consumes.
+///
+/// `graph` holds candidate edges (true track segments plus combinatorial
+/// fakes from graph construction); `edge_labels[i]` says whether edge i
+/// connects consecutive hits of the same particle. Features are built by
+/// build_features() below.
+struct Event {
+  std::vector<Hit> hits;
+  std::vector<TruthParticle> particles;
+  Graph graph;
+  std::vector<char> edge_labels;
+  Matrix node_features;  ///< hits × node_feature_dim
+  Matrix edge_features;  ///< edges × edge_feature_dim
+
+  std::size_t num_hits() const { return hits.size(); }
+  std::size_t num_edges() const { return graph.num_edges(); }
+  double positive_edge_fraction() const;
+};
+
+/// Normalisation constants for feature building; also the documented
+/// detector envelope.
+struct FeatureScales {
+  float r_max = 1000.0f;   ///< outermost layer radius [mm]
+  float z_max = 2000.0f;   ///< barrel half-length [mm]
+  float eta_max = 4.0f;
+};
+
+/// Fill event.node_features (n × node_dim) and event.edge_features
+/// (m × edge_dim).
+///
+/// Node features (in order, cycled/extended to node_dim):
+///   r/r_max, φ/π, z/z_max, η/η_max, cos φ, sin φ, layer/num_layers,
+///   then engineered combinations (r·cosφ, r·sinφ, z/r, …).
+/// Edge features (cycled/extended to edge_dim):
+///   Δr/r_max, Δφ/π, Δz/z_max, Δη, ΔR=√(Δη²+Δφ²), midpoint r, geodesic
+///   slope dz/dr, curvature proxy Δφ/Δr.
+/// The dimensional knobs reproduce Table I's per-dataset feature counts
+/// (Ex3: 6/2, CTD: 14/8).
+void build_features(Event& event, std::size_t node_dim, std::size_t edge_dim,
+                    const FeatureScales& scales, std::size_t num_layers);
+
+}  // namespace trkx

@@ -1,0 +1,366 @@
+#include "detector/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "detector/helix.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace trkx {
+
+namespace {
+
+float wrap_angle(float d) {
+  while (d > static_cast<float>(M_PI)) d -= 2.0f * static_cast<float>(M_PI);
+  while (d <= -static_cast<float>(M_PI)) d += 2.0f * static_cast<float>(M_PI);
+  return d;
+}
+
+/// Sample η uniformly in [-eta_max, eta_max] and pt uniformly in
+/// [pt_min, pt_max] — flat spectra keep the layer occupancy roughly even,
+/// which is what matters for graph structure.
+ParticleState sample_particle(const DetectorConfig& cfg, Rng& rng) {
+  ParticleState s;
+  s.pt = rng.uniform(static_cast<float>(cfg.pt_min),
+                     static_cast<float>(cfg.pt_max));
+  s.phi0 = rng.uniform(-static_cast<float>(M_PI), static_cast<float>(M_PI));
+  s.eta = rng.uniform(-static_cast<float>(cfg.eta_max),
+                      static_cast<float>(cfg.eta_max));
+  if (cfg.displaced_fraction > 0.0 && rng.bernoulli(cfg.displaced_fraction)) {
+    s.z0 = rng.normal(0.0, cfg.displaced_z0_sigma);
+  } else {
+    s.z0 = rng.normal(0.0, cfg.z0_sigma);
+  }
+  s.charge = rng.bernoulli(0.5) ? 1 : -1;
+  return s;
+}
+
+/// One detector-surface crossing of a helix, in trajectory order.
+struct Crossing {
+  double t = 0.0;  ///< turning angle (orders the trajectory)
+  HitPoint point;
+  std::uint32_t surface = 0;
+  bool on_disk = false;
+};
+
+/// All surface crossings of one particle, sorted along the trajectory.
+std::vector<Crossing> trace_particle(const DetectorConfig& cfg,
+                                     const Helix& helix) {
+  std::vector<Crossing> out;
+  const std::size_t num_barrel = cfg.layer_radii.size();
+  for (std::size_t l = 0; l < num_barrel; ++l) {
+    const auto t = helix.turning_angle_at_radius(cfg.layer_radii[l]);
+    if (!t) break;  // curls before this layer (and all outer ones)
+    const HitPoint p = helix.at(*t);
+    if (std::fabs(p.z) > cfg.barrel_half_length) continue;  // exits to endcap
+    out.push_back({*t, p, static_cast<std::uint32_t>(l), false});
+  }
+  for (std::size_t i = 0; i < cfg.endcap_z.size(); ++i) {
+    for (int side = 0; side < 2; ++side) {
+      const double z_d = side == 0 ? cfg.endcap_z[i] : -cfg.endcap_z[i];
+      const auto p = helix.intersect_disk(z_d, cfg.endcap_r_min,
+                                          cfg.endcap_r_max);
+      if (!p) continue;
+      const auto t = helix.turning_angle_at_z(z_d);
+      out.push_back({*t, *p,
+                     static_cast<std::uint32_t>(num_barrel + 2 * i + side),
+                     true});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Crossing& a, const Crossing& b) { return a.t < b.t; });
+  return out;
+}
+
+/// Record one (possibly duplicated) smeared hit for a crossing.
+void record_hit(const DetectorConfig& cfg, const Crossing& c, Rng& rng,
+                Event& event, TruthParticle& truth) {
+  const int copies =
+      1 + (cfg.duplicate_hit_probability > 0.0 &&
+                   rng.bernoulli(cfg.duplicate_hit_probability)
+               ? 1
+               : 0);
+  for (int copy = 0; copy < copies; ++copy) {
+    Hit hit;
+    const double phi = std::atan2(c.point.y, c.point.x);
+    if (c.on_disk) {
+      // Disk sensors measure (r, φ) at fixed z: smear both transverse
+      // coordinates, keep z on the disk.
+      hit.x = static_cast<float>(c.point.x + rng.normal(0.0, cfg.hit_sigma_rphi));
+      hit.y = static_cast<float>(c.point.y + rng.normal(0.0, cfg.hit_sigma_rphi));
+      hit.z = static_cast<float>(c.point.z);
+    } else {
+      // Barrel sensors measure (r·φ, z) on the cylinder: smear
+      // tangentially and longitudinally.
+      const double drphi = rng.normal(0.0, cfg.hit_sigma_rphi);
+      hit.x = static_cast<float>(c.point.x - drphi * std::sin(phi));
+      hit.y = static_cast<float>(c.point.y + drphi * std::cos(phi));
+      hit.z = static_cast<float>(c.point.z + rng.normal(0.0, cfg.hit_sigma_z));
+    }
+    hit.layer = c.surface;
+    hit.particle = static_cast<std::int32_t>(event.particles.size());
+    truth.hits.push_back(static_cast<std::uint32_t>(event.hits.size()));
+    event.hits.push_back(hit);
+  }
+}
+
+}  // namespace
+
+void build_candidate_graph(Event& event, const DetectorConfig& cfg) {
+  // Surfaces come from the hits themselves so externally-ingested events
+  // (more surfaces than the synthetic geometry) work too.
+  std::size_t num_surfaces = cfg.num_surfaces();
+  for (const Hit& h : event.hits)
+    num_surfaces = std::max<std::size_t>(num_surfaces, h.layer + 1);
+  const std::size_t num_barrel = cfg.layer_radii.size();
+
+  // Bucket hits per surface, sorted by φ, so window queries are sorted
+  // range scans instead of all-pairs checks.
+  std::vector<std::vector<std::uint32_t>> by_surface(num_surfaces);
+  for (std::size_t i = 0; i < event.hits.size(); ++i)
+    by_surface[event.hits[i].layer].push_back(static_cast<std::uint32_t>(i));
+  std::vector<std::vector<float>> phi_of(num_surfaces);
+  for (std::size_t l = 0; l < num_surfaces; ++l) {
+    auto& ids = by_surface[l];
+    std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return event.hits[a].phi() < event.hits[b].phi();
+    });
+    phi_of[l].reserve(ids.size());
+    for (std::uint32_t id : ids) phi_of[l].push_back(event.hits[id].phi());
+  }
+
+  // Surface pairs to connect: barrel adjacency (with optional skips) plus
+  // the *recurrent* truth transitions involving an endcap disk — which
+  // wires barrel↔disk and disk→disk pairs automatically when endcaps
+  // exist. Barrel-barrel pairs stay restricted to l+1/l+2 adjacency:
+  // admitting every one-off transition (a track that missed two layers in
+  // a row) would open an (l, l+3) window over the whole event and flood
+  // it with combinatorial edges for the sake of one segment.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> surface_pairs;
+  for (std::uint32_t l = 0; l + 1 < num_barrel; ++l) {
+    surface_pairs.insert({l, l + 1});
+    if (cfg.allow_skip_layer && l + 2 < num_barrel)
+      surface_pairs.insert({l, l + 2});
+  }
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> transitions;
+  for (const TruthParticle& p : event.particles)
+    for (std::size_t i = 0; i + 1 < p.hits.size(); ++i) {
+      const std::uint32_t a = event.hits[p.hits[i]].layer;
+      const std::uint32_t b = event.hits[p.hits[i + 1]].layer;
+      if (a != b && (a >= num_barrel || b >= num_barrel)) ++transitions[{a, b}];
+    }
+  for (const auto& [pair, count] : transitions)
+    if (count >= 3 || event.particles.size() < 50) surface_pairs.insert(pair);
+
+  const double r_min_curv = cfg.pt_min / (0.3 * cfg.b_field) * 1000.0;
+  const double two_r = 2.0 * r_min_curv;
+
+  std::vector<Edge> edges;
+  auto connect_surfaces = [&](std::uint32_t la, std::uint32_t lb) {
+    const auto& src_ids = by_surface[la];
+    const auto& dst_ids = by_surface[lb];
+    const auto& dst_phi = phi_of[lb];
+    if (dst_ids.empty()) return;
+    const float w_cap = static_cast<float>(cfg.window_dphi);
+    const float w_eta = static_cast<float>(cfg.window_deta);
+    const float z0_cut = static_cast<float>(cfg.z0_cut);
+    for (std::uint32_t s : src_ids) {
+      const Hit& hs = event.hits[s];
+      const float phi_s = hs.phi();
+      const float eta_s = hs.eta();
+      const float r_s = hs.r();
+      // Scan the sorted φ ring, handling wrap-around by scanning the two
+      // boundary segments when the window crosses ±π.
+      auto scan = [&](float lo, float hi) {
+        auto first = std::lower_bound(dst_phi.begin(), dst_phi.end(), lo);
+        for (auto it = first; it != dst_phi.end() && *it <= hi; ++it) {
+          const std::uint32_t d =
+              dst_ids[static_cast<std::size_t>(it - dst_phi.begin())];
+          const Hit& hd = event.hits[d];
+          const float r_d = hd.r();
+          if (r_d <= r_s) continue;  // outgoing tracks move outward
+          const float dphi = std::fabs(wrap_angle(hd.phi() - phi_s));
+          if (dphi > w_cap) continue;
+          if (cfg.dphi_margin >= 0.0) {
+            // Curvature bound on the hit-azimuth advance of any track
+            // with pt ≥ pt_min between these two radii (hit azimuth moves
+            // by half the turning angle), plus the smearing margin.
+            const double sa = std::min(1.0, r_s / two_r);
+            const double sb = std::min(1.0, r_d / two_r);
+            const double bound =
+                std::asin(sb) - std::asin(sa) + cfg.dphi_margin;
+            if (dphi > bound) continue;
+          }
+          if (std::fabs(hd.eta() - eta_s) > w_eta) continue;
+          // Straight-line r–z extrapolation back to the beamline: true
+          // segments point at the beam spot; combinatorial ones rarely do.
+          const float dr = r_d - r_s;
+          if (dr > 1e-3f) {
+            const float z0 = hs.z - r_s * (hd.z - hs.z) / dr;
+            if (std::fabs(z0) > z0_cut) continue;
+          }
+          edges.push_back({s, d});
+        }
+      };
+      const float lo = phi_s - w_cap, hi = phi_s + w_cap;
+      const float pi = static_cast<float>(M_PI);
+      if (lo < -pi) {
+        scan(-pi, hi);
+        scan(lo + 2.0f * pi, pi);
+      } else if (hi > pi) {
+        scan(lo, pi);
+        scan(-pi, hi - 2.0f * pi);
+      } else {
+        scan(lo, hi);
+      }
+    }
+  };
+  for (const auto& [la, lb] : surface_pairs) connect_surfaces(la, lb);
+  // Surface pairs can overlap (truth transitions + barrel adjacency) and
+  // duplicated hits can yield duplicate candidate pairs: dedupe.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  event.graph = Graph(event.hits.size(), std::move(edges));
+
+  // --- 4. truth edge labels: consecutive hits of the same particle ---
+  // "Consecutive" means adjacent in the particle's hit sequence, so a
+  // skip-layer edge over a missed hit is still a true segment.
+  event.edge_labels.assign(event.graph.num_edges(), 0);
+  for (const TruthParticle& p : event.particles) {
+    for (std::size_t i = 0; i + 1 < p.hits.size(); ++i) {
+      const std::uint32_t e = event.graph.find_edge(p.hits[i], p.hits[i + 1]);
+      if (e != Graph::kNoEdge) event.edge_labels[e] = 1;
+    }
+  }
+
+  // --- 5. features ---
+  FeatureScales scales;
+  scales.r_max = static_cast<float>(cfg.layer_radii.back());
+  scales.z_max = static_cast<float>(cfg.barrel_half_length);
+  for (double z : cfg.endcap_z)
+    scales.z_max = std::max(scales.z_max, static_cast<float>(z));
+  for (const Hit& h : event.hits) {
+    scales.r_max = std::max(scales.r_max, h.r());
+    scales.z_max = std::max(scales.z_max, std::fabs(h.z));
+  }
+  scales.eta_max = static_cast<float>(cfg.eta_max + 1.0);
+  build_features(event, cfg.node_feature_dim, cfg.edge_feature_dim, scales,
+                 num_surfaces);
+}
+
+Event generate_event(const DetectorConfig& cfg, Rng& rng) {
+  TRKX_CHECK(!cfg.layer_radii.empty());
+  Event event;
+  const std::size_t num_surfaces = cfg.num_surfaces();
+
+  // --- 1. particles and true hits (crossings in trajectory order) ---
+  const int n_particles = std::max(1, rng.poisson(cfg.mean_particles));
+  event.particles.reserve(static_cast<std::size_t>(n_particles));
+  for (int p = 0; p < n_particles; ++p) {
+    const ParticleState state = sample_particle(cfg, rng);
+    const Helix helix(state, cfg.b_field);
+    TruthParticle truth;
+    truth.pt = static_cast<float>(state.pt);
+    truth.phi0 = static_cast<float>(state.phi0);
+    truth.eta = static_cast<float>(state.eta);
+    truth.z0 = static_cast<float>(state.z0);
+    truth.charge = state.charge;
+
+    for (const Crossing& c : trace_particle(cfg, helix)) {
+      if (!rng.bernoulli(cfg.hit_efficiency)) continue;  // detector miss
+      record_hit(cfg, c, rng, event, truth);
+    }
+    event.particles.push_back(std::move(truth));
+  }
+
+  // --- 2. noise hits, spread over all surfaces ---
+  const int n_noise = rng.poisson(cfg.noise_fraction *
+                                  static_cast<double>(event.hits.size()));
+  const std::size_t num_barrel = cfg.layer_radii.size();
+  for (int i = 0; i < n_noise; ++i) {
+    Hit hit;
+    const std::size_t s = rng.uniform_index(num_surfaces);
+    const double phi = rng.uniform(-static_cast<float>(M_PI),
+                                   static_cast<float>(M_PI));
+    if (s < num_barrel) {
+      const double r = cfg.layer_radii[s];
+      hit.x = static_cast<float>(r * std::cos(phi));
+      hit.y = static_cast<float>(r * std::sin(phi));
+      hit.z = rng.uniform(-static_cast<float>(cfg.barrel_half_length),
+                          static_cast<float>(cfg.barrel_half_length));
+    } else {
+      const std::size_t d = (s - num_barrel) / 2;
+      const int side = (s - num_barrel) % 2;
+      // Area-uniform radius on the disk annulus.
+      const double u = rng.uniform();
+      const double r = std::sqrt(
+          u * (cfg.endcap_r_max * cfg.endcap_r_max -
+               cfg.endcap_r_min * cfg.endcap_r_min) +
+          cfg.endcap_r_min * cfg.endcap_r_min);
+      hit.x = static_cast<float>(r * std::cos(phi));
+      hit.y = static_cast<float>(r * std::sin(phi));
+      hit.z = static_cast<float>(side == 0 ? cfg.endcap_z[d]
+                                           : -cfg.endcap_z[d]);
+    }
+    hit.layer = static_cast<std::uint32_t>(s);
+    hit.particle = Hit::kNoise;
+    event.hits.push_back(hit);
+  }
+
+  build_candidate_graph(event, cfg);
+  return event;
+}
+
+double Dataset::avg_vertices() const {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto* split : {&train, &val, &test})
+    for (const Event& e : *split) {
+      s += static_cast<double>(e.num_hits());
+      ++n;
+    }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
+}
+
+double Dataset::avg_edges() const {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto* split : {&train, &val, &test})
+    for (const Event& e : *split) {
+      s += static_cast<double>(e.num_edges());
+      ++n;
+    }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
+}
+
+Dataset generate_dataset(const std::string& name, const DetectorConfig& config,
+                         std::size_t train_events, std::size_t val_events,
+                         std::size_t test_events, std::uint64_t seed) {
+  Dataset ds;
+  ds.name = name;
+  ds.config = config;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < train_events; ++i) {
+    Rng event_rng = rng.split();
+    ds.train.push_back(generate_event(config, event_rng));
+  }
+  for (std::size_t i = 0; i < val_events; ++i) {
+    Rng event_rng = rng.split();
+    ds.val.push_back(generate_event(config, event_rng));
+  }
+  for (std::size_t i = 0; i < test_events; ++i) {
+    Rng event_rng = rng.split();
+    ds.test.push_back(generate_event(config, event_rng));
+  }
+  TRKX_INFO << "dataset '" << name << "': " << ds.total_events()
+            << " events, avg vertices " << ds.avg_vertices()
+            << ", avg edges " << ds.avg_edges();
+  return ds;
+}
+
+}  // namespace trkx

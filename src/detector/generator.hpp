@@ -1,0 +1,107 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detector/event.hpp"
+#include "util/rng.hpp"
+
+namespace trkx {
+
+/// Full description of the simulated detector and event composition.
+struct DetectorConfig {
+  // Geometry: cylindrical barrel layers (radii in mm) inside a solenoid,
+  // optionally closed by endcap disks at fixed |z| (mirrored in ±z).
+  std::vector<double> layer_radii = {32, 72, 116, 172, 260, 360, 500,
+                                     660, 820, 1020};
+  double barrel_half_length = 2000.0;  ///< |z| acceptance [mm]
+  /// |z| positions of endcap disks (empty = barrel-only detector). Each
+  /// entry creates two disks (±z) spanning [endcap_r_min, endcap_r_max].
+  std::vector<double> endcap_z = {};
+  double endcap_r_min = 40.0;
+  double endcap_r_max = 1000.0;
+  double b_field = 2.0;                ///< solenoid field [T]
+
+  /// Surface id layout: barrel layers are 0..B-1; endcap disks follow as
+  /// B + 2i (+z side) and B + 2i + 1 (−z side) for endcap_z[i].
+  std::size_t num_surfaces() const {
+    return layer_radii.size() + 2 * endcap_z.size();
+  }
+
+  // Event composition.
+  double mean_particles = 100.0;  ///< Poisson mean tracks per event
+  double pt_min = 0.5;            ///< GeV
+  double pt_max = 5.0;
+  double eta_max = 3.0;           ///< |η| of generated particles
+  double z0_sigma = 30.0;         ///< beam spot spread [mm]
+
+  // Detector response.
+  double hit_sigma_rphi = 0.5;    ///< transverse smearing [mm]
+  double hit_sigma_z = 1.0;       ///< longitudinal smearing [mm]
+  double hit_efficiency = 0.98;   ///< per-layer hit detection probability
+  double noise_fraction = 0.05;   ///< noise hits as a fraction of true hits
+  /// Probability that a hit is read out twice (cluster splitting): the
+  /// duplicate gets independent smearing and the same truth particle.
+  double duplicate_hit_probability = 0.0;
+  /// Fraction of particles produced away from the beam spot (secondary
+  /// decays): their z0 is drawn from a much wider distribution, so the
+  /// beamline-pointing z0 cut of graph construction can lose them — the
+  /// realistic displaced-track inefficiency.
+  double displaced_fraction = 0.0;
+  double displaced_z0_sigma = 400.0;  ///< [mm]
+
+  // Geometric graph construction: candidate edges between (skip-)adjacent
+  // layers pass three physics-motivated cuts. True segments have bounded
+  // |Δφ| (curvature at pt_min), near-equal pseudorapidity, and extrapolate
+  // back to the beam spot in the r–z plane; combinatorial pairs mostly
+  // fail at least one. The window sizes trade edge purity against segment
+  // efficiency and set the edges-per-vertex density of Table I.
+  double window_dphi = 0.35;      ///< hard |Δφ| cap [rad]
+  double window_deta = 0.3;       ///< |Δη| acceptance
+  double z0_cut = 200.0;          ///< |z0 of r–z extrapolation| [mm]
+  /// Tighten |Δφ| per layer pair to the curvature bound of a pt_min track
+  /// (hit azimuth advances by half the turning angle, so the bound is
+  /// [asin(r_b/2R) − asin(r_a/2R)] / 1 at R = R(pt_min)), plus this margin
+  /// for smearing. Negative disables the curvature bound.
+  double dphi_margin = 0.02;
+  bool allow_skip_layer = true;   ///< also connect layer l → l+2
+
+  // Feature dimensions (Table I's "Vertex Features"/"Edge Features").
+  std::size_t node_feature_dim = 6;
+  std::size_t edge_feature_dim = 2;
+};
+
+/// Generate one event: sample particles, propagate helices through the
+/// layers, apply inefficiency/smearing/noise, build the candidate graph
+/// with the geometric windows, label edges against truth, and build
+/// feature tensors.
+Event generate_event(const DetectorConfig& config, Rng& rng);
+
+/// Build the candidate graph, truth edge labels, and feature tensors for
+/// an event whose hits and particles are already filled (shared by
+/// generate_event and external-data ingestion such as the TrackML
+/// reader). Surfaces are taken from the hits' layer ids; the window
+/// parameters come from `config`.
+void build_candidate_graph(Event& event, const DetectorConfig& config);
+
+/// A dataset is a named set of disjoint event graphs with a train/val/test
+/// split, mirroring the paper's 80/10/10 usage.
+struct Dataset {
+  std::string name;
+  DetectorConfig config;
+  std::vector<Event> train;
+  std::vector<Event> val;
+  std::vector<Event> test;
+
+  std::size_t total_events() const {
+    return train.size() + val.size() + test.size();
+  }
+  double avg_vertices() const;
+  double avg_edges() const;
+};
+
+Dataset generate_dataset(const std::string& name, const DetectorConfig& config,
+                         std::size_t train_events, std::size_t val_events,
+                         std::size_t test_events, std::uint64_t seed);
+
+}  // namespace trkx

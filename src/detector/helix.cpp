@@ -1,0 +1,69 @@
+#include "detector/helix.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+double HitPoint::r() const { return std::hypot(x, y); }
+double HitPoint::phi() const { return std::atan2(y, x); }
+
+Helix::Helix(const ParticleState& state, double b_field_tesla) {
+  TRKX_CHECK(state.pt > 0.0);
+  TRKX_CHECK(b_field_tesla > 0.0);
+  TRKX_CHECK(state.charge == 1 || state.charge == -1);
+  // R[mm] = pt[GeV] / (0.3 * B[T]) * 1000 / c-factor: standard relation
+  // R[m] = pt / (0.3 B), converted to millimetres.
+  radius_ = state.pt / (0.3 * b_field_tesla) * 1000.0;
+  phi0_ = state.phi0;
+  z0_ = state.z0;
+  sinh_eta_ = std::sinh(state.eta);
+  sign_ = state.charge > 0 ? 1.0 : -1.0;
+}
+
+HitPoint Helix::at(double t) const {
+  TRKX_CHECK(t >= 0.0);
+  // Starts at (0, 0, z0) with transverse direction (cos φ0, sin φ0).
+  const double a = phi0_ + sign_ * t;
+  HitPoint p;
+  p.x = radius_ / sign_ * (std::sin(a) - std::sin(phi0_));
+  p.y = -radius_ / sign_ * (std::cos(a) - std::cos(phi0_));
+  p.z = z0_ + radius_ * t * sinh_eta_;
+  return p;
+}
+
+std::optional<double> Helix::turning_angle_at_radius(double r) const {
+  TRKX_CHECK(r >= 0.0);
+  // Transverse distance from the origin after turning angle t is
+  // d(t) = 2R·sin(t/2); the first crossing of r is t = 2·asin(r / 2R).
+  const double arg = r / (2.0 * radius_);
+  if (arg > 1.0) return std::nullopt;
+  return 2.0 * std::asin(arg);
+}
+
+std::optional<HitPoint> Helix::intersect_layer(double r) const {
+  auto t = turning_angle_at_radius(r);
+  if (!t) return std::nullopt;
+  return at(*t);
+}
+
+std::optional<double> Helix::turning_angle_at_z(double z_plane) const {
+  // z(t) = z0 + R·t·sinh(η) is linear in t.
+  if (std::fabs(sinh_eta_) < 1e-9) return std::nullopt;
+  const double t = (z_plane - z0_) / (radius_ * sinh_eta_);
+  if (t <= 0.0 || t > M_PI) return std::nullopt;
+  return t;
+}
+
+std::optional<HitPoint> Helix::intersect_disk(double z_plane, double r_min,
+                                              double r_max) const {
+  auto t = turning_angle_at_z(z_plane);
+  if (!t) return std::nullopt;
+  const HitPoint p = at(*t);
+  const double r = p.r();
+  if (r < r_min || r > r_max) return std::nullopt;
+  return p;
+}
+
+}  // namespace trkx

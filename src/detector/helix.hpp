@@ -1,0 +1,70 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace trkx {
+
+/// Kinematic parameters of a charged particle produced at the beamline.
+///
+/// Units follow HEP conventions: momenta in GeV/c, lengths in millimetres,
+/// magnetic field in Tesla. The solenoid field is along +z.
+struct ParticleState {
+  double pt = 1.0;      ///< transverse momentum [GeV]
+  double phi0 = 0.0;    ///< initial azimuth of the momentum [rad]
+  double eta = 0.0;     ///< pseudorapidity (pz = pt·sinh η)
+  double z0 = 0.0;      ///< production z along the beamline [mm]
+  int charge = 1;       ///< ±1
+};
+
+/// 3-D point on a trajectory.
+struct HitPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  double r() const;    ///< transverse radius
+  double phi() const;  ///< azimuth
+};
+
+/// Analytic helix propagation in a uniform solenoid field.
+///
+/// The transverse projection is a circle through the origin of radius
+/// R = pt / (0.0003 · B) mm (pt in GeV, B in Tesla); z advances linearly
+/// with the transverse arc length: z = z0 + R·t·sinh(η), where t is the
+/// turning angle.
+class Helix {
+ public:
+  Helix(const ParticleState& state, double b_field_tesla);
+
+  /// Curvature radius in mm.
+  double radius() const { return radius_; }
+
+  /// Position after turning angle t ≥ 0.
+  HitPoint at(double t) const;
+
+  /// Turning angle at which the helix first crosses transverse radius r,
+  /// or nullopt when the circle never reaches r (r > 2R: the particle
+  /// loops inside).
+  std::optional<double> turning_angle_at_radius(double r) const;
+
+  /// Turning angle at which the helix crosses the plane z = z_plane, or
+  /// nullopt when it never does with t in (0, π] (wrong direction, flat
+  /// helix, or beyond the first half-turn where r stops growing).
+  std::optional<double> turning_angle_at_z(double z_plane) const;
+
+  /// Convenience: the crossing point itself at transverse radius r.
+  std::optional<HitPoint> intersect_layer(double r) const;
+  /// Crossing point on an endcap disk at z = z_plane with r inside
+  /// [r_min, r_max], if any.
+  std::optional<HitPoint> intersect_disk(double z_plane, double r_min,
+                                         double r_max) const;
+
+ private:
+  double radius_;
+  double phi0_;
+  double z0_;
+  double sinh_eta_;
+  double sign_;  // charge sign controls turning direction
+};
+
+}  // namespace trkx

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "detector/generator.hpp"
+
+namespace trkx {
+
+/// A dataset preset mirroring one row of the paper's Table I, plus the
+/// paper's reference statistics so benches can print paper-vs-ours.
+struct DatasetSpec {
+  std::string name;
+  DetectorConfig detector;
+  std::size_t mlp_hidden_layers = 2;  ///< Table I "MLP Layers"
+  double paper_avg_vertices = 0.0;
+  double paper_avg_edges = 0.0;
+  double scale = 1.0;  ///< fraction of the paper's event size generated
+};
+
+/// Ex3 ("Example 3" of the acorn repo): small events, sparse graphs
+/// (paper: 13.0K vertices, 47.8K edges, 6 vertex / 2 edge features,
+/// 2 MLP layers). scale multiplies the per-event particle count.
+DatasetSpec ex3_spec(double scale = 1.0);
+
+/// CTD ("Connect the Dots"): large dense events (paper: 330.7K vertices,
+/// 6.9M edges ≈ 21 edges/vertex, 14 vertex / 8 edge features, 3 MLP
+/// layers). The default scale keeps CPU runtimes sane; the vertex/edge
+/// density ratio is preserved by wider connection windows, not by scale.
+DatasetSpec ctd_spec(double scale = 1.0 / 16.0);
+
+}  // namespace trkx

@@ -1,0 +1,160 @@
+#include "dist/communicator.hpp"
+
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace trkx {
+
+int Communicator::size() const { return runtime_->num_ranks_; }
+
+void Communicator::barrier() {
+  if (runtime_->num_ranks_ > 1) runtime_->barrier_->arrive_and_wait();
+}
+
+void Communicator::all_reduce_sum(std::span<float> data) {
+  WallTimer timer;
+  DistRuntime& rt = *runtime_;
+  const int p = rt.num_ranks_;
+  if (p > 1) {
+    // Publish this rank's buffer.
+    rt.contrib_[static_cast<std::size_t>(rank_)] = data.data();
+    if (rank_ == 0) {
+      rt.current_count_ = data.size();
+      if (rt.reduce_buf_.size() < data.size()) rt.reduce_buf_.resize(data.size());
+    }
+    barrier();
+    TRKX_CHECK_MSG(rt.current_count_ == data.size(),
+                   "all_reduce_sum called with mismatched sizes across ranks");
+    // Reduce-scatter: each rank owns a contiguous chunk and sums it across
+    // all contributions in fixed rank order (bitwise deterministic).
+    const std::size_t n = data.size();
+    const std::size_t chunk = (n + static_cast<std::size_t>(p) - 1) /
+                              static_cast<std::size_t>(p);
+    const std::size_t begin =
+        std::min(n, chunk * static_cast<std::size_t>(rank_));
+    const std::size_t end = std::min(n, begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      float acc = 0.0f;
+      for (int r = 0; r < p; ++r) acc += rt.contrib_[static_cast<std::size_t>(r)][i];
+      rt.reduce_buf_[i] = acc;
+    }
+    barrier();
+    // All-gather: copy the full reduced buffer back.
+    std::memcpy(data.data(), rt.reduce_buf_.data(), n * sizeof(float));
+    barrier();
+  }
+  ++stats_.all_reduce_calls;
+  stats_.all_reduce_bytes += data.size() * sizeof(float);
+  stats_.modeled_seconds +=
+      rt.cost_model_.seconds(data.size() * sizeof(float), p);
+  stats_.measured_seconds += timer.seconds();
+}
+
+double Communicator::all_reduce_scalar(double value) {
+  float v = static_cast<float>(value);
+  all_reduce_sum(std::span<float>(&v, 1));
+  return static_cast<double>(v);
+}
+
+void Communicator::broadcast(std::span<float> data, int root) {
+  DistRuntime& rt = *runtime_;
+  if (rt.num_ranks_ <= 1) return;
+  rt.contrib_[static_cast<std::size_t>(rank_)] = data.data();
+  if (rank_ == 0) rt.current_count_ = data.size();
+  barrier();
+  TRKX_CHECK(rt.current_count_ == data.size());
+  if (rank_ != root) {
+    std::memcpy(data.data(), rt.contrib_[static_cast<std::size_t>(root)],
+                data.size() * sizeof(float));
+  }
+  barrier();
+}
+
+std::vector<float> Communicator::all_gather(std::span<const float> local) {
+  WallTimer timer;
+  DistRuntime& rt = *runtime_;
+  const int p = rt.num_ranks_;
+  std::vector<float> out;
+  if (p == 1) {
+    out.assign(local.begin(), local.end());
+  } else {
+    rt.gather_ptrs_[static_cast<std::size_t>(rank_)] = local.data();
+    rt.gather_sizes_[static_cast<std::size_t>(rank_)] = local.size();
+    barrier();
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) total += rt.gather_sizes_[static_cast<std::size_t>(r)];
+    out.reserve(total);
+    for (int r = 0; r < p; ++r) {
+      const auto* ptr = rt.gather_ptrs_[static_cast<std::size_t>(r)];
+      out.insert(out.end(), ptr, ptr + rt.gather_sizes_[static_cast<std::size_t>(r)]);
+    }
+    barrier();  // contributions stay alive until everyone copied
+  }
+  ++stats_.all_reduce_calls;
+  stats_.all_reduce_bytes += out.size() * sizeof(float);
+  // Ring all-gather moves (P-1)/P of the total bytes with P-1 latency
+  // steps: approximate with half an all-reduce of the same size.
+  stats_.modeled_seconds +=
+      0.5 * rt.cost_model_.seconds(out.size() * sizeof(float), p);
+  stats_.measured_seconds += timer.seconds();
+  return out;
+}
+
+DistRuntime::DistRuntime(int num_ranks, AllReduceCostModel cost_model)
+    : num_ranks_(num_ranks), cost_model_(cost_model) {
+  TRKX_CHECK(num_ranks >= 1);
+  if (num_ranks > 1)
+    barrier_ = std::make_unique<std::barrier<>>(num_ranks);
+  contrib_.assign(static_cast<std::size_t>(num_ranks), nullptr);
+  gather_ptrs_.assign(static_cast<std::size_t>(num_ranks), nullptr);
+  gather_sizes_.assign(static_cast<std::size_t>(num_ranks), 0);
+  for (int r = 0; r < num_ranks; ++r)
+    comms_.push_back(Communicator(this, r));
+}
+
+DistRuntime::~DistRuntime() = default;
+
+void DistRuntime::run(const std::function<void(Communicator&)>& fn) {
+  if (num_ranks_ == 1) {
+    fn(comms_[0]);
+    return;
+  }
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(comms_[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+CommStats DistRuntime::aggregate_stats() const {
+  CommStats agg;
+  for (const auto& c : comms_) {
+    agg.all_reduce_calls = std::max(agg.all_reduce_calls,
+                                    c.stats().all_reduce_calls);
+    agg.all_reduce_bytes = std::max(agg.all_reduce_bytes,
+                                    c.stats().all_reduce_bytes);
+    agg.modeled_seconds = std::max(agg.modeled_seconds,
+                                   c.stats().modeled_seconds);
+    agg.measured_seconds = std::max(agg.measured_seconds,
+                                    c.stats().measured_seconds);
+  }
+  return agg;
+}
+
+}  // namespace trkx

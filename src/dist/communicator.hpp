@@ -1,0 +1,117 @@
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace trkx {
+
+/// α–β (latency–bandwidth) model of a ring all-reduce on a GPU cluster.
+///
+/// The in-process runtime below executes all-reduces for real (threads and
+/// shared memory), but this repo runs on one CPU, so wall-clock numbers
+/// cannot show NVLink-scale effects. The model reports what each call
+/// *would* cost on hardware like the paper's Perlmutter nodes:
+///   T(bytes, P) = 2(P-1)·α + 2·(P-1)/P · bytes / β
+/// Defaults approximate NCCL over NVLink 3.0 (α ≈ 15 µs per step,
+/// β ≈ 100 GB/s unidirectional, figures from the paper's Section IV-A).
+struct AllReduceCostModel {
+  double alpha_seconds = 15e-6;
+  double beta_bytes_per_second = 100e9;
+
+  double seconds(std::size_t bytes, int num_ranks) const {
+    if (num_ranks <= 1) return 0.0;
+    const double p = static_cast<double>(num_ranks);
+    return 2.0 * (p - 1.0) * alpha_seconds +
+           2.0 * (p - 1.0) / p * static_cast<double>(bytes) /
+               beta_bytes_per_second;
+  }
+};
+
+/// Counters a Communicator accumulates per rank.
+struct CommStats {
+  std::size_t all_reduce_calls = 0;
+  std::size_t all_reduce_bytes = 0;
+  double modeled_seconds = 0.0;  ///< cost-model time for this rank's calls
+  double measured_seconds = 0.0; ///< wall time actually spent in all-reduce
+};
+
+class DistRuntime;
+
+/// Per-rank handle for collective communication. Semantics follow MPI /
+/// NCCL: every rank must call each collective the same number of times
+/// with the same buffer size, and results are bitwise identical across
+/// ranks (reduction order is fixed by rank).
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  void barrier();
+
+  /// In-place sum across ranks; every rank ends with the identical total.
+  /// Implemented as reduce-scatter + all-gather over shared memory (the
+  /// data movement pattern of a ring all-reduce).
+  void all_reduce_sum(std::span<float> data);
+
+  /// Sum a scalar across ranks (convenience for loss/metric averaging).
+  double all_reduce_scalar(double value);
+
+  /// Broadcast from root into data on every rank.
+  void broadcast(std::span<float> data, int root);
+
+  /// Concatenate every rank's `local` contribution in rank order; all
+  /// ranks receive the identical concatenation. Contributions may have
+  /// different lengths (an all-gatherv). Used by the 1D-partitioned
+  /// graph kernels to assemble the full feature matrix from per-rank
+  /// row blocks.
+  std::vector<float> all_gather(std::span<const float> local);
+
+  const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CommStats{}; }
+
+ private:
+  friend class DistRuntime;
+  Communicator(DistRuntime* runtime, int rank)
+      : runtime_(runtime), rank_(rank) {}
+  DistRuntime* runtime_;
+  int rank_;
+  CommStats stats_;
+};
+
+/// Hosts P ranks as threads sharing one address space — the stand-in for
+/// the paper's one-process-per-GPU DDP launch. See DESIGN.md §2 for why
+/// this substitution preserves the phenomena being measured.
+class DistRuntime {
+ public:
+  explicit DistRuntime(int num_ranks,
+                       AllReduceCostModel cost_model = AllReduceCostModel{});
+  ~DistRuntime();
+
+  int size() const { return num_ranks_; }
+
+  /// Run fn(comm) on every rank concurrently; returns when all finish.
+  /// Exceptions from rank functions are rethrown (first one wins).
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Stats aggregated over ranks from the last run() (max over ranks for
+  /// times, rank-0 values for call counts).
+  CommStats aggregate_stats() const;
+
+ private:
+  friend class Communicator;
+  int num_ranks_;
+  AllReduceCostModel cost_model_;
+  std::unique_ptr<std::barrier<>> barrier_;
+  std::vector<float*> contrib_;
+  std::vector<const float*> gather_ptrs_;
+  std::vector<std::size_t> gather_sizes_;
+  std::vector<float> reduce_buf_;
+  std::size_t current_count_ = 0;
+  std::vector<Communicator> comms_;
+};
+
+}  // namespace trkx

@@ -1,0 +1,26 @@
+#include "dist/gradient_sync.hpp"
+
+namespace trkx {
+
+void synchronize_gradients(Communicator& comm, ParameterStore& store,
+                           SyncStrategy strategy) {
+  const float inv_p = 1.0f / static_cast<float>(comm.size());
+  switch (strategy) {
+    case SyncStrategy::kPerTensor: {
+      for (auto& p : store.params()) {
+        comm.all_reduce_sum(p.grad.flat());
+        for (float& g : p.grad.flat()) g *= inv_p;
+      }
+      break;
+    }
+    case SyncStrategy::kCoalesced: {
+      std::vector<float> flat = store.flatten_grads();
+      comm.all_reduce_sum(std::span<float>(flat.data(), flat.size()));
+      for (float& g : flat) g *= inv_p;
+      store.unflatten_grads(flat);
+      break;
+    }
+  }
+}
+
+}  // namespace trkx

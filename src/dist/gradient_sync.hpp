@@ -1,0 +1,26 @@
+#pragma once
+
+#include "dist/communicator.hpp"
+#include "nn/parameter.hpp"
+
+namespace trkx {
+
+/// Strategy for synchronising gradients across DDP ranks after the local
+/// backward pass (Section III-D of the paper).
+enum class SyncStrategy {
+  /// One all-reduce per parameter matrix — the baseline DDP behaviour.
+  /// The IGNN has dozens of small f×f MLP weights, so this pays the
+  /// all-reduce latency α once per matrix.
+  kPerTensor,
+  /// Stack every parameter gradient into one flat buffer and issue a
+  /// single all-reduce — the paper's optimisation: one α, same bytes.
+  kCoalesced,
+};
+
+/// All-reduce the gradients in `store` across ranks and divide by the
+/// rank count (so every rank holds the mean gradient). Ranks must call
+/// this collectively with identically-shaped stores.
+void synchronize_gradients(Communicator& comm, ParameterStore& store,
+                           SyncStrategy strategy);
+
+}  // namespace trkx

@@ -1,0 +1,74 @@
+#include "dist/partitioned.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "sparse/spgemm.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace trkx {
+
+RowPartition partition_rows(std::size_t n, int rank, int size) {
+  TRKX_CHECK(size >= 1 && rank >= 0 && rank < size);
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(size) - 1) / static_cast<std::size_t>(size);
+  RowPartition p;
+  p.begin = std::min(n, chunk * static_cast<std::size_t>(rank));
+  p.end = std::min(n, p.begin + chunk);
+  return p;
+}
+
+LocalShard make_shard(const CsrMatrix& a, const Matrix& x, int rank,
+                      int size) {
+  TRKX_CHECK(a.rows() == x.rows());
+  LocalShard shard;
+  shard.rows = partition_rows(a.rows(), rank, size);
+  std::vector<std::uint32_t> idx;
+  idx.reserve(shard.rows.count());
+  for (std::size_t r = shard.rows.begin; r < shard.rows.end; ++r)
+    idx.push_back(static_cast<std::uint32_t>(r));
+  shard.a_rows = a.select_rows(idx);
+  shard.x_rows = row_gather(x, idx);
+  return shard;
+}
+
+Matrix partitioned_spmm(Communicator& comm, const LocalShard& shard,
+                        std::size_t feature_dim) {
+  TRKX_CHECK(shard.x_rows.cols() == feature_dim);
+  // Assemble the global X: contributions concatenate in rank order, and
+  // row partitions are contiguous in rank order, so the concatenation IS
+  // the global row-major X.
+  const std::vector<float> global = comm.all_gather(
+      std::span<const float>(shard.x_rows.data(), shard.x_rows.size()));
+  TRKX_CHECK_MSG(global.size() % feature_dim == 0,
+                 "gathered feature matrix is ragged");
+  const std::size_t n = global.size() / feature_dim;
+  TRKX_CHECK_MSG(n == shard.a_rows.cols(),
+                 "gathered rows do not match adjacency width");
+  Matrix x_global(n, feature_dim);
+  std::memcpy(x_global.data(), global.data(), global.size() * sizeof(float));
+  return spmm(shard.a_rows, x_global);
+}
+
+Matrix partitioned_power_iteration(Communicator& comm,
+                                   const LocalShard& shard,
+                                   std::size_t iterations) {
+  LocalShard state = shard;
+  const std::size_t f = state.x_rows.cols();
+  for (std::size_t it = 0; it < iterations; ++it) {
+    Matrix y = partitioned_spmm(comm, state, f);
+    // Global 2-norm via an all-reduced partial sum.
+    double partial = 0.0;
+    for (float v : y.flat()) partial += static_cast<double>(v) * v;
+    const double norm = std::sqrt(comm.all_reduce_scalar(partial));
+    if (norm > 0.0) {
+      const float inv = static_cast<float>(1.0 / norm);
+      for (float& v : y.flat()) v *= inv;
+    }
+    state.x_rows = std::move(y);
+  }
+  return state.x_rows;
+}
+
+}  // namespace trkx

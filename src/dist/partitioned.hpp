@@ -1,0 +1,53 @@
+#pragma once
+
+#include "dist/communicator.hpp"
+#include "sparse/csr.hpp"
+
+namespace trkx {
+
+/// 1D row-partitioned distributed sparse kernels, after CAGNET (Tripathy
+/// et al., the codebase the paper extends): the adjacency A and feature
+/// matrix X are split into contiguous row blocks across P ranks; each
+/// layer of full-graph distributed GNN training computes its local rows of
+/// A·X by all-gathering X and multiplying against the local row block of A.
+///
+/// This is the communication pattern whose cost grows with the *graph*
+/// (all-gather of n×f features per layer), in contrast to the paper's
+/// minibatch DDP whose communication is bounded by the model size — the
+/// quantitative argument for the DDP design at Exa.TrkX's graph sizes.
+
+/// Contiguous row range [begin, end) owned by `rank` of `size` for n rows.
+struct RowPartition {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t count() const { return end - begin; }
+};
+RowPartition partition_rows(std::size_t n, int rank, int size);
+
+/// The local shard one rank holds: its rows of A (columns still global)
+/// and its rows of X.
+struct LocalShard {
+  CsrMatrix a_rows;  ///< partition.count() × n
+  Matrix x_rows;     ///< partition.count() × f
+  RowPartition rows;
+};
+
+/// Split a full A and X into the shard for `rank`.
+LocalShard make_shard(const CsrMatrix& a, const Matrix& x, int rank,
+                      int size);
+
+/// Distributed Y_local = A_local · X_global:
+/// all-gathers every rank's X rows (rank order = row order), then runs a
+/// local SpMM. Collective: every rank must call it together. Returns this
+/// rank's row block of A·X.
+Matrix partitioned_spmm(Communicator& comm, const LocalShard& shard,
+                        std::size_t feature_dim);
+
+/// Distributed power iteration on the normalised adjacency — a
+/// self-contained consumer of partitioned_spmm used by tests and the
+/// bench: returns this rank's block of the dominant eigenvector estimate
+/// after `iterations` rounds (each round: SpMM + all-reduce normalisation).
+Matrix partitioned_power_iteration(Communicator& comm, const LocalShard& shard,
+                                   std::size_t iterations);
+
+}  // namespace trkx

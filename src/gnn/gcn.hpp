@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "nn/mlp.hpp"
+
+namespace trkx {
+
+/// Baseline edge classifier built on graph-convolution layers (Kipf &
+/// Welling style) rather than the Interaction Network: node states are
+/// propagated with the symmetric-normalised adjacency, H' = σ(Â·H·W), and
+/// each edge is classified from [h_src ‖ h_dst ‖ edge features].
+///
+/// Compared to the IGNN, a GCN has no per-edge hidden state, so it is far
+/// cheaper per layer (SpMM instead of per-edge MLPs) but weaker on
+/// edge-level discrimination — the model-family comparison the paper's
+/// baseline choice implies.
+struct GcnConfig {
+  std::size_t node_input_dim = 0;
+  std::size_t edge_input_dim = 0;
+  std::size_t hidden_dim = 64;
+  std::size_t num_layers = 3;
+  std::size_t mlp_hidden = 1;  ///< hidden layers in the encoder/head MLPs
+};
+
+class GcnEdgeClassifier {
+ public:
+  GcnEdgeClassifier(ParameterStore& store, const GcnConfig& config, Rng& rng);
+
+  /// Symmetric-normalised adjacency with self loops:
+  /// Â = D^(-1/2) (A_sym + I) D^(-1/2). Build once per graph; the caller
+  /// must keep it alive for the duration of each tape that uses it.
+  static CsrMatrix normalized_adjacency(const Graph& graph);
+
+  /// Record the forward pass on `ctx`; returns m×1 edge logits. `norm_adj`
+  /// must be normalized_adjacency(graph) (or equivalent) for the same
+  /// vertex set as node_features.
+  Var forward(TapeContext& ctx, const CsrMatrix& norm_adj,
+              const Matrix& node_features, const Matrix& edge_features,
+              const std::vector<std::uint32_t>& src,
+              const std::vector<std::uint32_t>& dst) const;
+
+  /// Inference convenience: per-edge P(track edge).
+  std::vector<float> predict(const Matrix& node_features,
+                             const Matrix& edge_features,
+                             const Graph& graph) const;
+
+  const GcnConfig& config() const { return config_; }
+
+ private:
+  GcnConfig config_;
+  std::unique_ptr<Mlp> node_encoder_;
+  std::vector<Parameter*> layer_weights_;  ///< W per GCN layer (h×h)
+  std::vector<Parameter*> layer_bias_;     ///< 1×h per layer
+  std::unique_ptr<Mlp> edge_head_;
+};
+
+}  // namespace trkx

@@ -1,0 +1,148 @@
+#include "gnn/interaction_gnn.hpp"
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+InteractionGnn::InteractionGnn(ParameterStore& store, const IgnnConfig& config,
+                               Rng& rng)
+    : config_(config) {
+  TRKX_CHECK(config.node_input_dim > 0);
+  TRKX_CHECK(config.edge_input_dim > 0);
+  TRKX_CHECK(config.hidden_dim > 0);
+  const std::size_t h = config.hidden_dim;
+
+  MlpConfig enc;
+  enc.hidden_dim = h;
+  enc.output_dim = h;
+  enc.num_hidden = config.mlp_hidden;
+  enc.hidden_activation = Activation::kRelu;
+  enc.output_activation = Activation::kTanh;
+  enc.layer_norm = config.layer_norm;
+
+  MlpConfig node_enc = enc;
+  node_enc.input_dim = config.node_input_dim;
+  node_encoder_ = std::make_unique<Mlp>(store, "ignn.node_enc", node_enc, rng);
+  MlpConfig edge_enc = enc;
+  edge_enc.input_dim = config.edge_input_dim;
+  edge_encoder_ = std::make_unique<Mlp>(store, "ignn.edge_enc", edge_enc, rng);
+
+  // Per-layer MSG and node-update MLPs (distinct per layer, as Algorithm 1
+  // notes; one shared pair when shared_weights is set).
+  const std::size_t unique_layers = config.shared_weights ? 1 : config.num_layers;
+  MlpConfig edge_cfg = enc;
+  edge_cfg.input_dim = 6 * h;  // [Y′(2h)  X′[src](2h)  X′[dst](2h)]
+  MlpConfig node_cfg = enc;
+  node_cfg.input_dim = 4 * h;  // [M_src(h)  M_dst(h)  X′(2h)]
+  MlpConfig gate_cfg;
+  gate_cfg.input_dim = h;
+  gate_cfg.hidden_dim = h;
+  gate_cfg.output_dim = 1;
+  gate_cfg.num_hidden = 0;  // a single linear gate keeps attention cheap
+  gate_cfg.output_activation = Activation::kSigmoid;
+  for (std::size_t l = 0; l < unique_layers; ++l) {
+    edge_mlps_.push_back(std::make_unique<Mlp>(
+        store, "ignn.edge_mlp" + std::to_string(l), edge_cfg, rng));
+    node_mlps_.push_back(std::make_unique<Mlp>(
+        store, "ignn.node_mlp" + std::to_string(l), node_cfg, rng));
+    if (config.attention) {
+      gate_mlps_.push_back(std::make_unique<Mlp>(
+          store, "ignn.gate_mlp" + std::to_string(l), gate_cfg, rng));
+    }
+  }
+
+  MlpConfig cls = enc;
+  cls.input_dim = h;
+  cls.output_dim = 1;
+  cls.output_activation = Activation::kNone;
+  cls.layer_norm = false;
+  edge_classifier_ = std::make_unique<Mlp>(store, "ignn.classifier", cls, rng);
+}
+
+const Mlp& InteractionGnn::edge_mlp(std::size_t layer) const {
+  return *edge_mlps_[config_.shared_weights ? 0 : layer];
+}
+
+const Mlp& InteractionGnn::node_mlp(std::size_t layer) const {
+  return *node_mlps_[config_.shared_weights ? 0 : layer];
+}
+
+Var InteractionGnn::forward(TapeContext& ctx, const Matrix& node_features,
+                            const Matrix& edge_features,
+                            const std::vector<std::uint32_t>& src,
+                            const std::vector<std::uint32_t>& dst,
+                            std::size_t num_vertices) const {
+  TRKX_CHECK(node_features.cols() == config_.node_input_dim);
+  TRKX_CHECK(edge_features.cols() == config_.edge_input_dim);
+  TRKX_CHECK(node_features.rows() == num_vertices);
+  TRKX_CHECK(src.size() == edge_features.rows());
+  TRKX_CHECK(dst.size() == edge_features.rows());
+  Tape& t = ctx.tape();
+
+  Var x_in = ctx.constant(node_features);
+  Var y_in = ctx.constant(edge_features);
+  Var x0 = node_encoder_->forward(ctx, x_in);  // X⁰ (n × h)
+  Var y0 = edge_encoder_->forward(ctx, y_in);  // Y⁰ (m × h)
+  Var x = x0;
+  Var y = y0;
+
+  for (std::size_t l = 0; l < config_.num_layers; ++l) {
+    Var x_cat = t.concat_cols({x, x0});  // X′ (n × 2h)
+    Var y_cat = t.concat_cols({y, y0});  // Y′ (m × 2h)
+    // MSG: per-edge update from the edge state and both endpoints.
+    Var x_src = t.row_gather(x_cat, src);
+    Var x_dst = t.row_gather(x_cat, dst);
+    Var msg_in = t.concat_cols({y_cat, x_src, x_dst});  // m × 6h
+    Var y_new = edge_mlp(l).forward(ctx, msg_in);       // Yˡ⁺¹ (m × h)
+    // AGG: sum incident edge messages at each endpoint role, optionally
+    // gated per edge so unreliable (fake) edges contribute less.
+    Var messages = y_new;
+    if (config_.attention) {
+      const Mlp& gate =
+          *gate_mlps_[config_.shared_weights ? 0 : l];
+      Var alpha = gate.forward(ctx, y_new);  // m × 1 in (0, 1)
+      messages = t.scale_rows(y_new, alpha);
+    }
+    Var m_src = t.segment_sum(messages, src, num_vertices);
+    Var m_dst = t.segment_sum(messages, dst, num_vertices);
+    Var node_in = t.concat_cols({m_src, m_dst, x_cat});  // n × 4h
+    Var x_new = node_mlp(l).forward(ctx, node_in);       // Xˡ⁺¹ (n × h)
+    x = x_new;
+    y = y_new;
+  }
+  return edge_classifier_->forward(ctx, y);  // m × 1 logits
+}
+
+Var InteractionGnn::forward(TapeContext& ctx, const Matrix& node_features,
+                            const Matrix& edge_features,
+                            const Graph& graph) const {
+  return forward(ctx, node_features, edge_features, graph.src_indices(),
+                 graph.dst_indices(), graph.num_vertices());
+}
+
+std::vector<float> InteractionGnn::predict(const Matrix& node_features,
+                                           const Matrix& edge_features,
+                                           const Graph& graph) const {
+  TapeContext ctx;
+  Var logits = forward(ctx, node_features, edge_features, graph);
+  Var probs = ctx.tape().sigmoid(logits);
+  const Matrix& p = probs.value();
+  std::vector<float> out(p.rows());
+  for (std::size_t i = 0; i < p.rows(); ++i) out[i] = p(i, 0);
+  return out;
+}
+
+std::size_t ignn_activation_estimate(const IgnnConfig& config,
+                                     std::size_t num_vertices,
+                                     std::size_t num_edges) {
+  const std::size_t h = config.hidden_dim;
+  // Per layer, the dominant retained activations (Algorithm 1's
+  // X^{l+1}, Y^{l+1}, M_src, M_dst plus the 6h-wide MSG input):
+  const std::size_t per_layer =
+      num_edges * (6 * h + h)          // msg input + Y^{l+1}
+      + num_vertices * (4 * h + h + 2 * h)  // node input + X^{l+1} + M
+      ;
+  return per_layer * config.num_layers + (num_vertices + num_edges) * h;
+}
+
+}  // namespace trkx

@@ -1,0 +1,101 @@
+#include "graph/components.hpp"
+
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  for (std::size_t i = 0; i < n; ++i)
+    parent_[i] = static_cast<std::uint32_t>(i);
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  TRKX_CHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::vector<std::uint32_t>> Components::groups() const {
+  std::vector<std::vector<std::uint32_t>> g(count);
+  for (std::size_t v = 0; v < label.size(); ++v)
+    g[label[v]].push_back(static_cast<std::uint32_t>(v));
+  return g;
+}
+
+Components connected_components(const Graph& graph,
+                                const std::vector<char>& edge_mask) {
+  TRKX_CHECK(edge_mask.empty() || edge_mask.size() == graph.num_edges());
+  UnionFind uf(graph.num_vertices());
+  for (std::size_t i = 0; i < graph.num_edges(); ++i) {
+    if (!edge_mask.empty() && !edge_mask[i]) continue;
+    uf.unite(graph.edge(i).src, graph.edge(i).dst);
+  }
+  Components out;
+  out.label.assign(graph.num_vertices(), 0);
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  std::vector<std::uint32_t> root_to_label(graph.num_vertices(), kUnset);
+  std::uint32_t next = 0;
+  for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint32_t r = uf.find(static_cast<std::uint32_t>(v));
+    if (root_to_label[r] == kUnset) root_to_label[r] = next++;
+    out.label[v] = root_to_label[r];
+  }
+  out.count = next;
+  return out;
+}
+
+Components connected_components_bfs(const Graph& graph,
+                                    const std::vector<char>& edge_mask) {
+  TRKX_CHECK(edge_mask.empty() || edge_mask.size() == graph.num_edges());
+  const std::size_t n = graph.num_vertices();
+  // Build an undirected adjacency list over unmasked edges.
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::size_t i = 0; i < graph.num_edges(); ++i) {
+    if (!edge_mask.empty() && !edge_mask[i]) continue;
+    const Edge& e = graph.edge(i);
+    adj[e.src].push_back(e.dst);
+    adj[e.dst].push_back(e.src);
+  }
+  Components out;
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  out.label.assign(n, kUnset);
+  std::uint32_t next = 0;
+  std::queue<std::uint32_t> q;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (out.label[start] != kUnset) continue;
+    out.label[start] = next;
+    q.push(static_cast<std::uint32_t>(start));
+    while (!q.empty()) {
+      const std::uint32_t v = q.front();
+      q.pop();
+      for (std::uint32_t u : adj[v]) {
+        if (out.label[u] == kUnset) {
+          out.label[u] = next;
+          q.push(u);
+        }
+      }
+    }
+    ++next;
+  }
+  out.count = next;
+  return out;
+}
+
+}  // namespace trkx

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace trkx {
+
+/// Union–find (disjoint set) with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  std::uint32_t find(std::uint32_t x);
+  /// Returns true if the sets were distinct.
+  bool unite(std::uint32_t a, std::uint32_t b);
+  std::size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_;
+};
+
+/// Result of connected-components labelling.
+struct Components {
+  std::vector<std::uint32_t> label;  ///< component id per vertex, 0..count-1
+  std::size_t count = 0;
+  /// Vertices grouped by component (sorted within each group).
+  std::vector<std::vector<std::uint32_t>> groups() const;
+};
+
+/// Connected components treating edges as undirected. If `edge_mask` is
+/// non-empty it must have one bool per edge; only edges with mask true are
+/// used. This is the paper's stage-5 track builder: after the GNN removes
+/// non-track edges, each remaining component is a track candidate.
+Components connected_components(const Graph& graph,
+                                const std::vector<char>& edge_mask = {});
+
+/// BFS reference implementation (same contract); used to cross-check.
+Components connected_components_bfs(const Graph& graph,
+                                    const std::vector<char>& edge_mask = {});
+
+}  // namespace trkx

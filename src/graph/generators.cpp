@@ -1,0 +1,71 @@
+#include "graph/generators.hpp"
+
+namespace trkx {
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  std::vector<Edge> edges;
+  for (std::uint32_t u = 0; u < n; ++u)
+    for (std::uint32_t v = 0; v < n; ++v)
+      if (u != v && rng.bernoulli(p)) edges.push_back({u, v});
+  return Graph(n, std::move(edges));
+}
+
+Graph random_regular_out(std::size_t n, std::size_t degree, Rng& rng) {
+  TRKX_CHECK(degree < n);
+  std::vector<Edge> edges;
+  edges.reserve(n * degree);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    auto targets = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(degree + 1));
+    std::size_t added = 0;
+    for (std::uint32_t v : targets) {
+      if (v == u || added == degree) continue;
+      edges.push_back({u, v});
+      ++added;
+    }
+    // We drew degree+1 candidates, so even if u was among them we still
+    // have `degree` distinct non-self targets.
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph path_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return Graph(n, std::move(edges));
+}
+
+Graph cycle_graph(std::size_t n) {
+  TRKX_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < n; ++i)
+    edges.push_back({i, static_cast<std::uint32_t>((i + 1) % n)});
+  return Graph(n, std::move(edges));
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<std::uint32_t>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph disjoint_cliques(std::size_t count, std::size_t clique_size) {
+  std::vector<Edge> edges;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t base = static_cast<std::uint32_t>(k * clique_size);
+    for (std::uint32_t i = 0; i < clique_size; ++i)
+      for (std::uint32_t j = i + 1; j < clique_size; ++j)
+        edges.push_back({base + i, base + j});
+  }
+  return Graph(count * clique_size, std::move(edges));
+}
+
+}  // namespace trkx

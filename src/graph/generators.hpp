@@ -1,0 +1,30 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace trkx {
+
+/// Test/bench graph generators (directed edges; symmetrise for sampling).
+
+/// G(n, p) Erdős–Rényi: each ordered pair (u, v), u != v, independently
+/// present with probability p.
+Graph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Each vertex gets `degree` out-edges to uniformly random distinct
+/// targets (a fast sparse random graph for large n).
+Graph random_regular_out(std::size_t n, std::size_t degree, Rng& rng);
+
+/// Path 0→1→…→n-1.
+Graph path_graph(std::size_t n);
+
+/// Cycle 0→1→…→n-1→0.
+Graph cycle_graph(std::size_t n);
+
+/// rows×cols grid with right and down edges.
+Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// `count` disjoint cliques of size `clique_size` (directed i<j edges).
+Graph disjoint_cliques(std::size_t count, std::size_t clique_size);
+
+}  // namespace trkx

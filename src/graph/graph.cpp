@@ -1,0 +1,174 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+Graph::Graph(std::size_t num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  for (const Edge& e : edges_) {
+    TRKX_CHECK_MSG(e.src < num_vertices_ && e.dst < num_vertices_,
+                   "edge (" << e.src << "," << e.dst
+                            << ") out of range for n=" << num_vertices_);
+  }
+  build_index();
+}
+
+void Graph::build_index() {
+  // Counting sort by src, then sort each row by (dst, edge index).
+  out_row_ptr_.assign(num_vertices_ + 1, 0);
+  for (const Edge& e : edges_) ++out_row_ptr_[e.src + 1];
+  for (std::size_t v = 0; v < num_vertices_; ++v)
+    out_row_ptr_[v + 1] += out_row_ptr_[v];
+  out_entries_.resize(edges_.size());
+  std::vector<std::uint64_t> cursor(out_row_ptr_.begin(),
+                                    out_row_ptr_.end() - 1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    out_entries_[cursor[edges_[i].src]++] =
+        OutEdge{edges_[i].dst, static_cast<std::uint32_t>(i)};
+  }
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    std::sort(out_entries_.begin() +
+                  static_cast<std::ptrdiff_t>(out_row_ptr_[v]),
+              out_entries_.begin() +
+                  static_cast<std::ptrdiff_t>(out_row_ptr_[v + 1]),
+              [](const OutEdge& a, const OutEdge& b) {
+                return a.dst != b.dst ? a.dst < b.dst : a.edge < b.edge;
+              });
+  }
+}
+
+std::span<const Graph::OutEdge> Graph::out_edges(std::uint32_t v) const {
+  TRKX_CHECK(v < num_vertices_);
+  return {out_entries_.data() + out_row_ptr_[v],
+          static_cast<std::size_t>(out_row_ptr_[v + 1] - out_row_ptr_[v])};
+}
+
+std::vector<std::uint32_t> Graph::src_indices() const {
+  std::vector<std::uint32_t> idx(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) idx[i] = edges_[i].src;
+  return idx;
+}
+
+std::vector<std::uint32_t> Graph::dst_indices() const {
+  std::vector<std::uint32_t> idx(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) idx[i] = edges_[i].dst;
+  return idx;
+}
+
+CsrMatrix Graph::adjacency() const {
+  std::vector<Triplet> trips;
+  trips.reserve(edges_.size());
+  for (const Edge& e : edges_) trips.push_back({e.src, e.dst, 1.0f});
+  return CsrMatrix::from_triplets(num_vertices_, num_vertices_,
+                                  std::move(trips));
+}
+
+CsrMatrix Graph::symmetric_adjacency() const {
+  std::vector<Triplet> trips;
+  trips.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    if (e.src == e.dst) continue;  // self-loops add nothing to walks
+    trips.push_back({e.src, e.dst, 1.0f});
+    trips.push_back({e.dst, e.src, 1.0f});
+  }
+  CsrMatrix a = CsrMatrix::from_triplets(num_vertices_, num_vertices_,
+                                         std::move(trips));
+  // Collapse summed duplicates back to a 0/1 pattern.
+  for (float& v : a.values()) v = 1.0f;
+  return a;
+}
+
+std::uint32_t Graph::find_edge(std::uint32_t src, std::uint32_t dst) const {
+  if (src >= num_vertices_ || dst >= num_vertices_) return kNoEdge;
+  const auto row = out_edges(src);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), dst,
+      [](const OutEdge& e, std::uint32_t d) { return e.dst < d; });
+  if (it == row.end() || it->dst != dst) return kNoEdge;
+  return it->edge;  // lowest edge index (rows sorted by (dst, edge))
+}
+
+std::vector<std::uint32_t> Graph::total_degrees() const {
+  std::vector<std::uint32_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  return deg;
+}
+
+double Graph::average_degree() const {
+  if (num_vertices_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) /
+         static_cast<double>(num_vertices_);
+}
+
+InducedSubgraph induced_subgraph(const Graph& parent,
+                                 const std::vector<std::uint32_t>& vertices) {
+  // Hash remap keeps this O(Σ out_degree) — independent of the parent's
+  // total edge count, which matters when ShaDow extracts hundreds of small
+  // components per minibatch from a large event graph.
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  remap.reserve(vertices.size() * 2);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    TRKX_CHECK(vertices[i] < parent.num_vertices());
+    const bool inserted =
+        remap.emplace(vertices[i], static_cast<std::uint32_t>(i)).second;
+    TRKX_CHECK_MSG(inserted, "duplicate vertex in induced_subgraph selection");
+  }
+  // Collect internal edges sorted by parent edge index (preserving the
+  // parent's edge order in the output, matching the full-scan semantics).
+  std::vector<std::pair<std::uint32_t, Edge>> found;  // (parent edge, sub edge)
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (const Graph::OutEdge& oe : parent.out_edges(vertices[i])) {
+      const auto it = remap.find(oe.dst);
+      if (it == remap.end()) continue;
+      found.emplace_back(oe.edge,
+                         Edge{static_cast<std::uint32_t>(i), it->second});
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  InducedSubgraph out;
+  out.vertex_map = vertices;
+  std::vector<Edge> sub_edges;
+  sub_edges.reserve(found.size());
+  out.edge_map.reserve(found.size());
+  for (const auto& [pe, e] : found) {
+    sub_edges.push_back(e);
+    out.edge_map.push_back(pe);
+  }
+  out.graph = Graph(vertices.size(), std::move(sub_edges));
+  return out;
+}
+
+InducedSubgraph disjoint_union(const std::vector<InducedSubgraph>& parts) {
+  InducedSubgraph out;
+  std::size_t n = 0, m = 0;
+  for (const auto& p : parts) {
+    n += p.graph.num_vertices();
+    m += p.graph.num_edges();
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  out.vertex_map.reserve(n);
+  out.edge_map.reserve(m);
+  std::uint32_t vert_off = 0;
+  for (const auto& p : parts) {
+    for (const Edge& e : p.graph.edges())
+      edges.push_back({e.src + vert_off, e.dst + vert_off});
+    out.vertex_map.insert(out.vertex_map.end(), p.vertex_map.begin(),
+                          p.vertex_map.end());
+    out.edge_map.insert(out.edge_map.end(), p.edge_map.begin(),
+                        p.edge_map.end());
+    vert_off += static_cast<std::uint32_t>(p.graph.num_vertices());
+  }
+  out.graph = Graph(n, std::move(edges));
+  return out;
+}
+
+}  // namespace trkx

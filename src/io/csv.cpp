@@ -1,0 +1,45 @@
+#include "io/csv.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : path_(path), os_(path), num_columns_(columns.size()) {
+  TRKX_CHECK_MSG(os_.good(), "cannot open " << path << " for writing");
+  TRKX_CHECK(!columns.empty());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << columns[i];
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  TRKX_CHECK(cells.size() == num_columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << cells[i];
+  }
+  os_ << '\n';
+  os_.flush();
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) s.push_back(format_double(v));
+  row(s);
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace trkx

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace trkx {
+
+/// Tiny CSV emitter used by the bench harness to dump the series behind
+/// each reproduced table/figure (so plots can be regenerated offline).
+class CsvWriter {
+ public:
+  /// Opens `path` (truncating) and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  void row(const std::vector<std::string>& cells);
+  /// Convenience: formats doubles with 6 significant digits.
+  void row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream os_;
+  std::size_t num_columns_;
+};
+
+/// Format helper shared with stdout tables.
+std::string format_double(double v, int precision = 6);
+
+}  // namespace trkx

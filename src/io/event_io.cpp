@@ -1,0 +1,156 @@
+#include "io/event_io.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54524b58;  // "TRKX"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TRKX_CHECK_MSG(is.good(), "truncated event stream");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  TRKX_CHECK_MSG(is.good(), "truncated event stream");
+  return v;
+}
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  write_pod<std::uint64_t>(os, m.rows());
+  write_pod<std::uint64_t>(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+Matrix read_matrix(std::istream& is) {
+  const auto r = read_pod<std::uint64_t>(is);
+  const auto c = read_pod<std::uint64_t>(is);
+  Matrix m(r, c);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  TRKX_CHECK_MSG(is.good(), "truncated event stream");
+  return m;
+}
+
+}  // namespace
+
+void save_event(std::ostream& os, const Event& event) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_vec(os, event.hits);  // Hit is trivially copyable
+  write_pod<std::uint64_t>(os, event.particles.size());
+  for (const TruthParticle& p : event.particles) {
+    write_pod(os, p.pt);
+    write_pod(os, p.phi0);
+    write_pod(os, p.eta);
+    write_pod(os, p.z0);
+    write_pod(os, p.charge);
+    write_vec(os, p.hits);
+  }
+  write_pod<std::uint64_t>(os, event.graph.num_vertices());
+  write_vec(os, event.graph.edges());  // Edge is trivially copyable
+  write_vec(os, event.edge_labels);
+  write_matrix(os, event.node_features);
+  write_matrix(os, event.edge_features);
+}
+
+Event load_event(std::istream& is) {
+  TRKX_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic, "bad magic");
+  TRKX_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                 "unsupported event version");
+  Event event;
+  event.hits = read_vec<Hit>(is);
+  const auto np = read_pod<std::uint64_t>(is);
+  event.particles.resize(np);
+  for (TruthParticle& p : event.particles) {
+    p.pt = read_pod<float>(is);
+    p.phi0 = read_pod<float>(is);
+    p.eta = read_pod<float>(is);
+    p.z0 = read_pod<float>(is);
+    p.charge = read_pod<int>(is);
+    p.hits = read_vec<std::uint32_t>(is);
+  }
+  const auto nv = read_pod<std::uint64_t>(is);
+  event.graph = Graph(nv, read_vec<Edge>(is));
+  event.edge_labels = read_vec<char>(is);
+  event.node_features = read_matrix(is);
+  event.edge_features = read_matrix(is);
+  TRKX_CHECK(event.edge_labels.size() == event.graph.num_edges());
+  return event;
+}
+
+void save_events(const std::string& path, const std::vector<Event>& events) {
+  std::ofstream os(path, std::ios::binary);
+  TRKX_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  std::uint64_t n = events.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Event& e : events) save_event(os, e);
+  TRKX_CHECK_MSG(os.good(), "write failure on " << path);
+}
+
+void export_event_csv(const std::string& prefix, const Event& event,
+                      const std::vector<float>& scores) {
+  TRKX_CHECK(scores.empty() || scores.size() == event.num_edges());
+  {
+    std::ofstream os(prefix + "_hits.csv");
+    TRKX_CHECK_MSG(os.good(), "cannot open " << prefix << "_hits.csv");
+    os << "hit_id,x,y,z,r,phi,eta,layer,particle\n";
+    for (std::size_t i = 0; i < event.hits.size(); ++i) {
+      const Hit& h = event.hits[i];
+      os << i << ',' << h.x << ',' << h.y << ',' << h.z << ',' << h.r()
+         << ',' << h.phi() << ',' << h.eta() << ',' << h.layer << ','
+         << h.particle << '\n';
+    }
+  }
+  {
+    std::ofstream os(prefix + "_edges.csv");
+    TRKX_CHECK_MSG(os.good(), "cannot open " << prefix << "_edges.csv");
+    os << "edge_id,src,dst,label,score\n";
+    for (std::size_t e = 0; e < event.num_edges(); ++e) {
+      os << e << ',' << event.graph.edge(e).src << ','
+         << event.graph.edge(e).dst << ','
+         << static_cast<int>(event.edge_labels[e]) << ','
+         << (scores.empty() ? -1.0f : scores[e]) << '\n';
+    }
+  }
+}
+
+std::vector<Event> load_events(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TRKX_CHECK_MSG(is.good(), "cannot open " << path);
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  TRKX_CHECK(is.good());
+  std::vector<Event> events;
+  events.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) events.push_back(load_event(is));
+  return events;
+}
+
+}  // namespace trkx

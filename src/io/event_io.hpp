@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "detector/generator.hpp"
+
+namespace trkx {
+
+/// Binary (de)serialization for events and datasets so generated data can
+/// be cached between runs (the paper's datasets live on disk too).
+/// Format: little-endian, versioned header; see event_io.cpp.
+void save_event(std::ostream& os, const Event& event);
+Event load_event(std::istream& is);
+
+void save_events(const std::string& path, const std::vector<Event>& events);
+std::vector<Event> load_events(const std::string& path);
+
+/// Export one event as two analysis-friendly CSVs:
+///   <prefix>_hits.csv  — hit_id, x, y, z, r, phi, eta, layer, particle
+///   <prefix>_edges.csv — edge_id, src, dst, label, score (empty = -1)
+/// `scores` is optional (pass {} to omit); useful for plotting GNN output
+/// against truth in external tools.
+void export_event_csv(const std::string& prefix, const Event& event,
+                      const std::vector<float>& scores = {});
+
+}  // namespace trkx

@@ -1,0 +1,204 @@
+#include "io/trackml.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+namespace {
+
+/// Split one CSV line on commas (TrackML files are plain, unquoted CSV).
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+/// Header-indexed CSV table.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column(const std::string& name) const {
+    for (std::size_t i = 0; i < columns.size(); ++i)
+      if (columns[i] == name) return i;
+    throw Error("CSV is missing required column '" + name + "'");
+  }
+};
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream is(path);
+  TRKX_CHECK_MSG(is.good(), "cannot open " << path);
+  CsvTable table;
+  std::string line;
+  TRKX_CHECK_MSG(std::getline(is, line), "empty CSV: " << path);
+  // Tolerate a UTF-8 BOM and trailing CR.
+  if (line.size() >= 3 && line.compare(0, 3, "\xef\xbb\xbf") == 0)
+    line.erase(0, 3);
+  auto strip_cr = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  strip_cr(line);
+  table.columns = split_csv(line);
+  while (std::getline(is, line)) {
+    strip_cr(line);
+    if (line.empty()) continue;
+    auto row = split_csv(line);
+    TRKX_CHECK_MSG(row.size() >= table.columns.size(),
+                   "short CSV row in " << path);
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+Event read_trackml_event(const std::string& prefix,
+                         const TrackmlReadOptions& options) {
+  const CsvTable hits_csv = read_csv(prefix + "-hits.csv");
+  const CsvTable truth_csv = read_csv(prefix + "-truth.csv");
+
+  const std::size_t c_hit = hits_csv.column("hit_id");
+  const std::size_t c_x = hits_csv.column("x");
+  const std::size_t c_y = hits_csv.column("y");
+  const std::size_t c_z = hits_csv.column("z");
+  const std::size_t c_vol = hits_csv.column("volume_id");
+  const std::size_t c_lay = hits_csv.column("layer_id");
+
+  // Compact surface ids deterministically: sort the distinct
+  // (volume_id, layer_id) pairs so surface order follows the detector
+  // numbering rather than hit encounter order.
+  std::map<std::pair<long, long>, std::uint32_t> surf;  // ordered map
+  for (const auto& row : hits_csv.rows)
+    surf.emplace(std::make_pair(std::stol(row[c_vol]),
+                                std::stol(row[c_lay])),
+                 0);
+  {
+    std::uint32_t next = 0;
+    for (auto& [key, id] : surf) id = next++;
+  }
+
+  Event event;
+  event.hits.reserve(hits_csv.rows.size());
+  std::map<long long, std::uint32_t> hit_index;  // hit_id -> index
+  for (const auto& row : hits_csv.rows) {
+    Hit h;
+    h.x = std::stof(row[c_x]);
+    h.y = std::stof(row[c_y]);
+    h.z = std::stof(row[c_z]);
+    h.layer = surf.at(std::make_pair(std::stol(row[c_vol]),
+                                     std::stol(row[c_lay])));
+    h.particle = Hit::kNoise;  // assigned from truth below
+    hit_index[std::stoll(row[c_hit])] =
+        static_cast<std::uint32_t>(event.hits.size());
+    event.hits.push_back(h);
+  }
+
+  const std::size_t t_hit = truth_csv.column("hit_id");
+  const std::size_t t_pid = truth_csv.column("particle_id");
+  const std::size_t t_px = truth_csv.column("tpx");
+  const std::size_t t_py = truth_csv.column("tpy");
+  const std::size_t t_pz = truth_csv.column("tpz");
+
+  std::map<long long, std::size_t> particle_index;  // particle_id -> index
+  for (const auto& row : truth_csv.rows) {
+    const long long pid = std::stoll(row[t_pid]);
+    if (pid == 0) continue;  // noise
+    const auto hit_it = hit_index.find(std::stoll(row[t_hit]));
+    TRKX_CHECK_MSG(hit_it != hit_index.end(),
+                   "truth references unknown hit_id " << row[t_hit]);
+    auto pit = particle_index.find(pid);
+    if (pit == particle_index.end()) {
+      pit = particle_index.emplace(pid, event.particles.size()).first;
+      TruthParticle p;
+      const float px = std::stof(row[t_px]);
+      const float py = std::stof(row[t_py]);
+      const float pz = std::stof(row[t_pz]);
+      p.pt = std::hypot(px, py);
+      p.phi0 = std::atan2(py, px);
+      p.eta = p.pt > 0.0f ? std::asinh(pz / p.pt) : 0.0f;
+      p.charge = 1;  // TrackML truth carries no charge; bend sign unknown
+      event.particles.push_back(p);
+    }
+    event.hits[hit_it->second].particle =
+        static_cast<std::int32_t>(pit->second);
+    event.particles[pit->second].hits.push_back(hit_it->second);
+  }
+
+  // Order each particle's hits along the trajectory (distance from origin,
+  // the TrackML convention for prompt tracks), and estimate z0 from an
+  // r–z extrapolation of the two innermost hits.
+  for (TruthParticle& p : event.particles) {
+    std::sort(p.hits.begin(), p.hits.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const Hit& ha = event.hits[a];
+                const Hit& hb = event.hits[b];
+                const float da = ha.x * ha.x + ha.y * ha.y + ha.z * ha.z;
+                const float db = hb.x * hb.x + hb.y * hb.y + hb.z * hb.z;
+                return da < db;
+              });
+    if (p.hits.size() >= 2) {
+      const Hit& a = event.hits[p.hits[0]];
+      const Hit& b = event.hits[p.hits[1]];
+      const float dr = b.r() - a.r();
+      p.z0 = dr > 1e-3f ? a.z - a.r() * (b.z - a.z) / dr : a.z;
+    } else if (!p.hits.empty()) {
+      p.z0 = event.hits[p.hits[0]].z;
+    }
+  }
+
+  if (options.build_graph) {
+    build_candidate_graph(event, options.graph_config);
+  } else {
+    event.graph = Graph(event.hits.size(), {});
+    event.edge_labels.clear();
+    event.node_features = Matrix(event.hits.size(),
+                                 options.graph_config.node_feature_dim);
+    event.edge_features = Matrix(0, options.graph_config.edge_feature_dim);
+  }
+  return event;
+}
+
+void write_trackml_event(const std::string& prefix, const Event& event) {
+  {
+    std::ofstream os(prefix + "-hits.csv");
+    TRKX_CHECK_MSG(os.good(), "cannot open " << prefix << "-hits.csv");
+    os << "hit_id,x,y,z,volume_id,layer_id,module_id\n";
+    for (std::size_t i = 0; i < event.hits.size(); ++i) {
+      const Hit& h = event.hits[i];
+      os << (i + 1) << ',' << h.x << ',' << h.y << ',' << h.z << ",0,"
+         << h.layer << ",0\n";
+    }
+  }
+  {
+    std::ofstream os(prefix + "-truth.csv");
+    TRKX_CHECK_MSG(os.good(), "cannot open " << prefix << "-truth.csv");
+    os << "hit_id,particle_id,tx,ty,tz,tpx,tpy,tpz,weight\n";
+    for (std::size_t i = 0; i < event.hits.size(); ++i) {
+      const Hit& h = event.hits[i];
+      // particle_id 0 = noise; otherwise 1-based.
+      const long long pid = h.particle == Hit::kNoise
+                                ? 0
+                                : static_cast<long long>(h.particle) + 1;
+      float px = 0.0f, py = 0.0f, pz = 0.0f;
+      if (h.particle != Hit::kNoise) {
+        const TruthParticle& p =
+            event.particles[static_cast<std::size_t>(h.particle)];
+        px = p.pt * std::cos(p.phi0);
+        py = p.pt * std::sin(p.phi0);
+        pz = p.pt * std::sinh(p.eta);
+      }
+      os << (i + 1) << ',' << pid << ',' << h.x << ',' << h.y << ',' << h.z
+         << ',' << px << ',' << py << ',' << pz << ",1\n";
+    }
+  }
+}
+
+}  // namespace trkx

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detector/generator.hpp"
+
+namespace trkx {
+
+/// TrackML-style CSV ingestion ("bring your own data").
+///
+/// The TrackML challenge (and the acorn pipeline the paper builds on)
+/// distributes events as per-event CSV files. This reader accepts the two
+/// files that matter for the GNN stage and assembles a trkx::Event:
+///
+///   <prefix>-hits.csv    hit_id,x,y,z,volume_id,layer_id,module_id
+///   <prefix>-truth.csv   hit_id,particle_id,tx,ty,tz,tpx,tpy,tpz,weight
+///
+/// Columns are matched by header name, so column order is free and extra
+/// columns are ignored. particle_id 0 means noise. Hits of each particle
+/// are ordered along the trajectory by distance from the origin (the
+/// TrackML convention for prompt tracks).
+///
+/// Layer ids are compacted: each distinct (volume_id, layer_id) pair maps
+/// to one surface index in encounter order.
+struct TrackmlReadOptions {
+  /// Build the candidate graph with these geometric windows after reading
+  /// (uses the same construction as the synthetic generator). When false,
+  /// the event has truth and hits but an empty graph.
+  bool build_graph = true;
+  DetectorConfig graph_config{};  ///< windows/features for construction
+};
+
+/// Read one event from `<prefix>-hits.csv` and `<prefix>-truth.csv`.
+Event read_trackml_event(const std::string& prefix,
+                         const TrackmlReadOptions& options = {});
+
+/// Write an Event back out in the same format (round-trip / export).
+void write_trackml_event(const std::string& prefix, const Event& event);
+
+}  // namespace trkx

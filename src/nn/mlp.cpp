@@ -1,0 +1,73 @@
+#include "nn/mlp.hpp"
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+Var apply_activation(Tape& tape, Var x, Activation act) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return tape.relu(x);
+    case Activation::kTanh: return tape.tanh(x);
+    case Activation::kSigmoid: return tape.sigmoid(x);
+  }
+  TRKX_CHECK_MSG(false, "unknown activation");
+}
+
+Linear::Linear(ParameterStore& store, const std::string& name,
+               std::size_t in_dim, std::size_t out_dim, Rng& rng) {
+  TRKX_CHECK(in_dim > 0 && out_dim > 0);
+  weight_ = &store.create(name + ".weight", in_dim, out_dim);
+  bias_ = &store.create(name + ".bias", 1, out_dim);
+  init_kaiming_uniform(weight_->value, rng);
+  // Bias stays zero-initialised.
+}
+
+Var Linear::forward(TapeContext& ctx, Var x) const {
+  TRKX_CHECK_MSG(x.cols() == in_dim(), "Linear expects input dim "
+                                           << in_dim() << ", got "
+                                           << x.cols());
+  Var w = ctx.bind(*weight_);
+  Var b = ctx.bind(*bias_);
+  return ctx.tape().linear(x, w, b);
+}
+
+Mlp::Mlp(ParameterStore& store, const std::string& name,
+         const MlpConfig& config, Rng& rng)
+    : config_(config) {
+  TRKX_CHECK(config.input_dim > 0 && config.output_dim > 0);
+  TRKX_CHECK(config.num_hidden == 0 || config.hidden_dim > 0);
+  std::size_t in = config.input_dim;
+  for (std::size_t i = 0; i < config.num_hidden; ++i) {
+    layers_.emplace_back(store, name + ".hidden" + std::to_string(i), in,
+                         config.hidden_dim, rng);
+    in = config.hidden_dim;
+    if (config.layer_norm) {
+      Parameter& gamma = store.create(
+          name + ".ln" + std::to_string(i) + ".gamma", 1, config.hidden_dim);
+      gamma.value.fill(1.0f);
+      Parameter& beta = store.create(
+          name + ".ln" + std::to_string(i) + ".beta", 1, config.hidden_dim);
+      ln_gamma_.push_back(&gamma);
+      ln_beta_.push_back(&beta);
+    }
+  }
+  layers_.emplace_back(store, name + ".out", in, config.output_dim, rng);
+}
+
+Var Mlp::forward(TapeContext& ctx, Var x) const {
+  Var h = x;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    h = layers_[i].forward(ctx, h);
+    h = apply_activation(ctx.tape(), h, config_.hidden_activation);
+    if (config_.layer_norm) {
+      Var gamma = ctx.bind(*ln_gamma_[i]);
+      Var beta = ctx.bind(*ln_beta_[i]);
+      h = ctx.tape().layer_norm(h, gamma, beta);
+    }
+  }
+  h = layers_.back().forward(ctx, h);
+  return apply_activation(ctx.tape(), h, config_.output_activation);
+}
+
+}  // namespace trkx

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace trkx {
+
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+Var apply_activation(Tape& tape, Var x, Activation act);
+
+/// Fully-connected layer: y = x·W + b, with W (in×out) and b (1×out)
+/// registered in a ParameterStore.
+class Linear {
+ public:
+  Linear(ParameterStore& store, const std::string& name, std::size_t in_dim,
+         std::size_t out_dim, Rng& rng);
+
+  Var forward(TapeContext& ctx, Var x) const;
+
+  std::size_t in_dim() const { return weight_->value.rows(); }
+  std::size_t out_dim() const { return weight_->value.cols(); }
+
+ private:
+  Parameter* weight_;
+  Parameter* bias_;
+};
+
+/// Configuration for an MLP block as used throughout the Exa.TrkX
+/// pipeline: `num_hidden` hidden layers of width `hidden_dim`, hidden
+/// activation, optional per-layer LayerNorm, and an output activation.
+struct MlpConfig {
+  std::size_t input_dim = 0;
+  std::size_t hidden_dim = 0;
+  std::size_t output_dim = 0;
+  std::size_t num_hidden = 1;  ///< hidden layer count ("MLP Layers" in Table I is num_hidden+1 linear layers)
+  Activation hidden_activation = Activation::kRelu;
+  Activation output_activation = Activation::kNone;
+  bool layer_norm = false;  ///< LayerNorm after each hidden activation
+};
+
+/// Multi-layer perceptron; the φ blocks in Algorithm 1.
+class Mlp {
+ public:
+  Mlp(ParameterStore& store, const std::string& name, const MlpConfig& config,
+      Rng& rng);
+
+  Var forward(TapeContext& ctx, Var x) const;
+
+  const MlpConfig& config() const { return config_; }
+  /// Linear layer count (num_hidden + 1 output layer).
+  std::size_t num_linear_layers() const { return layers_.size(); }
+
+ private:
+  MlpConfig config_;
+  std::vector<Linear> layers_;
+  // LayerNorm affine parameters per hidden layer (empty when disabled).
+  std::vector<Parameter*> ln_gamma_;
+  std::vector<Parameter*> ln_beta_;
+};
+
+}  // namespace trkx

@@ -1,0 +1,10 @@
+#include "nn/module.hpp"
+
+namespace trkx {
+
+void TapeContext::accumulate_if_present(Parameter& p, Var v) {
+  if (!tape_.has_grad(v)) return;
+  add_inplace(p.grad, v.grad());
+}
+
+}  // namespace trkx

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "autograd/tape.hpp"
+#include "nn/parameter.hpp"
+
+namespace trkx {
+
+/// Couples a Tape with the parameters that were bound into it for one
+/// forward/backward pass.
+///
+/// Layers call bind() to obtain a Var for each Parameter; after
+/// backward(), the accumulated tape gradients are added into each
+/// Parameter::grad. Binding the same Parameter twice (weight sharing, or a
+/// module invoked repeatedly, as the IGNN does per layer) is supported:
+/// each binding contributes its own gradient term.
+class TapeContext {
+ public:
+  Tape& tape() { return tape_; }
+
+  Var bind(Parameter& p) {
+    Var v = tape_.leaf(p.value, /*requires_grad=*/true);
+    bound_.emplace_back(&p, v);
+    return v;
+  }
+
+  /// Constant (non-trainable) input.
+  Var constant(Matrix value) { return tape_.leaf(std::move(value), false); }
+
+  /// Backprop from `loss` and accumulate parameter gradients. A bound
+  /// parameter whose branch never reaches the loss receives no gradient.
+  void backward(Var loss) {
+    tape_.backward(loss);
+    for (auto& [p, v] : bound_) accumulate_if_present(*p, v);
+  }
+
+ private:
+  void accumulate_if_present(Parameter& p, Var v);
+
+  Tape tape_;
+  std::vector<std::pair<Parameter*, Var>> bound_;
+};
+
+}  // namespace trkx

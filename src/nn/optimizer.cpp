@@ -1,0 +1,114 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+void Optimizer::scale_grads(float s) {
+  for (auto& p : store_->params())
+    for (float& g : p.grad.flat()) g *= s;
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  TRKX_CHECK(max_norm > 0.0);
+  double sq = 0.0;
+  for (const auto& p : store_->params())
+    for (float g : p.grad.flat()) sq += static_cast<double>(g) * g;
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float s = static_cast<float>(max_norm / (norm + 1e-12));
+    scale_grads(s);
+  }
+  return norm;
+}
+
+Sgd::Sgd(ParameterStore& store, const SgdOptions& options)
+    : Optimizer(store), options_(options) {
+  for (const auto& p : store.params())
+    velocity_.emplace_back(p.value.rows(), p.value.cols(), 0.0f);
+}
+
+void Sgd::step() {
+  std::size_t i = 0;
+  for (auto& p : store_->params()) {
+    Matrix& vel = velocity_[i++];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* v = vel.data();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      float grad = g[j] + options_.weight_decay * w[j];
+      if (options_.momentum != 0.0f) {
+        v[j] = options_.momentum * v[j] + grad;
+        grad = v[j];
+      }
+      w[j] -= options_.lr * grad;
+    }
+  }
+}
+
+Adam::Adam(ParameterStore& store, const AdamOptions& options)
+    : Optimizer(store), options_(options) {
+  for (const auto& p : store.params()) {
+    m_.emplace_back(p.value.rows(), p.value.cols(), 0.0f);
+    v_.emplace_back(p.value.rows(), p.value.cols(), 0.0f);
+  }
+}
+
+void Adam::save_state(std::ostream& os) const {
+  const std::uint64_t t = t_;
+  os.write(reinterpret_cast<const char*>(&t), sizeof(t));
+  const std::uint64_t count = m_.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto* moments : {&m_, &v_}) {
+    for (const Matrix& m : *moments) {
+      os.write(reinterpret_cast<const char*>(m.data()),
+               static_cast<std::streamsize>(m.size() * sizeof(float)));
+    }
+  }
+  TRKX_CHECK_MSG(os.good(), "Adam::save_state failed");
+}
+
+void Adam::load_state(std::istream& is) {
+  std::uint64_t t = 0, count = 0;
+  is.read(reinterpret_cast<char*>(&t), sizeof(t));
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  TRKX_CHECK_MSG(is.good() && count == m_.size(),
+                 "Adam::load_state: layout mismatch");
+  t_ = static_cast<std::size_t>(t);
+  for (auto* moments : {&m_, &v_}) {
+    for (Matrix& m : *moments) {
+      is.read(reinterpret_cast<char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
+    }
+  }
+  TRKX_CHECK_MSG(is.good(), "Adam::load_state: truncated stream");
+}
+
+void Adam::step() {
+  ++t_;
+  const float b1 = options_.beta1, b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  std::size_t i = 0;
+  for (auto& p : store_->params()) {
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    ++i;
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const float grad = g[j] + options_.weight_decay * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      w[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+}
+
+}  // namespace trkx

@@ -1,0 +1,132 @@
+#include "nn/parameter.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+Parameter& ParameterStore::create(const std::string& name, std::size_t rows,
+                                  std::size_t cols) {
+  TRKX_CHECK_MSG(find(name) == nullptr, "duplicate parameter name: " << name);
+  params_.push_back(Parameter{name, Matrix(rows, cols, 0.0f),
+                              Matrix(rows, cols, 0.0f)});
+  return params_.back();
+}
+
+Parameter* ParameterStore::find(const std::string& name) {
+  for (auto& p : params_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+std::size_t ParameterStore::total_size() const {
+  std::size_t n = 0;
+  for (const auto& p : params_) n += p.size();
+  return n;
+}
+
+void ParameterStore::zero_grad() {
+  for (auto& p : params_) p.grad.fill(0.0f);
+}
+
+std::vector<float> ParameterStore::flatten_grads() const {
+  std::vector<float> flat;
+  flat.reserve(total_size());
+  for (const auto& p : params_)
+    flat.insert(flat.end(), p.grad.data(), p.grad.data() + p.grad.size());
+  return flat;
+}
+
+void ParameterStore::unflatten_grads(const std::vector<float>& flat) {
+  TRKX_CHECK(flat.size() == total_size());
+  std::size_t off = 0;
+  for (auto& p : params_) {
+    std::memcpy(p.grad.data(), flat.data() + off, p.size() * sizeof(float));
+    off += p.size();
+  }
+}
+
+std::vector<float> ParameterStore::flatten_values() const {
+  std::vector<float> flat;
+  flat.reserve(total_size());
+  for (const auto& p : params_)
+    flat.insert(flat.end(), p.value.data(), p.value.data() + p.value.size());
+  return flat;
+}
+
+void ParameterStore::unflatten_values(const std::vector<float>& flat) {
+  TRKX_CHECK(flat.size() == total_size());
+  std::size_t off = 0;
+  for (auto& p : params_) {
+    std::memcpy(p.value.data(), flat.data() + off, p.size() * sizeof(float));
+    off += p.size();
+  }
+}
+
+void ParameterStore::copy_values_from(const ParameterStore& other) {
+  TRKX_CHECK(params_.size() == other.params_.size());
+  auto it = other.params_.begin();
+  for (auto& p : params_) {
+    TRKX_CHECK(p.value.same_shape(it->value));
+    p.value = it->value;
+    ++it;
+  }
+}
+
+void ParameterStore::save(std::ostream& os) const {
+  const std::uint64_t n = params_.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& p : params_) {
+    const std::uint64_t len = p.name.size();
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(p.name.data(), static_cast<std::streamsize>(len));
+    const std::uint64_t r = p.value.rows(), c = p.value.cols();
+    os.write(reinterpret_cast<const char*>(&r), sizeof(r));
+    os.write(reinterpret_cast<const char*>(&c), sizeof(c));
+    os.write(reinterpret_cast<const char*>(p.value.data()),
+             static_cast<std::streamsize>(p.value.size() * sizeof(float)));
+  }
+}
+
+void ParameterStore::load(std::istream& is) {
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  TRKX_CHECK_MSG(is.good(), "truncated parameter file");
+  TRKX_CHECK_MSG(n == params_.size(),
+                 "parameter count mismatch: file has "
+                     << n << ", model has " << params_.size());
+  for (auto& p : params_) {
+    std::uint64_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    std::string name(len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(len));
+    TRKX_CHECK_MSG(name == p.name, "parameter name mismatch: file has "
+                                       << name << ", model has " << p.name);
+    std::uint64_t r = 0, c = 0;
+    is.read(reinterpret_cast<char*>(&r), sizeof(r));
+    is.read(reinterpret_cast<char*>(&c), sizeof(c));
+    TRKX_CHECK(r == p.value.rows() && c == p.value.cols());
+    is.read(reinterpret_cast<char*>(p.value.data()),
+            static_cast<std::streamsize>(p.value.size() * sizeof(float)));
+    TRKX_CHECK_MSG(is.good(), "truncated parameter file");
+  }
+}
+
+void init_kaiming_uniform(Matrix& w, Rng& rng) {
+  // fan_in = rows for an (in x out) weight used as x·W.
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(std::max<std::size_t>(1, w.rows())));
+  for (float& x : w.flat()) x = rng.uniform(-bound, bound);
+}
+
+void init_xavier_uniform(Matrix& w, Rng& rng) {
+  const float bound = std::sqrt(
+      6.0f / static_cast<float>(std::max<std::size_t>(1, w.rows() + w.cols())));
+  for (float& x : w.flat()) x = rng.uniform(-bound, bound);
+}
+
+}  // namespace trkx

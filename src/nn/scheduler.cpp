@@ -1,0 +1,60 @@
+#include "nn/scheduler.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+StepDecayLr::StepDecayLr(float base, float factor, std::size_t every)
+    : base_(base), factor_(factor), every_(every) {
+  TRKX_CHECK(base > 0.0f);
+  TRKX_CHECK(factor > 0.0f && factor <= 1.0f);
+  TRKX_CHECK(every > 0);
+}
+
+float StepDecayLr::lr_at(std::size_t step) const {
+  return base_ * std::pow(factor_, static_cast<float>(step / every_));
+}
+
+CosineLr::CosineLr(float base, float min_lr, std::size_t total_steps)
+    : base_(base), min_lr_(min_lr), total_steps_(total_steps) {
+  TRKX_CHECK(base >= min_lr && min_lr >= 0.0f);
+  TRKX_CHECK(total_steps > 0);
+}
+
+float CosineLr::lr_at(std::size_t step) const {
+  if (step >= total_steps_) return min_lr_;
+  const double progress =
+      static_cast<double>(step) / static_cast<double>(total_steps_);
+  const double cosine = 0.5 * (1.0 + std::cos(M_PI * progress));
+  return min_lr_ + static_cast<float>((base_ - min_lr_) * cosine);
+}
+
+WarmupLr::WarmupLr(std::shared_ptr<const LrScheduler> inner,
+                   std::size_t warmup_steps)
+    : inner_(std::move(inner)), warmup_steps_(warmup_steps) {
+  TRKX_CHECK(inner_ != nullptr);
+  TRKX_CHECK(warmup_steps > 0);
+}
+
+float WarmupLr::lr_at(std::size_t step) const {
+  if (step < warmup_steps_) {
+    const float target = inner_->lr_at(0);
+    return target * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  return inner_->lr_at(step - warmup_steps_);
+}
+
+bool EarlyStopping::update(double metric) {
+  if (metric > best_ + min_delta_) {
+    best_ = metric;
+    bad_epochs_ = 0;
+    return true;
+  }
+  ++bad_epochs_;
+  return false;
+}
+
+}  // namespace trkx

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "nn/optimizer.hpp"
+
+namespace trkx {
+
+/// Learning-rate schedule: maps a step counter to a learning rate.
+/// Drive it from the training loop: `scheduler.apply(opt, global_step)`.
+class LrScheduler {
+ public:
+  virtual ~LrScheduler() = default;
+  virtual float lr_at(std::size_t step) const = 0;
+  void apply(Optimizer& optimizer, std::size_t step) const {
+    optimizer.set_learning_rate(lr_at(step));
+  }
+};
+
+class ConstantLr : public LrScheduler {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr_at(std::size_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// lr = base · factor^(step / every).
+class StepDecayLr : public LrScheduler {
+ public:
+  StepDecayLr(float base, float factor, std::size_t every);
+  float lr_at(std::size_t step) const override;
+
+ private:
+  float base_;
+  float factor_;
+  std::size_t every_;
+};
+
+/// Cosine annealing from base to min_lr over total_steps, then min_lr.
+class CosineLr : public LrScheduler {
+ public:
+  CosineLr(float base, float min_lr, std::size_t total_steps);
+  float lr_at(std::size_t step) const override;
+
+ private:
+  float base_;
+  float min_lr_;
+  std::size_t total_steps_;
+};
+
+/// Linear ramp from 0 to the inner schedule's rate over warmup_steps,
+/// then defers to the inner schedule (offset by the warmup length).
+class WarmupLr : public LrScheduler {
+ public:
+  WarmupLr(std::shared_ptr<const LrScheduler> inner, std::size_t warmup_steps);
+  float lr_at(std::size_t step) const override;
+
+ private:
+  std::shared_ptr<const LrScheduler> inner_;
+  std::size_t warmup_steps_;
+};
+
+/// Early stopping on a metric that should increase (e.g. validation F1).
+/// Call update() once per epoch; should_stop() flips after `patience`
+/// consecutive non-improving epochs.
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(std::size_t patience, double min_delta = 0.0)
+      : patience_(patience), min_delta_(min_delta) {}
+
+  /// Returns true if this value is a new best.
+  bool update(double metric);
+  bool should_stop() const { return bad_epochs_ >= patience_; }
+  double best() const { return best_; }
+  std::size_t epochs_since_best() const { return bad_epochs_; }
+
+ private:
+  std::size_t patience_;
+  double min_delta_;
+  double best_ = -1e300;
+  std::size_t bad_epochs_ = 0;
+};
+
+}  // namespace trkx

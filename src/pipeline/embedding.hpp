@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detector/generator.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+namespace trkx {
+
+/// Stage 1 of the Exa.TrkX pipeline: a metric-learning MLP that embeds
+/// each hit so that hits adjacent on the same track land close together
+/// and unrelated hits land far apart. Stage 2 builds a fixed-radius graph
+/// in this embedding space.
+struct EmbeddingConfig {
+  std::size_t embed_dim = 4;
+  std::size_t hidden_dim = 64;
+  std::size_t num_hidden = 2;
+  float margin = 1.0f;        ///< hinge margin for negative pairs
+  std::size_t epochs = 8;
+  std::size_t pairs_per_event = 4096;  ///< sampled training pairs per event
+  float lr = 1e-3f;
+  std::uint64_t seed = 1;
+};
+
+class EmbeddingModel {
+ public:
+  explicit EmbeddingModel(std::size_t node_feature_dim,
+                          const EmbeddingConfig& config);
+
+  /// Embed all hits of an event (rows match event.hits).
+  Matrix embed(const Matrix& node_features) const;
+
+  /// Train on truth pairs: positives are consecutive same-track hits,
+  /// negatives are random hit pairs. Returns per-epoch mean loss.
+  std::vector<double> train(const std::vector<Event>& events);
+
+  const EmbeddingConfig& config() const { return config_; }
+  ParameterStore& store() { return store_; }
+
+ private:
+  /// Hinge contrastive loss on a batch of (a, b, is_positive) pairs.
+  double train_batch(const Matrix& feats_a, const Matrix& feats_b,
+                     const std::vector<float>& is_positive, Adam& opt);
+
+  EmbeddingConfig config_;
+  ParameterStore store_;
+  std::unique_ptr<Mlp> mlp_;
+  Rng rng_;
+};
+
+}  // namespace trkx

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detector/generator.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+namespace trkx {
+
+/// Stage 3 of the Exa.TrkX pipeline: a cheap per-edge MLP that prunes
+/// obviously-fake edges before the memory-hungry GNN. Classifies each edge
+/// from [x_src ‖ x_dst ‖ y_edge] and drops edges below `keep_threshold`
+/// (set low: the filter must preserve recall, the GNN restores precision).
+struct FilterConfig {
+  std::size_t hidden_dim = 64;
+  std::size_t num_hidden = 2;
+  std::size_t epochs = 6;
+  float lr = 1e-3f;
+  float keep_threshold = 0.1f;
+  float pos_weight = 0.0f;  ///< 0 = auto from label imbalance
+  std::uint64_t seed = 2;
+};
+
+class FilterModel {
+ public:
+  FilterModel(std::size_t node_feature_dim, std::size_t edge_feature_dim,
+              const FilterConfig& config);
+
+  /// Per-edge keep probability.
+  std::vector<float> score(const Event& event) const;
+
+  /// Train on labelled events; returns per-epoch mean loss.
+  std::vector<double> train(const std::vector<Event>& events);
+
+  /// Drop edges of `event` scoring below keep_threshold (rebuilds the
+  /// graph, labels, and edge features in place; keeps node features).
+  /// Returns the number of edges removed.
+  std::size_t apply(Event& event) const;
+
+  const FilterConfig& config() const { return config_; }
+  ParameterStore& store() { return store_; }
+
+ private:
+  Matrix edge_inputs(const Event& event) const;
+
+  FilterConfig config_;
+  ParameterStore store_;
+  std::unique_ptr<Mlp> mlp_;
+  Rng rng_;
+};
+
+}  // namespace trkx

@@ -1,0 +1,447 @@
+#include "pipeline/gnn_train.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace trkx {
+
+GnnModel::GnnModel(const IgnnConfig& cfg, std::uint64_t seed) : config(cfg) {
+  Rng rng(seed);
+  gnn = std::make_unique<InteractionGnn>(store, cfg, rng);
+}
+
+double TrainResult::total_phase(const std::string& phase) const {
+  double s = 0.0;
+  for (const auto& e : epochs) s += e.timers.get(phase);
+  return s;
+}
+
+const EpochRecord& TrainResult::last() const {
+  TRKX_CHECK(!epochs.empty());
+  return epochs.back();
+}
+
+BinaryMetrics evaluate_edges(const GnnModel& model,
+                             const std::vector<Event>& events,
+                             float threshold) {
+  BinaryMetrics metrics;
+  for (const Event& event : events) {
+    if (event.graph.num_edges() == 0) continue;
+    const std::vector<float> scores = model.gnn->predict(
+        event.node_features, event.edge_features, event.graph);
+    for (std::size_t e = 0; e < scores.size(); ++e)
+      metrics.add(scores[e] >= threshold, event.edge_labels[e] != 0);
+  }
+  return metrics;
+}
+
+float auto_pos_weight(const std::vector<Event>& events) {
+  std::size_t pos = 0, total = 0;
+  for (const Event& e : events) {
+    for (char l : e.edge_labels) pos += (l != 0);
+    total += e.edge_labels.size();
+  }
+  if (pos == 0 || total == pos) return 1.0f;
+  const float w = static_cast<float>(total - pos) / static_cast<float>(pos);
+  return std::clamp(w, 1.0f, 20.0f);
+}
+
+std::size_t full_graph_memory_estimate(const IgnnConfig& config,
+                                       const Event& event) {
+  // Forward activations (retained for backprop) plus roughly 2× again for
+  // gradients and transient workspace.
+  const std::size_t activation_floats = ignn_activation_estimate(
+      config, event.num_hits(), event.num_edges());
+  return activation_floats * sizeof(float) * 3;
+}
+
+bool fits_memory_budget(const GnnTrainConfig& config, const IgnnConfig& gnn,
+                        const Event& event) {
+  if (event.num_edges() > config.max_edges) return false;
+  if (config.memory_budget_bytes > 0 &&
+      full_graph_memory_estimate(gnn, event) > config.memory_budget_bytes)
+    return false;
+  return true;
+}
+
+namespace {
+
+/// Tensors for one gradient step on a (sub)graph.
+struct StepData {
+  Matrix node_features;
+  Matrix edge_features;
+  std::vector<float> labels;
+};
+
+StepData gather_sample(const Event& event, const ShadowSample& sample) {
+  StepData d;
+  d.node_features = row_gather(event.node_features, sample.sub.vertex_map);
+  d.edge_features = row_gather(event.edge_features, sample.sub.edge_map);
+  d.labels.reserve(sample.sub.edge_map.size());
+  for (std::uint32_t e : sample.sub.edge_map)
+    d.labels.push_back(event.edge_labels[e] != 0 ? 1.0f : 0.0f);
+  return d;
+}
+
+/// zero_grad + forward + loss + backward; returns the loss value. Does NOT
+/// step the optimizer (DDP synchronises gradients in between).
+double compute_gradients(GnnModel& model, Optimizer& opt, const Graph& graph,
+                         const StepData& data, float pos_weight) {
+  opt.zero_grad();
+  if (graph.num_edges() == 0) return 0.0;
+  TapeContext ctx;
+  Var logits = model.gnn->forward(ctx, data.node_features,
+                                  data.edge_features, graph);
+  Var loss = ctx.tape().bce_with_logits(logits, data.labels, {}, pos_weight);
+  ctx.backward(loss);
+  return loss.value()(0, 0);
+}
+
+void apply_step(Optimizer& opt, float grad_clip) {
+  if (grad_clip > 0.0f) opt.clip_grad_norm(grad_clip);
+  opt.step();
+}
+
+/// Global minibatches for one event, identical on every rank (shared seed).
+std::vector<std::vector<std::uint32_t>> event_minibatches(
+    const Event& event, std::size_t batch_size, Rng& rng) {
+  return make_minibatches(event.num_hits(), batch_size, rng);
+}
+
+/// The contiguous shard of a global batch owned by `rank` of `size`.
+std::vector<std::uint32_t> shard_batch(const std::vector<std::uint32_t>& batch,
+                                       int rank, int size) {
+  const std::size_t n = batch.size();
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(size) - 1) / static_cast<std::size_t>(size);
+  const std::size_t begin = std::min(n, chunk * static_cast<std::size_t>(rank));
+  const std::size_t end = std::min(n, begin + chunk);
+  return {batch.begin() + static_cast<std::ptrdiff_t>(begin),
+          batch.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+}  // namespace
+
+TrainResult train_full_graph(GnnModel& model, const std::vector<Event>& train,
+                             const std::vector<Event>& val,
+                             const GnnTrainConfig& config) {
+  TRKX_CHECK(!train.empty());
+  TrainResult result;
+  WallTimer total_timer;
+  Adam opt(model.store, AdamOptions{.lr = config.lr});
+  const float pos_weight =
+      config.pos_weight > 0.0f ? config.pos_weight : auto_pos_weight(train);
+  Rng rng(config.seed);
+  EarlyStopping early(std::max<std::size_t>(config.early_stop_patience, 1));
+  std::size_t global_step = 0;
+  std::vector<float> best_weights;
+  double best_f1 = -1.0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochRecord record;
+    WallTimer epoch_timer;
+    double loss_sum = 0.0;
+    std::size_t steps = 0;
+    std::vector<std::uint32_t> order(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+      order[i] = static_cast<std::uint32_t>(i);
+    rng.shuffle(order);
+    for (std::uint32_t ei : order) {
+      const Event& event = train[ei];
+      if (!fits_memory_budget(config, model.config, event)) {
+        // The paper's memory-wall behaviour: the graph would not fit on
+        // the GPU, so the original pipeline skips it entirely.
+        if (epoch == 0) ++result.skipped_graphs;
+        continue;
+      }
+      if (event.num_edges() == 0) continue;
+      ScopedPhase phase(record.timers, "train");
+      StepData data;
+      data.node_features = event.node_features;
+      data.edge_features = event.edge_features;
+      data.labels.assign(event.edge_labels.begin(), event.edge_labels.end());
+      loss_sum += compute_gradients(model, opt, event.graph, data, pos_weight);
+      if (config.scheduler) config.scheduler->apply(opt, global_step);
+      apply_step(opt, config.grad_clip);
+      ++global_step;
+      ++steps;
+    }
+    record.train_loss = steps == 0 ? 0.0 : loss_sum / static_cast<double>(steps);
+    if (config.evaluate_every_epoch)
+      record.val = evaluate_edges(model, val, config.eval_threshold);
+    record.wall_seconds = epoch_timer.seconds();
+    const double val_f1 = record.val.f1();
+    result.epochs.push_back(std::move(record));
+    TRKX_DEBUG << "full-graph epoch " << epoch << " loss "
+               << result.epochs.back().train_loss << " valP "
+               << result.epochs.back().val.precision() << " valR "
+               << result.epochs.back().val.recall();
+    result.selected_epoch = epoch;
+    if (config.keep_best_weights && config.evaluate_every_epoch &&
+        val_f1 > best_f1) {
+      best_f1 = val_f1;
+      best_weights = model.store.flatten_values();
+      result.selected_epoch = epoch;
+    }
+    if (config.early_stop_patience > 0 && config.evaluate_every_epoch) {
+      early.update(val_f1);
+      if (early.should_stop()) break;
+    }
+  }
+  if (config.keep_best_weights && !best_weights.empty()) {
+    model.store.unflatten_values(best_weights);
+    // selected_epoch already points at the best epoch.
+    for (std::size_t e = 0; e < result.epochs.size(); ++e)
+      if (result.epochs[e].val.f1() == best_f1) {
+        result.selected_epoch = e;
+        break;
+      }
+  }
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+namespace {
+
+/// Shared epoch loop for single-process and DDP ShaDow training. The rank
+/// abstraction collapses to rank 0 of 1 in the single-process case.
+struct ShadowTrainContext {
+  GnnModel* model;
+  Adam* opt;
+  const std::vector<Event>* train;
+  const std::vector<Event>* val;
+  const GnnTrainConfig* config;
+  SamplerKind sampler_kind;
+  float pos_weight;
+  Communicator* comm = nullptr;  // null = single process
+  TrainResult* result = nullptr; // written by rank 0 only
+};
+
+void run_shadow_training(ShadowTrainContext ctx) {
+  const GnnTrainConfig& config = *ctx.config;
+  const int rank = ctx.comm ? ctx.comm->rank() : 0;
+  const int world = ctx.comm ? ctx.comm->size() : 1;
+  const bool is_root = rank == 0;
+  WallTimer total_timer;
+
+  // Per-event samplers, built once (adjacency precomputation dominates).
+  std::vector<std::unique_ptr<ShadowSampler>> ref_samplers;
+  std::vector<std::unique_ptr<MatrixShadowSampler>> mat_samplers;
+  for (const Event& e : *ctx.train) {
+    if (ctx.sampler_kind == SamplerKind::kReference)
+      ref_samplers.push_back(
+          std::make_unique<ShadowSampler>(e.graph, config.shadow));
+    else
+      mat_samplers.push_back(
+          std::make_unique<MatrixShadowSampler>(e.graph, config.shadow));
+  }
+
+  // Batch order must be identical across ranks: derived from the shared
+  // config seed. Sampling randomness is per-rank (independent draws).
+  Rng batch_rng(config.seed);
+  Rng sample_rng(config.seed ^ (0xabcdef1234567890ull +
+                                static_cast<std::uint64_t>(rank) * 0x9e37ull));
+  EarlyStopping early(std::max<std::size_t>(config.early_stop_patience, 1));
+  std::size_t global_step = 0;
+  std::vector<float> best_weights;
+  double best_f1 = -1.0;
+  std::size_t best_epoch = 0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochRecord record;
+    WallTimer epoch_timer;
+    double loss_sum = 0.0;
+    std::size_t steps = 0;
+
+    std::vector<std::uint32_t> order(ctx.train->size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+      order[i] = static_cast<std::uint32_t>(i);
+    batch_rng.shuffle(order);
+
+    for (std::uint32_t ei : order) {
+      const Event& event = (*ctx.train)[ei];
+      if (event.num_hits() == 0) continue;
+      const auto global_batches =
+          event_minibatches(event, config.batch_size, batch_rng);
+
+      // My shard of every global batch for this event.
+      std::vector<std::vector<std::uint32_t>> local;
+      local.reserve(global_batches.size());
+      for (const auto& b : global_batches)
+        local.push_back(world > 1 ? shard_batch(b, rank, world) : b);
+
+      std::size_t bi = 0;
+      while (bi < local.size()) {
+        // Sample: one batch (reference) or k batches in bulk (matrix).
+        std::vector<ShadowSample> samples;
+        {
+          ScopedPhase phase(record.timers, "sample");
+          if (ctx.sampler_kind == SamplerKind::kReference) {
+            if (!local[bi].empty())
+              samples.push_back(ref_samplers[ei]->sample(local[bi], sample_rng));
+            else
+              samples.emplace_back();
+            ++bi;
+          } else {
+            const std::size_t k =
+                std::min(config.bulk_k, local.size() - bi);
+            std::vector<std::vector<std::uint32_t>> chunk;
+            std::vector<std::size_t> chunk_pos;
+            for (std::size_t j = 0; j < k; ++j) {
+              if (!local[bi + j].empty()) {
+                chunk.push_back(local[bi + j]);
+                chunk_pos.push_back(j);
+              }
+            }
+            std::vector<ShadowSample> sampled;
+            if (!chunk.empty())
+              sampled = mat_samplers[ei]->sample_bulk(chunk, sample_rng);
+            samples.resize(k);
+            for (std::size_t j = 0; j < chunk.size(); ++j)
+              samples[chunk_pos[j]] = std::move(sampled[j]);
+            bi += k;
+          }
+        }
+
+        for (ShadowSample& sample : samples) {
+          double local_loss = 0.0;
+          {
+            ScopedPhase phase(record.timers, "train");
+            if (!sample.roots.empty()) {
+              const StepData data = gather_sample(event, sample);
+              local_loss = compute_gradients(*ctx.model, *ctx.opt,
+                                             sample.sub.graph, data,
+                                             ctx.pos_weight);
+            } else {
+              ctx.opt->zero_grad();  // empty shard still participates
+            }
+          }
+          if (ctx.comm) {
+            ScopedPhase phase(record.timers, "allreduce");
+            synchronize_gradients(*ctx.comm, ctx.model->store, config.sync);
+          }
+          {
+            ScopedPhase phase(record.timers, "train");
+            if (config.scheduler) config.scheduler->apply(*ctx.opt, global_step);
+            apply_step(*ctx.opt, config.grad_clip);
+          }
+          ++global_step;
+          loss_sum += local_loss;
+          ++steps;
+        }
+      }
+    }
+
+    record.train_loss =
+        steps == 0 ? 0.0 : loss_sum / static_cast<double>(steps);
+    if (ctx.comm)
+      record.train_loss =
+          ctx.comm->all_reduce_scalar(record.train_loss) / world;
+    if (is_root && config.evaluate_every_epoch)
+      record.val = evaluate_edges(*ctx.model, *ctx.val, config.eval_threshold);
+    if (ctx.comm) ctx.comm->barrier();  // ranks wait for root evaluation
+    record.wall_seconds = epoch_timer.seconds();
+    // Model-selection and early-stopping decisions are made on rank 0 and
+    // shared collectively so every rank acts at the same epoch.
+    double is_best_flag = 0.0;
+    if (is_root && config.keep_best_weights && config.evaluate_every_epoch &&
+        record.val.f1() > best_f1) {
+      is_best_flag = 1.0;
+    }
+    if (ctx.comm && config.keep_best_weights)
+      is_best_flag = ctx.comm->all_reduce_scalar(is_best_flag);
+    if (is_best_flag > 0.0) {
+      // Replicas are identical, so every rank snapshots its own weights.
+      if (is_root) best_f1 = record.val.f1();
+      best_weights = ctx.model->store.flatten_values();
+      best_epoch = epoch;
+    }
+    double stop_flag = 0.0;
+    if (is_root && config.early_stop_patience > 0 &&
+        config.evaluate_every_epoch) {
+      early.update(record.val.f1());
+      if (early.should_stop()) stop_flag = 1.0;
+    }
+    if (ctx.comm && config.early_stop_patience > 0)
+      stop_flag = ctx.comm->all_reduce_scalar(stop_flag);
+    if (is_root) {
+      TRKX_DEBUG << "shadow epoch " << epoch << " loss " << record.train_loss
+                 << " valP " << record.val.precision() << " valR "
+                 << record.val.recall();
+      ctx.result->epochs.push_back(std::move(record));
+      ctx.result->selected_epoch = epoch;
+    }
+    if (stop_flag > 0.0) break;
+  }
+  if (config.keep_best_weights && !best_weights.empty()) {
+    ctx.model->store.unflatten_values(best_weights);
+    if (is_root) ctx.result->selected_epoch = best_epoch;
+  }
+  if (is_root) {
+    ctx.result->total_seconds = total_timer.seconds();
+    if (ctx.comm) ctx.result->comm = ctx.comm->stats();
+  }
+}
+
+}  // namespace
+
+TrainResult train_shadow(GnnModel& model, const std::vector<Event>& train,
+                         const std::vector<Event>& val,
+                         const GnnTrainConfig& config, SamplerKind sampler) {
+  TRKX_CHECK(!train.empty());
+  TrainResult result;
+  Adam opt(model.store, AdamOptions{.lr = config.lr});
+  ShadowTrainContext ctx;
+  ctx.model = &model;
+  ctx.opt = &opt;
+  ctx.train = &train;
+  ctx.val = &val;
+  ctx.config = &config;
+  ctx.sampler_kind = sampler;
+  ctx.pos_weight =
+      config.pos_weight > 0.0f ? config.pos_weight : auto_pos_weight(train);
+  ctx.result = &result;
+  run_shadow_training(ctx);
+  return result;
+}
+
+TrainResult train_shadow_ddp(GnnModel& model, const std::vector<Event>& train,
+                             const std::vector<Event>& val,
+                             const GnnTrainConfig& config,
+                             DistRuntime& runtime, SamplerKind sampler) {
+  TRKX_CHECK(!train.empty());
+  TrainResult result;
+  const float pos_weight =
+      config.pos_weight > 0.0f ? config.pos_weight : auto_pos_weight(train);
+
+  // One replica per rank, identically initialised from the shared seed.
+  std::vector<std::unique_ptr<GnnModel>> replicas;
+  std::vector<std::unique_ptr<Adam>> opts;
+  for (int r = 0; r < runtime.size(); ++r) {
+    replicas.push_back(std::make_unique<GnnModel>(model.config, config.seed));
+    opts.push_back(
+        std::make_unique<Adam>(replicas.back()->store,
+                               AdamOptions{.lr = config.lr}));
+  }
+
+  runtime.run([&](Communicator& comm) {
+    ShadowTrainContext ctx;
+    ctx.model = replicas[static_cast<std::size_t>(comm.rank())].get();
+    ctx.opt = opts[static_cast<std::size_t>(comm.rank())].get();
+    ctx.train = &train;
+    ctx.val = &val;
+    ctx.config = &config;
+    ctx.sampler_kind = sampler;
+    ctx.pos_weight = pos_weight;
+    ctx.comm = &comm;
+    ctx.result = &result;
+    run_shadow_training(ctx);
+  });
+
+  model.store.copy_values_from(replicas[0]->store);
+  return result;
+}
+
+}  // namespace trkx

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "detector/generator.hpp"
+#include "dist/communicator.hpp"
+#include "dist/gradient_sync.hpp"
+#include "gnn/interaction_gnn.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/scheduler.hpp"
+#include "sampling/matrix_shadow.hpp"
+#include "sampling/shadow.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace trkx {
+
+/// An Interaction GNN plus its parameter store — one trainable replica.
+struct GnnModel {
+  IgnnConfig config;
+  ParameterStore store;
+  std::unique_ptr<InteractionGnn> gnn;
+
+  GnnModel(const IgnnConfig& config, std::uint64_t seed);
+};
+
+/// Which ShaDow implementation drives minibatch training — the paper's
+/// Figure 3/4 comparison axis.
+enum class SamplerKind {
+  kReference,   ///< Algorithm 2, one batch at a time ("PyG ShaDow" stand-in)
+  kMatrixBulk,  ///< matrix-based bulk sampling (this paper's contribution)
+};
+
+/// Hyperparameters shared by every GNN training mode.
+struct GnnTrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 256;  ///< global batch (vertices); 256/P per rank
+  ShadowConfig shadow{};         ///< paper defaults d=3, s=6
+  std::size_t bulk_k = 4;        ///< minibatches per bulk sampling call (k)
+  float lr = 1e-3f;
+  float pos_weight = 0.0f;       ///< 0 = auto from label imbalance
+  float grad_clip = 5.0f;
+  std::uint64_t seed = 3;
+  /// Full-graph mode: events with more edges than this are skipped, the
+  /// paper's GPU-memory-wall behaviour (Section III-B).
+  std::size_t max_edges = std::numeric_limits<std::size_t>::max();
+  /// Alternative memory-wall formulation: skip events whose estimated
+  /// training activation footprint (ignn_activation_estimate × 4 bytes ×
+  /// ~3 for gradients/workspace) exceeds this simulated device memory.
+  /// 0 disables. Both limits apply when set.
+  std::size_t memory_budget_bytes = 0;
+  SyncStrategy sync = SyncStrategy::kCoalesced;
+  bool evaluate_every_epoch = true;
+  float eval_threshold = 0.5f;
+  /// Optional learning-rate schedule, applied per optimizer step (shared
+  /// across DDP ranks). Null = constant config.lr.
+  std::shared_ptr<const LrScheduler> scheduler;
+  /// Early stopping on validation F1 after this many non-improving
+  /// epochs; 0 disables. Requires evaluate_every_epoch. In DDP the
+  /// rank-0 decision is broadcast so all ranks stop together.
+  std::size_t early_stop_patience = 0;
+  /// Keep a snapshot of the weights at the best validation F1 and restore
+  /// it when training ends (model selection). Requires
+  /// evaluate_every_epoch; in DDP the rank-0 decision is shared.
+  bool keep_best_weights = false;
+};
+
+/// One epoch of bookkeeping: loss, validation edge metrics (Figure 4), and
+/// the sampling/training/all-reduce time split (Figure 3).
+struct EpochRecord {
+  double train_loss = 0.0;
+  BinaryMetrics val;
+  PhaseTimers timers;
+  double wall_seconds = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochRecord> epochs;
+  std::size_t skipped_graphs = 0;  ///< full-graph mode only
+  double total_seconds = 0.0;
+  CommStats comm;  ///< DDP modes only
+  /// Epoch whose weights the model ended with (last epoch unless
+  /// keep_best_weights selected an earlier one).
+  std::size_t selected_epoch = 0;
+
+  /// Sum of a timer bucket over all epochs.
+  double total_phase(const std::string& phase) const;
+  const EpochRecord& last() const;
+};
+
+/// Edge precision/recall of full-graph inference over `events`.
+BinaryMetrics evaluate_edges(const GnnModel& model,
+                             const std::vector<Event>& events,
+                             float threshold = 0.5f);
+
+/// Mean BCE pos_weight implied by the label imbalance of `events`.
+float auto_pos_weight(const std::vector<Event>& events);
+
+/// Estimated bytes of device memory a full-graph training step on `event`
+/// would need (activations + gradient/workspace overhead) — the quantity
+/// the paper's memory wall compares against GPU capacity.
+std::size_t full_graph_memory_estimate(const IgnnConfig& config,
+                                       const Event& event);
+
+/// True if the event fits the config's memory limits for full-graph mode.
+bool fits_memory_budget(const GnnTrainConfig& config, const IgnnConfig& gnn,
+                        const Event& event);
+
+/// Full-graph training: one gradient step per event graph per epoch, the
+/// original Exa.TrkX regime. Graphs with more than config.max_edges edges
+/// are skipped (counted in TrainResult::skipped_graphs).
+TrainResult train_full_graph(GnnModel& model, const std::vector<Event>& train,
+                             const std::vector<Event>& val,
+                             const GnnTrainConfig& config);
+
+/// Single-process ShaDow minibatch training with the chosen sampler.
+TrainResult train_shadow(GnnModel& model, const std::vector<Event>& train,
+                         const std::vector<Event>& val,
+                         const GnnTrainConfig& config, SamplerKind sampler);
+
+/// Distributed-data-parallel ShaDow training over `runtime.size()` ranks:
+/// each global minibatch is sharded 1/P per rank; gradients are averaged
+/// with config.sync after every step. On return `model` holds the rank-0
+/// replica (all replicas remain bitwise identical).
+TrainResult train_shadow_ddp(GnnModel& model, const std::vector<Event>& train,
+                             const std::vector<Event>& val,
+                             const GnnTrainConfig& config,
+                             DistRuntime& runtime, SamplerKind sampler);
+
+}  // namespace trkx

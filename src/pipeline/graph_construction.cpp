@@ -1,0 +1,180 @@
+#include "pipeline/graph_construction.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+namespace {
+
+/// Hash key for an integer grid cell in up to 8 dimensions.
+struct CellKey {
+  std::array<std::int32_t, 8> c{};
+  std::size_t dims = 0;
+  bool operator==(const CellKey& o) const {
+    if (dims != o.dims) return false;
+    for (std::size_t i = 0; i < dims; ++i)
+      if (c[i] != o.c[i]) return false;
+    return true;
+  }
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const {
+    std::size_t h = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < k.dims; ++i) {
+      h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(k.c[i])) +
+           0x9e3779b9u + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+float sq_dist(const Matrix& pts, std::size_t a, std::size_t b) {
+  float d2 = 0.0f;
+  for (std::size_t j = 0; j < pts.cols(); ++j) {
+    const float d = pts(a, j) - pts(b, j);
+    d2 += d * d;
+  }
+  return d2;
+}
+
+/// Orient a close pair into a directed edge (inner → outer).
+Edge orient(std::uint32_t i, std::uint32_t j,
+            const std::vector<std::uint32_t>& layers) {
+  if (!layers.empty()) {
+    if (layers[i] < layers[j]) return {i, j};
+    if (layers[j] < layers[i]) return {j, i};
+  }
+  return i < j ? Edge{i, j} : Edge{j, i};
+}
+
+Graph finalize(std::size_t n, std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph(n, std::move(edges));
+}
+
+}  // namespace
+
+Graph build_frnn_graph(const Matrix& points, const FrnnConfig& config,
+                       const std::vector<std::uint32_t>& layers) {
+  TRKX_CHECK(config.radius > 0.0f);
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  TRKX_CHECK_MSG(d <= 8, "FRNN grid supports up to 8 dims");
+  TRKX_CHECK(layers.empty() || layers.size() == n);
+  const float r2 = config.radius * config.radius;
+
+  auto cell_of = [&](std::size_t i) {
+    CellKey key;
+    key.dims = d;
+    for (std::size_t j = 0; j < d; ++j)
+      key.c[j] = static_cast<std::int32_t>(
+          std::floor(points(i, j) / config.radius));
+    return key;
+  };
+
+  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> grid;
+  grid.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    grid[cell_of(i)].push_back(static_cast<std::uint32_t>(i));
+
+  std::vector<Edge> edges;
+  std::vector<std::pair<float, std::uint32_t>> near;  // (dist², neighbour)
+  for (std::size_t i = 0; i < n; ++i) {
+    near.clear();
+    const CellKey base = cell_of(i);
+    // Enumerate the 3^d neighbouring cells with an odometer.
+    std::array<std::int32_t, 8> offset{};
+    offset.fill(-1);
+    for (;;) {
+      CellKey key = base;
+      for (std::size_t j = 0; j < d; ++j) key.c[j] += offset[j];
+      auto it = grid.find(key);
+      if (it != grid.end()) {
+        for (std::uint32_t j : it->second) {
+          if (j <= i) continue;  // each unordered pair once
+          const float d2 = sq_dist(points, i, j);
+          if (d2 <= r2) near.emplace_back(d2, j);
+        }
+      }
+      // Advance the odometer.
+      std::size_t pos = 0;
+      while (pos < d && offset[pos] == 1) offset[pos++] = -1;
+      if (pos == d) break;
+      ++offset[pos];
+    }
+    if (near.size() > config.max_neighbors) {
+      std::nth_element(near.begin(),
+                       near.begin() + static_cast<std::ptrdiff_t>(
+                                          config.max_neighbors),
+                       near.end());
+      near.resize(config.max_neighbors);
+    }
+    for (const auto& [d2, j] : near)
+      edges.push_back(orient(static_cast<std::uint32_t>(i), j, layers));
+  }
+  return finalize(n, std::move(edges));
+}
+
+Graph build_frnn_graph_bruteforce(const Matrix& points,
+                                  const FrnnConfig& config,
+                                  const std::vector<std::uint32_t>& layers) {
+  const std::size_t n = points.rows();
+  TRKX_CHECK(layers.empty() || layers.size() == n);
+  const float r2 = config.radius * config.radius;
+  std::vector<Edge> edges;
+  std::vector<std::pair<float, std::uint32_t>> near;
+  for (std::size_t i = 0; i < n; ++i) {
+    near.clear();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const float d2 = sq_dist(points, i, j);
+      if (d2 <= r2) near.emplace_back(d2, static_cast<std::uint32_t>(j));
+    }
+    if (near.size() > config.max_neighbors) {
+      std::nth_element(near.begin(),
+                       near.begin() + static_cast<std::ptrdiff_t>(
+                                          config.max_neighbors),
+                       near.end());
+      near.resize(config.max_neighbors);
+    }
+    for (const auto& [d2, j] : near)
+      edges.push_back(orient(static_cast<std::uint32_t>(i), j, layers));
+  }
+  return finalize(n, std::move(edges));
+}
+
+void rebuild_event_graph(Event& event, const Matrix& embedded,
+                         const FrnnConfig& config,
+                         std::size_t edge_feature_dim,
+                         const FeatureScales& scales) {
+  TRKX_CHECK(embedded.rows() == event.hits.size());
+  std::vector<std::uint32_t> layers(event.hits.size());
+  for (std::size_t i = 0; i < event.hits.size(); ++i)
+    layers[i] = event.hits[i].layer;
+  event.graph = build_frnn_graph(embedded, config, layers);
+
+  // Relabel edges against truth.
+  event.edge_labels.assign(event.graph.num_edges(), 0);
+  for (const TruthParticle& p : event.particles) {
+    for (std::size_t i = 0; i + 1 < p.hits.size(); ++i) {
+      const std::uint32_t e = event.graph.find_edge(p.hits[i], p.hits[i + 1]);
+      if (e != Graph::kNoEdge) event.edge_labels[e] = 1;
+    }
+  }
+  // Rebuild edge features for the new edge set (node features unchanged).
+  std::size_t num_layers = 0;
+  for (const Hit& h : event.hits)
+    num_layers = std::max<std::size_t>(num_layers, h.layer + 1);
+  build_features(event, event.node_features.cols(), edge_feature_dim, scales,
+                 std::max<std::size_t>(num_layers, 1));
+}
+
+}  // namespace trkx

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "detector/event.hpp"
+#include "graph/graph.hpp"
+#include "tensor/matrix.hpp"
+
+namespace trkx {
+
+/// Stage 2 of the Exa.TrkX pipeline: build a fixed-radius nearest-
+/// neighbour graph over points in the learned embedding space.
+struct FrnnConfig {
+  float radius = 0.5f;        ///< connection radius in embedding space
+  std::size_t max_neighbors = 64;  ///< cap per query point (closest kept)
+};
+
+/// All ordered pairs (i, j), i != j, with ‖points[i] − points[j]‖ ≤ radius.
+/// Directed edges are emitted from the lower-layer hit to the higher-layer
+/// hit when `layers` is provided (ties broken by index), halving the edge
+/// count and matching the detector convention; with no layers every pair
+/// appears once as (min, max).
+///
+/// Implemented with a uniform grid hash of cell size `radius`: each query
+/// only inspects its 3^d neighbouring cells, giving O(n · occupancy)
+/// instead of O(n²).
+Graph build_frnn_graph(const Matrix& points, const FrnnConfig& config,
+                       const std::vector<std::uint32_t>& layers = {});
+
+/// Brute-force O(n²) reference used by tests.
+Graph build_frnn_graph_bruteforce(const Matrix& points,
+                                  const FrnnConfig& config,
+                                  const std::vector<std::uint32_t>& layers = {});
+
+/// Replace `event.graph` with an FRNN graph over `embedded` and rebuild
+/// edge labels and edge features accordingly.
+void rebuild_event_graph(Event& event, const Matrix& embedded,
+                         const FrnnConfig& config,
+                         std::size_t edge_feature_dim,
+                         const FeatureScales& scales);
+
+}  // namespace trkx

@@ -1,0 +1,114 @@
+#include "pipeline/pipeline.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace trkx {
+
+TrackingPipeline::TrackingPipeline(std::size_t node_dim, std::size_t edge_dim,
+                                   const PipelineConfig& config)
+    : config_(config), node_dim_(node_dim), edge_dim_(edge_dim) {
+  embedding_ = std::make_unique<EmbeddingModel>(node_dim, config.embedding);
+  filter_ = std::make_unique<FilterModel>(node_dim, edge_dim, config.filter);
+  IgnnConfig gnn_cfg = config.gnn;
+  gnn_cfg.node_input_dim = node_dim;
+  gnn_cfg.edge_input_dim = edge_dim;
+  config_.gnn = gnn_cfg;
+  gnn_ = std::make_unique<GnnModel>(gnn_cfg, config.gnn_train.seed);
+}
+
+Event TrackingPipeline::prepare_event(const Event& event) const {
+  Event out = event;
+  if (!config_.use_learned_graphs) return out;
+  const Matrix embedded = embedding_->embed(out.node_features);
+  rebuild_event_graph(out, embedded, config_.frnn, edge_dim_, scales_);
+  filter_->apply(out);
+  return out;
+}
+
+TrainResult TrackingPipeline::fit(const std::vector<Event>& train_events,
+                                  const std::vector<Event>& val_events) {
+  TRKX_CHECK(!train_events.empty());
+  // Derive the feature normalisation envelope from the data.
+  float r_max = 1.0f, z_max = 1.0f;
+  for (const Event& e : train_events)
+    for (const Hit& h : e.hits) {
+      r_max = std::max(r_max, h.r());
+      z_max = std::max(z_max, std::fabs(h.z));
+    }
+  scales_.r_max = r_max;
+  scales_.z_max = z_max;
+
+  // Stage 1: metric-learning embedding.
+  TRKX_INFO << "pipeline: training embedding MLP";
+  embedding_->train(train_events);
+
+  std::vector<Event> gnn_train_events;
+  std::vector<Event> gnn_val_events;
+  if (config_.use_learned_graphs) {
+    // Stage 3 training uses the FRNN graphs from stage 2 (which the filter
+    // then prunes before the GNN sees them).
+    TRKX_INFO << "pipeline: rebuilding graphs in embedding space";
+    std::vector<Event> frnn_train;
+    frnn_train.reserve(train_events.size());
+    for (const Event& e : train_events) {
+      Event copy = e;
+      const Matrix embedded = embedding_->embed(copy.node_features);
+      rebuild_event_graph(copy, embedded, config_.frnn, edge_dim_, scales_);
+      frnn_train.push_back(std::move(copy));
+    }
+    TRKX_INFO << "pipeline: training filter MLP";
+    filter_->train(frnn_train);
+    for (Event& e : frnn_train) filter_->apply(e);
+    gnn_train_events = std::move(frnn_train);
+    for (const Event& e : val_events)
+      gnn_val_events.push_back(prepare_event(e));
+  } else {
+    TRKX_INFO << "pipeline: training filter MLP (geometric graphs)";
+    filter_->train(train_events);
+    gnn_train_events = train_events;
+    gnn_val_events = val_events;
+  }
+
+  // Stage 4: the Interaction GNN, minibatch-trained with bulk ShaDow (the
+  // paper's augmented regime).
+  TRKX_INFO << "pipeline: training GNN ("
+            << gnn_train_events.size() << " graphs)";
+  return train_shadow(*gnn_, gnn_train_events, gnn_val_events,
+                      config_.gnn_train, SamplerKind::kMatrixBulk);
+}
+
+void TrackingPipeline::save(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&scales_), sizeof(scales_));
+  embedding_->store().save(os);
+  filter_->store().save(os);
+  gnn_->store.save(os);
+  TRKX_CHECK_MSG(os.good(), "pipeline save failed");
+}
+
+void TrackingPipeline::load(std::istream& is) {
+  is.read(reinterpret_cast<char*>(&scales_), sizeof(scales_));
+  TRKX_CHECK_MSG(is.good(), "pipeline load: truncated stream");
+  embedding_->store().load(is);
+  filter_->store().load(is);
+  gnn_->store.load(is);
+}
+
+PipelineOutput TrackingPipeline::reconstruct(const Event& event) const {
+  const Event prepared = prepare_event(event);
+  PipelineOutput out;
+  std::vector<float> scores;
+  if (prepared.graph.num_edges() > 0) {
+    scores = gnn_->gnn->predict(prepared.node_features,
+                                prepared.edge_features, prepared.graph);
+    for (std::size_t e = 0; e < scores.size(); ++e)
+      out.edge_metrics.add(scores[e] >= config_.track.edge_threshold,
+                           prepared.edge_labels[e] != 0);
+  }
+  out.tracks = build_tracks(prepared, scores, config_.track);
+  out.metrics = score_tracks(prepared, out.tracks, config_.track);
+  return out;
+}
+
+}  // namespace trkx

@@ -1,0 +1,81 @@
+#include "pipeline/track_building.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+void TrackingMetrics::merge(const TrackingMetrics& other) {
+  reconstructable += other.reconstructable;
+  matched += other.matched;
+  candidates += other.candidates;
+  fake_candidates += other.fake_candidates;
+}
+
+std::vector<TrackCandidate> build_tracks(const Event& event,
+                                         const std::vector<float>& edge_scores,
+                                         const TrackBuildConfig& config) {
+  TRKX_CHECK(edge_scores.size() == event.graph.num_edges());
+  std::vector<char> mask(edge_scores.size());
+  for (std::size_t e = 0; e < edge_scores.size(); ++e)
+    mask[e] = edge_scores[e] >= config.edge_threshold ? 1 : 0;
+  const Components comps = connected_components(event.graph, mask);
+
+  std::vector<TrackCandidate> out;
+  for (auto& group : comps.groups()) {
+    if (group.size() < config.min_hits) continue;
+    TrackCandidate cand;
+    cand.hits = group;  // groups() yields ascending order
+    // Majority vote over truth particles.
+    std::map<std::int32_t, std::size_t> votes;
+    for (std::uint32_t h : cand.hits) {
+      const std::int32_t p = event.hits[h].particle;
+      if (p != Hit::kNoise) ++votes[p];
+    }
+    for (const auto& [p, count] : votes) {
+      const double frac =
+          static_cast<double>(count) / static_cast<double>(cand.hits.size());
+      if (frac > cand.majority_fraction) {
+        cand.majority_fraction = frac;
+        cand.matched_particle = frac > 0.5 ? p : -1;
+      }
+    }
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+TrackingMetrics score_tracks(const Event& event,
+                             const std::vector<TrackCandidate>& candidates,
+                             const TrackBuildConfig& config) {
+  TrackingMetrics m;
+  m.candidates = candidates.size();
+
+  // A particle is matched when some candidate passes double-majority:
+  // candidate majority-owned by the particle, and covering >50 % of the
+  // particle's hits.
+  std::vector<char> particle_matched(event.particles.size(), 0);
+  for (const TrackCandidate& cand : candidates) {
+    if (cand.matched_particle < 0) {
+      ++m.fake_candidates;
+      continue;
+    }
+    const TruthParticle& p =
+        event.particles[static_cast<std::size_t>(cand.matched_particle)];
+    std::size_t shared = 0;
+    for (std::uint32_t h : cand.hits)
+      if (event.hits[h].particle == cand.matched_particle) ++shared;
+    if (2 * shared > p.hits.size())
+      particle_matched[static_cast<std::size_t>(cand.matched_particle)] = 1;
+  }
+  for (std::size_t pi = 0; pi < event.particles.size(); ++pi) {
+    if (event.particles[pi].hits.size() < config.min_hits) continue;
+    ++m.reconstructable;
+    if (particle_matched[pi]) ++m.matched;
+  }
+  return m;
+}
+
+}  // namespace trkx

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "detector/generator.hpp"
+#include "graph/components.hpp"
+
+namespace trkx {
+
+/// Stage 5 of the Exa.TrkX pipeline: threshold the GNN edge scores, drop
+/// sub-threshold edges, and read track candidates off the connected
+/// components of what remains.
+struct TrackBuildConfig {
+  float edge_threshold = 0.5f;
+  std::size_t min_hits = 3;  ///< candidates with fewer hits are discarded
+};
+
+/// One reconstructed track candidate.
+struct TrackCandidate {
+  std::vector<std::uint32_t> hits;  ///< hit indices, ascending
+  /// Majority truth particle among the hits (−1 if none reaches 50%).
+  std::int32_t matched_particle = -1;
+  double majority_fraction = 0.0;  ///< fraction of hits from that particle
+};
+
+/// Track-level quality measures (the physics figures of merit).
+struct TrackingMetrics {
+  std::size_t reconstructable = 0;  ///< truth particles with ≥ min_hits hits
+  std::size_t matched = 0;          ///< of those, reconstructed correctly
+  std::size_t candidates = 0;
+  std::size_t fake_candidates = 0;  ///< candidates matched to no particle
+
+  double efficiency() const {
+    return reconstructable == 0
+               ? 0.0
+               : static_cast<double>(matched) /
+                     static_cast<double>(reconstructable);
+  }
+  double fake_rate() const {
+    return candidates == 0 ? 0.0
+                           : static_cast<double>(fake_candidates) /
+                                 static_cast<double>(candidates);
+  }
+  void merge(const TrackingMetrics& other);
+};
+
+/// Build candidates from per-edge scores. A candidate matches a particle
+/// under the double-majority rule: >50 % of the candidate's hits belong to
+/// the particle AND the candidate contains >50 % of the particle's hits.
+std::vector<TrackCandidate> build_tracks(const Event& event,
+                                         const std::vector<float>& edge_scores,
+                                         const TrackBuildConfig& config);
+
+/// Score candidates against truth.
+TrackingMetrics score_tracks(const Event& event,
+                             const std::vector<TrackCandidate>& candidates,
+                             const TrackBuildConfig& config);
+
+}  // namespace trkx

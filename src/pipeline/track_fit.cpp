@@ -1,0 +1,140 @@
+#include "pipeline/track_fit.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+namespace {
+
+float wrap_angle(float d) {
+  while (d > static_cast<float>(M_PI)) d -= 2.0f * static_cast<float>(M_PI);
+  while (d <= -static_cast<float>(M_PI)) d += 2.0f * static_cast<float>(M_PI);
+  return d;
+}
+
+}  // namespace
+
+std::optional<FittedTrack> fit_track(const Event& event,
+                                     const TrackCandidate& candidate,
+                                     double b_field_tesla) {
+  if (candidate.hits.size() < 3) return std::nullopt;
+
+  // --- transverse plane: Kåsa circle fit constrained through the origin.
+  // Circle through (0,0): x² + y² = 2a·x + 2b·y with centre (a, b).
+  double sxx = 0.0, sxy = 0.0, syy = 0.0, sxs = 0.0, sys = 0.0;
+  for (std::uint32_t h : candidate.hits) {
+    const double x = event.hits[h].x;
+    const double y = event.hits[h].y;
+    const double s = x * x + y * y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    sxs += x * s;
+    sys += y * s;
+  }
+  // Normal equations: [sxx sxy; sxy syy]·[2a; 2b] = [sxs; sys].
+  const double det = sxx * syy - sxy * sxy;
+  if (std::fabs(det) < 1e-9) return std::nullopt;  // collinear through origin
+  const double two_a = (syy * sxs - sxy * sys) / det;
+  const double two_b = (sxx * sys - sxy * sxs) / det;
+  const double a = two_a / 2.0, b = two_b / 2.0;
+  const double radius = std::hypot(a, b);
+  if (radius < 1e-6) return std::nullopt;
+
+  FittedTrack fit;
+  // pt[GeV] = 0.3 · B[T] · R[m].
+  fit.pt = static_cast<float>(0.3 * b_field_tesla * radius / 1000.0);
+
+  // Tangent at the origin is perpendicular to the centre vector; orient it
+  // toward the innermost hit.
+  const Hit& inner = event.hits[candidate.hits.front()];
+  double tx = -b / radius, ty = a / radius;
+  if (tx * inner.x + ty * inner.y < 0.0) {
+    tx = -tx;
+    ty = -ty;
+  }
+  fit.phi0 = static_cast<float>(std::atan2(ty, tx));
+  // Positive charge turns left (centre 90° left of the direction).
+  fit.charge = (tx * b - ty * a) > 0.0 ? 1 : -1;
+
+  double circle_chi2 = 0.0;
+  for (std::uint32_t h : candidate.hits) {
+    const double r = std::hypot(event.hits[h].x - a, event.hits[h].y - b);
+    circle_chi2 += (r - radius) * (r - radius);
+  }
+  fit.circle_chi2 =
+      static_cast<float>(circle_chi2 / static_cast<double>(candidate.hits.size()));
+
+  // --- r–z plane: z = z0 + sinh(η) · ℓ, with ℓ the transverse arc length
+  // from the origin along the fitted circle (ℓ = R·t, d = 2R·sin(t/2)).
+  double sl = 0.0, sz = 0.0, sll = 0.0, slz = 0.0;
+  const double n = static_cast<double>(candidate.hits.size());
+  std::vector<double> arc(candidate.hits.size());
+  for (std::size_t i = 0; i < candidate.hits.size(); ++i) {
+    const Hit& h = event.hits[candidate.hits[i]];
+    const double d = std::hypot(h.x, h.y);
+    const double ratio = std::min(1.0, d / (2.0 * radius));
+    const double ell = 2.0 * radius * std::asin(ratio);
+    arc[i] = ell;
+    sl += ell;
+    sz += h.z;
+    sll += ell * ell;
+    slz += ell * h.z;
+  }
+  const double line_det = n * sll - sl * sl;
+  if (std::fabs(line_det) < 1e-9) return std::nullopt;
+  const double slope = (n * slz - sl * sz) / line_det;   // sinh(η)
+  const double intercept = (sz * sll - sl * slz) / line_det;  // z0
+  fit.z0 = static_cast<float>(intercept);
+  fit.eta = static_cast<float>(std::asinh(slope));
+  double line_chi2 = 0.0;
+  for (std::size_t i = 0; i < candidate.hits.size(); ++i) {
+    const double zhat = intercept + slope * arc[i];
+    const double dz = event.hits[candidate.hits[i]].z - zhat;
+    line_chi2 += dz * dz;
+  }
+  fit.line_chi2 = static_cast<float>(line_chi2 / n);
+  return fit;
+}
+
+FitResolution evaluate_fits(const Event& event,
+                            const std::vector<TrackCandidate>& candidates,
+                            double b_field_tesla) {
+  FitResolution out;
+  double sum_dpt = 0.0, sum_dpt2 = 0.0;
+  double sum_dz02 = 0.0, sum_dphi2 = 0.0;
+  std::size_t charges_correct = 0, matched = 0;
+  for (const TrackCandidate& cand : candidates) {
+    if (cand.matched_particle < 0) continue;
+    const auto fit = fit_track(event, cand, b_field_tesla);
+    if (!fit) {
+      ++out.failed;
+      continue;
+    }
+    ++out.fitted;
+    ++matched;
+    const TruthParticle& truth =
+        event.particles[static_cast<std::size_t>(cand.matched_particle)];
+    const double dpt = (fit->pt - truth.pt) / truth.pt;
+    sum_dpt += dpt;
+    sum_dpt2 += dpt * dpt;
+    const double dz0 = fit->z0 - truth.z0;
+    sum_dz02 += dz0 * dz0;
+    const double dphi = wrap_angle(fit->phi0 - truth.phi0);
+    sum_dphi2 += dphi * dphi;
+    charges_correct += (fit->charge == truth.charge);
+  }
+  if (matched > 0) {
+    const double n = static_cast<double>(matched);
+    out.pt_bias = sum_dpt / n;
+    out.pt_resolution = std::sqrt(sum_dpt2 / n);
+    out.z0_resolution = std::sqrt(sum_dz02 / n);
+    out.phi_resolution = std::sqrt(sum_dphi2 / n);
+    out.charge_correct_fraction = static_cast<double>(charges_correct) / n;
+  }
+  return out;
+}
+
+}  // namespace trkx

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "detector/generator.hpp"
+#include "pipeline/track_building.hpp"
+
+namespace trkx {
+
+/// Estimated helix parameters of one track candidate.
+struct FittedTrack {
+  float pt = 0.0f;     ///< transverse momentum estimate [GeV]
+  float phi0 = 0.0f;   ///< production azimuth estimate [rad]
+  float eta = 0.0f;    ///< pseudorapidity estimate
+  float z0 = 0.0f;     ///< longitudinal impact parameter [mm]
+  int charge = 1;      ///< bend-direction estimate
+  float circle_chi2 = 0.0f;  ///< mean squared transverse residual [mm²]
+  float line_chi2 = 0.0f;    ///< mean squared r–z residual [mm²]
+};
+
+/// Resolution summary over matched candidates.
+struct FitResolution {
+  std::size_t fitted = 0;
+  std::size_t failed = 0;
+  double pt_bias = 0.0;       ///< mean relative pt residual (rec−true)/true
+  double pt_resolution = 0.0; ///< RMS of the relative pt residual
+  double z0_resolution = 0.0; ///< RMS of z0 residual [mm]
+  double phi_resolution = 0.0;  ///< RMS of φ0 residual [rad]
+  double charge_correct_fraction = 0.0;
+};
+
+/// Fit a helix through the candidate's hits:
+///  * transverse plane — Kåsa algebraic circle fit constrained through
+///    the beamline region, giving curvature radius R (pt = 0.3·B·R),
+///    bend direction, and φ0;
+///  * r–z plane — least-squares line z = z0 + r·cot θ, giving z0 and η.
+/// Needs ≥ 3 hits; returns nullopt for degenerate configurations.
+std::optional<FittedTrack> fit_track(const Event& event,
+                                     const TrackCandidate& candidate,
+                                     double b_field_tesla);
+
+/// Fit every candidate and compare matched ones against truth.
+FitResolution evaluate_fits(const Event& event,
+                            const std::vector<TrackCandidate>& candidates,
+                            double b_field_tesla);
+
+}  // namespace trkx

@@ -1,0 +1,99 @@
+#include "sampling/layerwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+LayerwiseSampler::LayerwiseSampler(const Graph& parent,
+                                   const LayerwiseConfig& config)
+    : parent_(&parent),
+      sym_adj_(parent.symmetric_adjacency()),
+      config_(config) {
+  TRKX_CHECK(config.depth >= 1);
+  TRKX_CHECK(config.budget >= 1);
+}
+
+std::vector<std::uint32_t> LayerwiseSampler::sample_vertex_set(
+    const std::vector<std::uint32_t>& batch, Rng& rng) const {
+  TRKX_CHECK(!batch.empty());
+  std::vector<std::uint32_t> visited = batch;
+  for (std::uint32_t b : batch) TRKX_CHECK(b < parent_->num_vertices());
+  std::vector<std::uint32_t> frontier = batch;
+
+  for (std::size_t level = 0; level < config_.depth; ++level) {
+    // Count frontier connections per candidate vertex: the LADIES
+    // importance weight (restricted to the frontier's neighbourhood).
+    std::vector<std::uint32_t> candidates;
+    std::vector<float> weight;
+    {
+      // Accumulate multiplicity of each neighbour across the frontier.
+      std::vector<std::pair<std::uint32_t, float>> counts;
+      for (std::uint32_t v : frontier) {
+        for (std::uint64_t k = sym_adj_.row_ptr()[v];
+             k < sym_adj_.row_ptr()[v + 1]; ++k)
+          counts.emplace_back(sym_adj_.col_idx()[k], 1.0f);
+      }
+      std::sort(counts.begin(), counts.end());
+      for (std::size_t i = 0; i < counts.size();) {
+        std::size_t j = i;
+        float w = 0.0f;
+        while (j < counts.size() && counts[j].first == counts[i].first) {
+          w += counts[j].second;
+          ++j;
+        }
+        candidates.push_back(counts[i].first);
+        weight.push_back(w);
+        i = j;
+      }
+    }
+    if (candidates.empty()) break;
+
+    std::vector<std::uint32_t> drawn;
+    if (candidates.size() <= config_.budget) {
+      drawn = candidates;
+    } else {
+      // Weighted sampling without replacement (Efraimidis–Spirakis keys).
+      std::vector<std::pair<double, std::uint32_t>> keys;
+      keys.reserve(candidates.size());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const double u = std::max(1e-300, rng.uniform());
+        keys.emplace_back(std::log(u) / static_cast<double>(weight[i]),
+                          candidates[i]);
+      }
+      std::partial_sort(
+          keys.begin(),
+          keys.begin() + static_cast<std::ptrdiff_t>(config_.budget),
+          keys.end(),
+          [](const auto& a, const auto& b) { return a.first > b.first; });
+      drawn.reserve(config_.budget);
+      for (std::size_t i = 0; i < config_.budget; ++i)
+        drawn.push_back(keys[i].second);
+    }
+    visited.insert(visited.end(), drawn.begin(), drawn.end());
+    frontier = std::move(drawn);
+  }
+  std::sort(visited.begin(), visited.end());
+  visited.erase(std::unique(visited.begin(), visited.end()), visited.end());
+  return visited;
+}
+
+ShadowSample LayerwiseSampler::sample(const std::vector<std::uint32_t>& batch,
+                                      Rng& rng) const {
+  const auto verts = sample_vertex_set(batch, rng);
+  ShadowSample out;
+  out.sub = induced_subgraph(*parent_, verts);
+  out.roots.reserve(batch.size());
+  for (std::uint32_t b : batch) {
+    const auto it = std::lower_bound(verts.begin(), verts.end(), b);
+    TRKX_CHECK(it != verts.end() && *it == b);
+    out.roots.push_back(static_cast<std::uint32_t>(it - verts.begin()));
+  }
+  // Single shared component.
+  out.component_of.assign(verts.size(), 0);
+  return out;
+}
+
+}  // namespace trkx

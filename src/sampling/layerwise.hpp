@@ -1,0 +1,46 @@
+#pragma once
+
+#include "sampling/shadow.hpp"
+
+namespace trkx {
+
+/// Layer-wise importance sampler in the LADIES family (Zou et al., cited
+/// as [16] in the paper's sampler taxonomy).
+///
+/// Where node-wise samplers draw neighbours per *vertex* (receptive field
+/// grows multiplicatively), a layer-wise sampler draws a fixed *budget* of
+/// vertices per level for the whole batch, with inclusion probability
+/// proportional to the number of frontier connections (degree-based
+/// importance). The receptive field is therefore linear in depth.
+///
+/// Output shape: the entire batch shares one induced subgraph (one
+/// component), expressed as a ShadowSample with num_components() == batch
+/// size but a shared vertex set — callers treat it like any other sample:
+/// train on the edges of sample.sub.graph.
+struct LayerwiseConfig {
+  std::size_t depth = 2;          ///< number of sampling levels
+  std::size_t budget = 512;       ///< vertices kept per level
+};
+
+class LayerwiseSampler {
+ public:
+  LayerwiseSampler(const Graph& parent, const LayerwiseConfig& config);
+
+  /// The union vertex set (batch + all levels' draws), sorted.
+  std::vector<std::uint32_t> sample_vertex_set(
+      const std::vector<std::uint32_t>& batch, Rng& rng) const;
+
+  /// One induced subgraph over the union set; roots locate the batch
+  /// vertices inside it.
+  ShadowSample sample(const std::vector<std::uint32_t>& batch,
+                      Rng& rng) const;
+
+  const LayerwiseConfig& config() const { return config_; }
+
+ private:
+  const Graph* parent_;
+  CsrMatrix sym_adj_;
+  LayerwiseConfig config_;
+};
+
+}  // namespace trkx

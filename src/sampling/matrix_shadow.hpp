@@ -1,0 +1,78 @@
+#pragma once
+
+#include "sampling/shadow.hpp"
+#include "sparse/csr.hpp"
+#include "util/timer.hpp"
+
+namespace trkx {
+
+/// Phase breakdown of one bulk sampling call (for the Figure 3 split and
+/// the sampler ablation bench).
+struct BulkSampleStats {
+  std::size_t spgemm_calls = 0;
+  std::size_t frontier_rows = 0;   ///< total Q rows processed across levels
+  std::size_t sampled_nnz = 0;     ///< total neighbours drawn
+  double spgemm_seconds = 0.0;
+  double sample_seconds = 0.0;
+  double extract_seconds = 0.0;
+  void merge(const BulkSampleStats& other);
+};
+
+/// Matrix-based ShaDow sampler (the paper's Figure 2 / Section III-C).
+///
+/// Sampling is expressed as sparse matrix operations on the symmetrised
+/// adjacency A:
+///   1. Q^d is a (#roots × n) selection matrix, one nonzero per row.
+///   2. P = Q·A extracts each frontier vertex's neighbourhood as a row;
+///      normalize_rows() turns it into a uniform distribution.
+///   3. sample_rows() draws s distinct neighbours per row; every draw is
+///      recorded in the frontier matrix F (one row per *root*).
+///   4. The sampled nonzeros expand into the next Q (one nonzero per row),
+///      and the process repeats for d levels.
+///   5. Each root's induced subgraph is extracted from the *directed*
+///      adjacency with row/column-selection SpGEMMs (S·A·Sᵀ).
+///
+/// Bulk mode stacks the per-batch Q matrices (Equation 1) so k minibatches
+/// share every SpGEMM pass — the optimisation the paper credits for its
+/// sampling speedup.
+class MatrixShadowSampler {
+ public:
+  MatrixShadowSampler(const Graph& parent, const ShadowConfig& config);
+
+  /// Sample one minibatch (Figure 2 with a single Q block).
+  ShadowSample sample(const std::vector<std::uint32_t>& batch, Rng& rng,
+                      BulkSampleStats* stats = nullptr) const;
+
+  /// Sample k minibatches in one stacked pass (Equation 1). Returns one
+  /// ShadowSample per input batch, identical in structure to what
+  /// ShadowSampler would produce for the same draws.
+  std::vector<ShadowSample> sample_bulk(
+      const std::vector<std::vector<std::uint32_t>>& batches, Rng& rng,
+      BulkSampleStats* stats = nullptr) const;
+
+  /// The stacked frontier matrix F (#roots × n) from the most recent call
+  /// — row i holds every vertex root i's walk visited. Exposed for tests.
+  const CsrMatrix& last_frontier() const { return last_frontier_; }
+
+  const ShadowConfig& config() const { return config_; }
+
+ private:
+  /// Shared machinery: run the level loop for the given stacked roots and
+  /// return one visited-vertex set per root.
+  std::vector<std::vector<std::uint32_t>> run_levels(
+      const std::vector<std::uint32_t>& roots, Rng& rng,
+      BulkSampleStats* stats) const;
+
+  /// Extract one root's component through selection SpGEMMs and map its
+  /// edges back to parent edge indices (restoring parent edge order).
+  InducedSubgraph extract_component(
+      const std::vector<std::uint32_t>& verts) const;
+
+  const Graph* parent_;
+  CsrMatrix sym_adj_;  ///< walk graph
+  CsrMatrix dir_adj_;  ///< directed adjacency for component extraction
+  ShadowConfig config_;
+  mutable CsrMatrix last_frontier_;
+};
+
+}  // namespace trkx

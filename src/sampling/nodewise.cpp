@@ -1,0 +1,56 @@
+#include "sampling/nodewise.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+NodewiseSampler::NodewiseSampler(const Graph& parent,
+                                 const NodewiseConfig& config)
+    : parent_(&parent),
+      sym_adj_(parent.symmetric_adjacency()),
+      config_(config) {
+  TRKX_CHECK(!config.fanouts.empty());
+  for (std::size_t f : config.fanouts) TRKX_CHECK(f >= 1);
+}
+
+std::vector<std::uint32_t> NodewiseSampler::walk_vertex_set(
+    std::uint32_t root, Rng& rng) const {
+  TRKX_CHECK(root < parent_->num_vertices());
+  std::vector<std::uint32_t> visited{root};
+  std::vector<std::uint32_t> frontier{root};
+  for (std::size_t fanout : config_.fanouts) {
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t v : frontier) {
+      const std::uint64_t begin = sym_adj_.row_ptr()[v];
+      const std::uint64_t deg = sym_adj_.row_ptr()[v + 1] - begin;
+      if (deg == 0) continue;
+      if (deg <= fanout) {
+        for (std::uint64_t k = 0; k < deg; ++k)
+          next.push_back(sym_adj_.col_idx()[begin + k]);
+      } else {
+        auto offs = rng.sample_without_replacement(
+            static_cast<std::uint32_t>(deg),
+            static_cast<std::uint32_t>(fanout));
+        for (std::uint32_t off : offs)
+          next.push_back(sym_adj_.col_idx()[begin + off]);
+      }
+    }
+    visited.insert(visited.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  std::sort(visited.begin(), visited.end());
+  visited.erase(std::unique(visited.begin(), visited.end()), visited.end());
+  return visited;
+}
+
+ShadowSample NodewiseSampler::sample(const std::vector<std::uint32_t>& batch,
+                                     Rng& rng) const {
+  std::vector<std::vector<std::uint32_t>> sets;
+  sets.reserve(batch.size());
+  for (std::uint32_t b : batch) sets.push_back(walk_vertex_set(b, rng));
+  return assemble_shadow_sample(*parent_, batch, sets);
+}
+
+}  // namespace trkx

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "sampling/shadow.hpp"
+
+namespace trkx {
+
+/// Node-wise neighbour sampler in the GraphSAGE family (Hamilton et al.,
+/// cited as [8] in the paper's sampler taxonomy).
+///
+/// Unlike ShaDow's single fanout, node-wise sampling draws a *per-level*
+/// fanout: level l keeps up to fanouts[l] neighbours of each frontier
+/// vertex. The union of all levels' draws forms the receptive field; as
+/// in our ShaDow implementation, the output is the induced subgraph per
+/// batch vertex so the three sampler families are directly comparable
+/// (same ShadowSample structure, same downstream training path).
+struct NodewiseConfig {
+  /// Per-level fanouts, outermost level first (e.g. {10, 5} for a
+  /// 2-layer receptive field). Must be non-empty.
+  std::vector<std::size_t> fanouts{10, 5};
+};
+
+class NodewiseSampler {
+ public:
+  NodewiseSampler(const Graph& parent, const NodewiseConfig& config);
+
+  ShadowSample sample(const std::vector<std::uint32_t>& batch,
+                      Rng& rng) const;
+  std::vector<std::uint32_t> walk_vertex_set(std::uint32_t root,
+                                             Rng& rng) const;
+
+  const NodewiseConfig& config() const { return config_; }
+
+ private:
+  const Graph* parent_;
+  CsrMatrix sym_adj_;
+  NodewiseConfig config_;
+};
+
+}  // namespace trkx

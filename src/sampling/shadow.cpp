@@ -1,0 +1,97 @@
+#include "sampling/shadow.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+ShadowSampler::ShadowSampler(const Graph& parent, const ShadowConfig& config)
+    : parent_(&parent),
+      sym_adj_(parent.symmetric_adjacency()),
+      config_(config) {
+  TRKX_CHECK(config.depth >= 1);
+  TRKX_CHECK(config.fanout >= 1);
+}
+
+std::vector<std::uint32_t> ShadowSampler::walk_vertex_set(std::uint32_t root,
+                                                          Rng& rng) const {
+  TRKX_CHECK(root < parent_->num_vertices());
+  std::vector<std::uint32_t> visited{root};
+  std::vector<std::uint32_t> frontier{root};
+  for (std::size_t level = 0; level < config_.depth; ++level) {
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t v : frontier) {
+      // s distinct neighbours of v, uniformly (all of them if deg <= s).
+      const std::uint64_t begin = sym_adj_.row_ptr()[v];
+      const std::uint64_t deg = sym_adj_.row_ptr()[v + 1] - begin;
+      if (deg == 0) continue;
+      if (deg <= config_.fanout) {
+        for (std::uint64_t k = 0; k < deg; ++k)
+          next.push_back(sym_adj_.col_idx()[begin + k]);
+      } else {
+        auto offs = rng.sample_without_replacement(
+            static_cast<std::uint32_t>(deg),
+            static_cast<std::uint32_t>(config_.fanout));
+        for (std::uint32_t off : offs)
+          next.push_back(sym_adj_.col_idx()[begin + off]);
+      }
+    }
+    visited.insert(visited.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  std::sort(visited.begin(), visited.end());
+  visited.erase(std::unique(visited.begin(), visited.end()), visited.end());
+  return visited;
+}
+
+ShadowSample ShadowSampler::sample(const std::vector<std::uint32_t>& batch,
+                                   Rng& rng) const {
+  std::vector<std::vector<std::uint32_t>> sets;
+  sets.reserve(batch.size());
+  for (std::uint32_t b : batch) sets.push_back(walk_vertex_set(b, rng));
+  return assemble_shadow_sample(*parent_, batch, sets);
+}
+
+ShadowSample assemble_shadow_sample(
+    const Graph& parent, const std::vector<std::uint32_t>& batch,
+    const std::vector<std::vector<std::uint32_t>>& vertex_sets) {
+  TRKX_CHECK(batch.size() == vertex_sets.size());
+  std::vector<InducedSubgraph> parts;
+  parts.reserve(batch.size());
+  ShadowSample out;
+  out.roots.reserve(batch.size());
+  std::uint32_t vert_off = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& verts = vertex_sets[i];
+    // Root position within its (sorted) vertex set.
+    const auto it = std::lower_bound(verts.begin(), verts.end(), batch[i]);
+    TRKX_CHECK_MSG(it != verts.end() && *it == batch[i],
+                   "vertex set must contain its root");
+    out.roots.push_back(vert_off +
+                        static_cast<std::uint32_t>(it - verts.begin()));
+    for (std::size_t v = 0; v < verts.size(); ++v)
+      out.component_of.push_back(static_cast<std::uint32_t>(i));
+    parts.push_back(induced_subgraph(parent, verts));
+    vert_off += static_cast<std::uint32_t>(verts.size());
+  }
+  out.sub = disjoint_union(parts);
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> make_minibatches(
+    std::size_t n, std::size_t batch_size, Rng& rng) {
+  TRKX_CHECK(batch_size > 0);
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  rng.shuffle(perm);
+  std::vector<std::vector<std::uint32_t>> batches;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t len = std::min(batch_size, n - start);
+    batches.emplace_back(perm.begin() + static_cast<std::ptrdiff_t>(start),
+                         perm.begin() + static_cast<std::ptrdiff_t>(start + len));
+  }
+  return batches;
+}
+
+}  // namespace trkx

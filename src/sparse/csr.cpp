@@ -1,0 +1,266 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trkx {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets,
+                                   bool sum_duplicates) {
+  for (const auto& t : triplets) {
+    TRKX_CHECK_MSG(t.row < rows && t.col < cols,
+                   "triplet (" << t.row << "," << t.col << ") out of shape "
+                               << rows << "x" << cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m(rows, cols);
+  m.col_.reserve(triplets.size());
+  m.val_.reserve(triplets.size());
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t row_start = m.col_.size();
+    while (i < triplets.size() && triplets[i].row == r) {
+      if (m.col_.size() > row_start && m.col_.back() == triplets[i].col) {
+        TRKX_CHECK_MSG(sum_duplicates, "duplicate entry at ("
+                                           << r << "," << triplets[i].col
+                                           << ")");
+        m.val_.back() += triplets[i].val;
+      } else {
+        m.col_.push_back(triplets[i].col);
+        m.val_.push_back(triplets[i].val);
+      }
+      ++i;
+    }
+    m.row_ptr_[r + 1] = m.col_.size();
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_csr(std::size_t rows, std::size_t cols,
+                              std::vector<std::uint64_t> row_ptr,
+                              std::vector<std::uint32_t> col_idx,
+                              std::vector<float> values) {
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_ = std::move(col_idx);
+  m.val_ = std::move(values);
+  m.check_invariants();
+  return m;
+}
+
+CsrMatrix CsrMatrix::identity(std::size_t n) {
+  CsrMatrix m(n, n);
+  m.col_.resize(n);
+  m.val_.assign(n, 1.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.col_[i] = static_cast<std::uint32_t>(i);
+    m.row_ptr_[i + 1] = i + 1;
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::selection(std::size_t n,
+                               const std::vector<std::uint32_t>& index) {
+  CsrMatrix m(index.size(), n);
+  m.col_.resize(index.size());
+  m.val_.assign(index.size(), 1.0f);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    TRKX_CHECK(index[i] < n);
+    m.col_[i] = index[i];
+    m.row_ptr_[i + 1] = i + 1;
+  }
+  return m;
+}
+
+std::vector<std::uint32_t> CsrMatrix::row_cols(std::size_t r) const {
+  TRKX_CHECK(r < rows_);
+  return {col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]),
+          col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1])};
+}
+
+float CsrMatrix::at(std::size_t r, std::size_t c) const {
+  TRKX_CHECK(r < rows_ && c < cols_);
+  const auto begin =
+      col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(c));
+  if (it == end || *it != c) return 0.0f;
+  return val_[static_cast<std::size_t>(it - col_.begin())];
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  CsrMatrix t(cols_, rows_);
+  t.col_.resize(nnz());
+  t.val_.resize(nnz());
+  // Counting sort by column.
+  std::vector<std::uint64_t> count(cols_ + 1, 0);
+  for (std::uint32_t c : col_) ++count[c + 1];
+  for (std::size_t i = 0; i < cols_; ++i) count[i + 1] += count[i];
+  t.row_ptr_ = count;
+  std::vector<std::uint64_t> cursor = count;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::uint32_t c = col_[k];
+      const std::uint64_t pos = cursor[c]++;
+      t.col_[pos] = static_cast<std::uint32_t>(r);
+      t.val_[pos] = val_[k];
+    }
+  }
+  return t;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix d(rows_, cols_, 0.0f);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      d(r, col_[k]) += val_[k];
+  return d;
+}
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense, float tol) {
+  std::vector<Triplet> trips;
+  for (std::size_t r = 0; r < dense.rows(); ++r)
+    for (std::size_t c = 0; c < dense.cols(); ++c)
+      if (std::fabs(dense(r, c)) > tol)
+        trips.push_back({static_cast<std::uint32_t>(r),
+                         static_cast<std::uint32_t>(c), dense(r, c)});
+  return from_triplets(dense.rows(), dense.cols(), std::move(trips), false);
+}
+
+CsrMatrix CsrMatrix::select_rows(
+    const std::vector<std::uint32_t>& index) const {
+  CsrMatrix out(index.size(), cols_);
+  std::size_t total = 0;
+  for (std::uint32_t r : index) {
+    TRKX_CHECK(r < rows_);
+    total += row_nnz(r);
+  }
+  out.col_.reserve(total);
+  out.val_.reserve(total);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    const std::uint32_t r = index[i];
+    out.col_.insert(out.col_.end(),
+                    col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]),
+                    col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]));
+    out.val_.insert(out.val_.end(),
+                    val_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]),
+                    val_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]));
+    out.row_ptr_[i + 1] = out.col_.size();
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::select_cols(
+    const std::vector<std::uint32_t>& index) const {
+  // Map old column -> new column (or sentinel for "dropped").
+  constexpr std::uint32_t kDrop = 0xffffffffu;
+  std::vector<std::uint32_t> remap(cols_, kDrop);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    TRKX_CHECK(index[i] < cols_);
+    TRKX_CHECK_MSG(remap[index[i]] == kDrop, "duplicate column in selection");
+    remap[index[i]] = static_cast<std::uint32_t>(i);
+  }
+  CsrMatrix out(rows_, index.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    // Collect then sort by the new column order (remap is not monotone).
+    std::vector<std::pair<std::uint32_t, float>> kept;
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::uint32_t nc = remap[col_[k]];
+      if (nc != kDrop) kept.emplace_back(nc, val_[k]);
+    }
+    std::sort(kept.begin(), kept.end());
+    for (auto& [c, v] : kept) {
+      out.col_.push_back(c);
+      out.val_.push_back(v);
+    }
+    out.row_ptr_[r + 1] = out.col_.size();
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::induced(const std::vector<std::uint32_t>& index) const {
+  TRKX_CHECK(rows_ == cols_);
+  return select_rows(index).select_cols(index);
+}
+
+void CsrMatrix::normalize_rows() {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      sum += val_[k];
+    if (sum == 0.0) continue;
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      val_[k] *= inv;
+  }
+}
+
+void CsrMatrix::scale(float s) {
+  for (float& v : val_) v *= s;
+}
+
+CsrMatrix CsrMatrix::vstack(const std::vector<const CsrMatrix*>& blocks) {
+  TRKX_CHECK(!blocks.empty());
+  const std::size_t cols = blocks[0]->cols_;
+  std::size_t rows = 0, total_nnz = 0;
+  for (const CsrMatrix* b : blocks) {
+    TRKX_CHECK_MSG(b->cols_ == cols, "vstack column mismatch");
+    rows += b->rows_;
+    total_nnz += b->nnz();
+  }
+  CsrMatrix out(rows, cols);
+  out.col_.reserve(total_nnz);
+  out.val_.reserve(total_nnz);
+  std::size_t row_off = 0;
+  for (const CsrMatrix* b : blocks) {
+    out.col_.insert(out.col_.end(), b->col_.begin(), b->col_.end());
+    out.val_.insert(out.val_.end(), b->val_.begin(), b->val_.end());
+    const std::uint64_t nnz_off = out.row_ptr_[row_off];
+    for (std::size_t r = 0; r < b->rows_; ++r)
+      out.row_ptr_[row_off + r + 1] = nnz_off + b->row_ptr_[r + 1];
+    row_off += b->rows_;
+  }
+  return out;
+}
+
+std::vector<Triplet> CsrMatrix::to_triplets() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      trips.push_back({static_cast<std::uint32_t>(r), col_[k], val_[k]});
+  return trips;
+}
+
+bool CsrMatrix::operator==(const CsrMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_ == other.col_ &&
+         val_ == other.val_;
+}
+
+void CsrMatrix::check_invariants() const {
+  TRKX_CHECK(row_ptr_.size() == rows_ + 1);
+  TRKX_CHECK(row_ptr_.front() == 0);
+  TRKX_CHECK(row_ptr_.back() == col_.size());
+  TRKX_CHECK(col_.size() == val_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    TRKX_CHECK(row_ptr_[r] <= row_ptr_[r + 1]);
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      TRKX_CHECK(col_[k] < cols_);
+      if (k + 1 < row_ptr_[r + 1])
+        TRKX_CHECK_MSG(col_[k] < col_[k + 1],
+                       "unsorted/duplicate column in row " << r);
+    }
+  }
+}
+
+}  // namespace trkx

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/error.hpp"
+
+namespace trkx {
+
+/// One COO (row, col, value) triplet.
+struct Triplet {
+  std::uint32_t row;
+  std::uint32_t col;
+  float val;
+};
+
+/// Compressed Sparse Row matrix with float values.
+///
+/// The workhorse of the matrix-based sampling framework (Figure 2 of the
+/// paper): the graph adjacency A, the batch-selection matrices Q, the
+/// frontier matrix F, the probability matrix P and the sampled adjacency
+/// A_S are all instances of this type.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  /// Empty matrix with the given shape (no nonzeros).
+  CsrMatrix(std::size_t rows, std::size_t cols);
+
+  /// Build from triplets. Duplicate (row, col) entries are summed when
+  /// `sum_duplicates` is true, otherwise they are an error.
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> triplets,
+                                 bool sum_duplicates = true);
+  /// Build directly from CSR arrays (validated).
+  static CsrMatrix from_csr(std::size_t rows, std::size_t cols,
+                            std::vector<std::uint64_t> row_ptr,
+                            std::vector<std::uint32_t> col_idx,
+                            std::vector<float> values);
+  static CsrMatrix identity(std::size_t n);
+  /// Selection matrix S (k×n): S[i, index[i]] = 1. Left-multiplying by S
+  /// extracts rows; right-multiplying by Sᵀ extracts columns. This is the
+  /// Q-matrix constructor from the paper.
+  static CsrMatrix selection(std::size_t n,
+                             const std::vector<std::uint32_t>& index);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return col_.size(); }
+
+  const std::vector<std::uint64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_; }
+  const std::vector<float>& values() const { return val_; }
+  std::vector<float>& values() { return val_; }
+
+  std::size_t row_nnz(std::size_t r) const {
+    TRKX_CHECK(r < rows_);
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+  /// Column indices of row r (sorted ascending).
+  std::vector<std::uint32_t> row_cols(std::size_t r) const;
+
+  /// value at (r, c), 0 if not stored. O(log nnz(r)).
+  float at(std::size_t r, std::size_t c) const;
+
+  CsrMatrix transpose() const;
+  Matrix to_dense() const;
+  static CsrMatrix from_dense(const Matrix& dense, float tol = 0.0f);
+
+  /// Rows indexed by `index`, in order (shape index.size() × cols).
+  CsrMatrix select_rows(const std::vector<std::uint32_t>& index) const;
+  /// Keep only columns in `index` and renumber them to 0..index.size()-1.
+  CsrMatrix select_cols(const std::vector<std::uint32_t>& index) const;
+  /// Induced submatrix A(index, index) with renumbered vertices —
+  /// reference implementation for the SpGEMM-based extraction.
+  CsrMatrix induced(const std::vector<std::uint32_t>& index) const;
+
+  /// Divide every stored value by its row sum (rows with zero sum are left
+  /// unchanged). Produces the per-row uniform distribution P in Figure 2.
+  void normalize_rows();
+
+  /// Scale all values.
+  void scale(float s);
+
+  /// Stack matrices vertically (all must share cols). Implements the
+  /// Q/F/P stacking of Equation (1) in the paper.
+  static CsrMatrix vstack(const std::vector<const CsrMatrix*>& blocks);
+
+  /// All triplets in row-major order.
+  std::vector<Triplet> to_triplets() const;
+
+  bool operator==(const CsrMatrix& other) const;
+
+  /// Internal invariant check (sorted columns, in-range indices, monotone
+  /// row_ptr); used by tests and after complex kernels in debug paths.
+  void check_invariants() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint64_t> row_ptr_{0};
+  std::vector<std::uint32_t> col_;
+  std::vector<float> val_;
+};
+
+}  // namespace trkx

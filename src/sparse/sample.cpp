@@ -1,0 +1,72 @@
+#include "sparse/sample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trkx {
+
+CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s, Rng& rng) {
+  TRKX_CHECK(s > 0);
+  const std::size_t rows = probs.rows();
+  std::vector<std::uint64_t> row_ptr(rows + 1, 0);
+  std::vector<std::uint32_t> col;
+  std::vector<float> val;
+  col.reserve(rows * s);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::uint64_t begin = probs.row_ptr()[r];
+    const std::uint64_t end = probs.row_ptr()[r + 1];
+    const std::size_t nnz = end - begin;
+    if (nnz <= s) {
+      // Keep the whole row.
+      for (std::uint64_t k = begin; k < end; ++k) col.push_back(probs.col_idx()[k]);
+    } else {
+      // Detect the uniform case (all stored values equal) — ShaDow rows are
+      // uniform after normalize_rows() — and use exact uniform sampling
+      // without replacement there. Otherwise fall back to weighted draws
+      // with rejection on duplicates.
+      bool uniform = true;
+      const float v0 = probs.values()[begin];
+      for (std::uint64_t k = begin + 1; k < end; ++k) {
+        if (probs.values()[k] != v0) {
+          uniform = false;
+          break;
+        }
+      }
+      std::vector<std::uint32_t> picked;
+      if (uniform) {
+        auto offsets = rng.sample_without_replacement(
+            static_cast<std::uint32_t>(nnz), static_cast<std::uint32_t>(s));
+        picked.reserve(s);
+        for (std::uint32_t off : offsets)
+          picked.push_back(probs.col_idx()[begin + off]);
+      } else {
+        // Weighted without replacement via Efraimidis–Spirakis keys:
+        // take the s largest u^(1/w). Deterministic given the RNG stream.
+        std::vector<std::pair<double, std::uint32_t>> keys;
+        keys.reserve(nnz);
+        for (std::uint64_t k = begin; k < end; ++k) {
+          const double w = std::max(1e-30, static_cast<double>(probs.values()[k]));
+          const double u = std::max(1e-300, rng.uniform());
+          keys.emplace_back(std::log(u) / w, probs.col_idx()[k]);
+        }
+        std::partial_sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(s),
+                          keys.end(), [](const auto& a, const auto& b) {
+                            return a.first > b.first;
+                          });
+        picked.reserve(s);
+        for (std::size_t i = 0; i < s; ++i) picked.push_back(keys[i].second);
+      }
+      std::sort(picked.begin(), picked.end());
+      col.insert(col.end(), picked.begin(), picked.end());
+    }
+    row_ptr[r + 1] = col.size();
+  }
+  // Ensure sorted column order within rows that kept everything (already
+  // sorted since the source is CSR) — values are all 1.
+  val.assign(col.size(), 1.0f);
+  return CsrMatrix::from_csr(rows, probs.cols(), std::move(row_ptr),
+                             std::move(col), std::move(val));
+}
+
+}  // namespace trkx

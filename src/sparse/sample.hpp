@@ -1,0 +1,19 @@
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace trkx {
+
+/// For each row of `probs` (nonnegative values, typically row-normalised),
+/// draw up to `s` *distinct* stored columns. Rows with ≤ s nonzeros keep
+/// all their columns. Sampling is weighted by the stored values
+/// (systematic resampling over the row's cumulative distribution, then
+/// dedup — equivalent to uniform without replacement when the row is
+/// uniform, which is the ShaDow case).
+///
+/// Returns a 0/1-valued CSR matrix with the same shape whose row i holds
+/// the sampled columns of row i.
+CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s, Rng& rng);
+
+}  // namespace trkx

@@ -1,0 +1,128 @@
+#include "sparse/spgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace trkx {
+
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
+  TRKX_CHECK_MSG(a.cols() == b.rows(), "spgemm shape mismatch "
+                                           << a.rows() << "x" << a.cols()
+                                           << " * " << b.rows() << "x"
+                                           << b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t n = b.cols();
+
+  // Pass 1+2 fused per row with a sparse accumulator (dense value array +
+  // touched-column list). Rows are independent; per-row outputs are
+  // stitched afterwards. This is Gustavson's algorithm.
+  std::vector<std::vector<std::uint32_t>> out_cols(m);
+  std::vector<std::vector<float>> out_vals(m);
+
+#pragma omp parallel
+  {
+    std::vector<float> acc(n, 0.0f);
+    std::vector<char> flag(n, 0);
+    std::vector<std::uint32_t> touched;
+#pragma omp for schedule(dynamic, 64)
+    for (std::size_t i = 0; i < m; ++i) {
+      touched.clear();
+      for (std::uint64_t ka = a.row_ptr()[i]; ka < a.row_ptr()[i + 1]; ++ka) {
+        const std::uint32_t k = a.col_idx()[ka];
+        const float av = a.values()[ka];
+        for (std::uint64_t kb = b.row_ptr()[k]; kb < b.row_ptr()[k + 1];
+             ++kb) {
+          const std::uint32_t j = b.col_idx()[kb];
+          if (!flag[j]) {
+            flag[j] = 1;
+            touched.push_back(j);
+          }
+          acc[j] += av * b.values()[kb];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      out_cols[i].reserve(touched.size());
+      out_vals[i].reserve(touched.size());
+      for (std::uint32_t j : touched) {
+        out_cols[i].push_back(j);
+        out_vals[i].push_back(acc[j]);
+        acc[j] = 0.0f;
+        flag[j] = 0;
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> row_ptr(m + 1, 0);
+  for (std::size_t i = 0; i < m; ++i)
+    row_ptr[i + 1] = row_ptr[i] + out_cols[i].size();
+  std::vector<std::uint32_t> col;
+  std::vector<float> val;
+  col.reserve(row_ptr[m]);
+  val.reserve(row_ptr[m]);
+  for (std::size_t i = 0; i < m; ++i) {
+    col.insert(col.end(), out_cols[i].begin(), out_cols[i].end());
+    val.insert(val.end(), out_vals[i].begin(), out_vals[i].end());
+  }
+  return CsrMatrix::from_csr(m, n, std::move(row_ptr), std::move(col),
+                             std::move(val));
+}
+
+Matrix spmm(const CsrMatrix& a, const Matrix& x) {
+  TRKX_CHECK_MSG(a.cols() == x.rows(), "spmm shape mismatch");
+  const std::size_t m = a.rows(), f = x.cols();
+  Matrix y(m, f, 0.0f);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* yrow = y.data() + i * f;
+    for (std::uint64_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {
+      const float av = a.values()[k];
+      const float* xrow = x.data() + a.col_idx()[k] * f;
+      for (std::size_t j = 0; j < f; ++j) yrow[j] += av * xrow[j];
+    }
+  }
+  return y;
+}
+
+CsrMatrix induced_via_spgemm(const CsrMatrix& a,
+                             const std::vector<std::uint32_t>& index) {
+  TRKX_CHECK(a.rows() == a.cols());
+  const CsrMatrix sel = CsrMatrix::selection(a.rows(), index);
+  // Row selection: S·A ; column selection: (S·A)·Sᵀ.
+  return spgemm(spgemm(sel, a), sel.transpose());
+}
+
+CsrMatrix sparse_add(const CsrMatrix& a, const CsrMatrix& b) {
+  TRKX_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  std::vector<std::uint64_t> row_ptr(a.rows() + 1, 0);
+  std::vector<std::uint32_t> col;
+  std::vector<float> val;
+  col.reserve(a.nnz() + b.nnz());
+  val.reserve(a.nnz() + b.nnz());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::uint64_t ia = a.row_ptr()[r], ea = a.row_ptr()[r + 1];
+    std::uint64_t ib = b.row_ptr()[r], eb = b.row_ptr()[r + 1];
+    while (ia < ea || ib < eb) {
+      std::uint32_t ca = ia < ea ? a.col_idx()[ia] : 0xffffffffu;
+      std::uint32_t cb = ib < eb ? b.col_idx()[ib] : 0xffffffffu;
+      if (ca == cb) {
+        col.push_back(ca);
+        val.push_back(a.values()[ia] + b.values()[ib]);
+        ++ia;
+        ++ib;
+      } else if (ca < cb) {
+        col.push_back(ca);
+        val.push_back(a.values()[ia]);
+        ++ia;
+      } else {
+        col.push_back(cb);
+        val.push_back(b.values()[ib]);
+        ++ib;
+      }
+    }
+    row_ptr[r + 1] = col.size();
+  }
+  return CsrMatrix::from_csr(a.rows(), a.cols(), std::move(row_ptr),
+                             std::move(col), std::move(val));
+}
+
+}  // namespace trkx

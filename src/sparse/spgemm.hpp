@@ -1,0 +1,26 @@
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace trkx {
+
+/// C = A · B for CSR matrices (row-wise Gustavson with a dense accumulator
+/// per thread). Values multiply-accumulate; explicit zeros are kept out of
+/// the result.
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Y = A · X for CSR A and dense X.
+Matrix spmm(const CsrMatrix& a, const Matrix& x);
+
+/// Induced submatrix extraction through selection SpGEMMs:
+///   A(S, S) = S_sel · A · S_selᵀ
+/// where S_sel = CsrMatrix::selection(n, index). This is the extraction
+/// step of the paper's matrix-based sampler (Figure 2, "row and column
+/// selection SpGEMMs"); CsrMatrix::induced() is the direct reference.
+CsrMatrix induced_via_spgemm(const CsrMatrix& a,
+                             const std::vector<std::uint32_t>& index);
+
+/// Elementwise union (values summed where both present).
+CsrMatrix sparse_add(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace trkx

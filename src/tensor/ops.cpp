@@ -1,0 +1,295 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace trkx {
+
+namespace {
+/// Micro-kernel tile size for the k-loop blocking in matmul. Chosen to keep
+/// one tile of B rows in L1; not autotuned — the matrices here are small
+/// (hidden dim ≤ 256) so a simple blocking suffices.
+constexpr std::size_t kTile = 64;
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  TRKX_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch "
+                                           << a.shape_str() << " x "
+                                           << b.shape_str());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order with k-tiling: unit-stride inner loop over both B and C.
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+      const std::size_t k1 = std::min(k0 + kTile, k);
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const float aik = pa[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  TRKX_CHECK_MSG(a.cols() == b.cols(), "matmul_nt shape mismatch "
+                                           << a.shape_str() << " x "
+                                           << b.shape_str() << "^T");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Both A rows and B rows are contiguous: dot-product form.
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  TRKX_CHECK_MSG(a.rows() == b.rows(), "matmul_tn shape mismatch "
+                                           << a.shape_str() << "^T x "
+                                           << b.shape_str());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Parallelise over output rows (columns of A) to avoid write conflicts.
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aki = pa[kk * m + i];
+      if (aki == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  const std::size_t r = a.rows(), c = a.cols();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) out(j, i) = a(i, j);
+  return out;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  return apply2(a, b, [](float x, float y) { return x + y; });
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  return apply2(a, b, [](float x, float y) { return x - y; });
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  return apply2(a, b, [](float x, float y) { return x * y; });
+}
+
+Matrix scale(const Matrix& a, float s) {
+  return apply(a, [s](float x) { return x * s; });
+}
+
+void add_inplace(Matrix& a, const Matrix& b) {
+  TRKX_CHECK(a.same_shape(b));
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::size_t n = a.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void axpy_inplace(Matrix& a, float s, const Matrix& b) {
+  TRKX_CHECK(a.same_shape(b));
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::size_t n = a.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) pa[i] += s * pb[i];
+}
+
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
+  TRKX_CHECK_MSG(row.rows() == 1 && row.cols() == a.cols(),
+                 "broadcast shape mismatch " << a.shape_str() << " + "
+                                             << row.shape_str());
+  Matrix out(a.rows(), a.cols());
+  const float* pr = row.data();
+  const std::size_t r = a.rows(), c = a.cols();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < r; ++i) {
+    const float* arow = a.data() + i * c;
+    float* orow = out.data() + i * c;
+    for (std::size_t j = 0; j < c; ++j) orow[j] = arow[j] + pr[j];
+  }
+  return out;
+}
+
+Matrix colwise_sum(const Matrix& a) {
+  Matrix out(1, a.cols(), 0.0f);
+  float* po = out.data();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) po[j] += arow[j];
+  }
+  return out;
+}
+
+Matrix rowwise_sum(const Matrix& a) {
+  Matrix out(a.rows(), 1, 0.0f);
+  const std::size_t r = a.rows(), c = a.cols();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < r; ++i) {
+    const float* arow = a.data() + i * c;
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < c; ++j) acc += arow[j];
+    out(i, 0) = acc;
+  }
+  return out;
+}
+
+Matrix concat_cols(const std::vector<const Matrix*>& blocks) {
+  TRKX_CHECK(!blocks.empty());
+  const std::size_t rows = blocks[0]->rows();
+  std::size_t total_cols = 0;
+  for (const Matrix* b : blocks) {
+    TRKX_CHECK_MSG(b->rows() == rows, "concat_cols row mismatch");
+    total_cols += b->cols();
+  }
+  Matrix out(rows, total_cols);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* orow = out.data() + i * total_cols;
+    std::size_t off = 0;
+    for (const Matrix* b : blocks) {
+      std::memcpy(orow + off, b->data() + i * b->cols(),
+                  b->cols() * sizeof(float));
+      off += b->cols();
+    }
+  }
+  return out;
+}
+
+Matrix concat_rows(const std::vector<const Matrix*>& blocks) {
+  TRKX_CHECK(!blocks.empty());
+  const std::size_t cols = blocks[0]->cols();
+  std::size_t total_rows = 0;
+  for (const Matrix* b : blocks) {
+    TRKX_CHECK_MSG(b->cols() == cols, "concat_rows col mismatch");
+    total_rows += b->rows();
+  }
+  Matrix out(total_rows, cols);
+  std::size_t off = 0;
+  for (const Matrix* b : blocks) {
+    std::memcpy(out.data() + off * cols, b->data(),
+                b->size() * sizeof(float));
+    off += b->rows();
+  }
+  return out;
+}
+
+Matrix slice_cols(const Matrix& a, std::size_t start, std::size_t len) {
+  TRKX_CHECK(start + len <= a.cols());
+  Matrix out(a.rows(), len);
+  const std::size_t r = a.rows(), c = a.cols();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < r; ++i) {
+    std::memcpy(out.data() + i * len, a.data() + i * c + start,
+                len * sizeof(float));
+  }
+  return out;
+}
+
+Matrix slice_rows(const Matrix& a, std::size_t start, std::size_t len) {
+  TRKX_CHECK(start + len <= a.rows());
+  Matrix out(len, a.cols());
+  std::memcpy(out.data(), a.data() + start * a.cols(),
+              len * a.cols() * sizeof(float));
+  return out;
+}
+
+Matrix row_gather(const Matrix& x, const std::vector<std::uint32_t>& index) {
+  // Validate outside the parallel region: exceptions may not cross an
+  // OpenMP boundary.
+  for (std::uint32_t idx : index) {
+    TRKX_CHECK_MSG(idx < x.rows(),
+                   "row_gather index " << idx << " out of range " << x.rows());
+  }
+  Matrix out(index.size(), x.cols());
+  const std::size_t c = x.cols(), n = index.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(out.data() + i * c, x.data() + index[i] * c,
+                c * sizeof(float));
+  }
+  return out;
+}
+
+void row_scatter_add(Matrix& dst, const std::vector<std::uint32_t>& index,
+                     const Matrix& src) {
+  TRKX_CHECK(index.size() == src.rows());
+  TRKX_CHECK(dst.cols() == src.cols());
+  const std::size_t c = dst.cols();
+  // Serial over src rows: scatter targets collide, and the graphs here have
+  // high-degree vertices, so per-row atomics would be slower than this loop.
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    TRKX_CHECK_MSG(index[i] < dst.rows(), "row_scatter_add index "
+                                              << index[i] << " out of range "
+                                              << dst.rows());
+    float* drow = dst.data() + index[i] * c;
+    const float* srow = src.data() + i * c;
+    for (std::size_t j = 0; j < c; ++j) drow[j] += srow[j];
+  }
+}
+
+Matrix segment_sum(const Matrix& y, const std::vector<std::uint32_t>& index,
+                   std::size_t num_segments) {
+  Matrix out(num_segments, y.cols(), 0.0f);
+  row_scatter_add(out, index, y);
+  return out;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  TRKX_CHECK(a.same_shape(b));
+  float m = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  return m;
+}
+
+bool allclose(const Matrix& a, const Matrix& b, float atol, float rtol) {
+  if (!a.same_shape(b)) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float diff = std::fabs(pa[i] - pb[i]);
+    const float tol = atol + rtol * std::max(std::fabs(pa[i]),
+                                             std::fabs(pb[i]));
+    if (diff > tol || std::isnan(diff)) return false;
+  }
+  return true;
+}
+
+}  // namespace trkx

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace trkx {
+
+/// Dense kernels used by the autograd layer and the GNN.
+///
+/// All kernels validate shapes with TRKX_CHECK and parallelise the outer
+/// loop with OpenMP. They allocate their outputs; in-place variants are
+/// provided where backpropagation needs accumulation.
+
+/// C = A · B
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A · Bᵀ
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+/// C = Aᵀ · B
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+Matrix transpose(const Matrix& a);
+
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix hadamard(const Matrix& a, const Matrix& b);
+Matrix scale(const Matrix& a, float s);
+/// a += b
+void add_inplace(Matrix& a, const Matrix& b);
+/// a += s * b
+void axpy_inplace(Matrix& a, float s, const Matrix& b);
+
+/// Broadcast-add a 1×c row vector to every row of a (returns new matrix).
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row);
+/// 1×c column sums (the gradient of a row broadcast).
+Matrix colwise_sum(const Matrix& a);
+/// r×1 row sums.
+Matrix rowwise_sum(const Matrix& a);
+
+/// Horizontally concatenate blocks: [A B C ...]. All must share rows().
+Matrix concat_cols(const std::vector<const Matrix*>& blocks);
+/// Vertically stack blocks. All must share cols().
+Matrix concat_rows(const std::vector<const Matrix*>& blocks);
+/// Columns [start, start+len) of a.
+Matrix slice_cols(const Matrix& a, std::size_t start, std::size_t len);
+/// Rows [start, start+len) of a.
+Matrix slice_rows(const Matrix& a, std::size_t start, std::size_t len);
+
+/// out[i, :] = x[index[i], :]. Every index must be < x.rows().
+Matrix row_gather(const Matrix& x, const std::vector<std::uint32_t>& index);
+/// dst[index[i], :] += src[i, :]. Every index must be < dst.rows().
+void row_scatter_add(Matrix& dst, const std::vector<std::uint32_t>& index,
+                     const Matrix& src);
+/// out (num_segments × cols): out[index[i], :] += y[i, :].
+/// This is the GNN aggregation primitive (REDUCTION in Algorithm 1).
+Matrix segment_sum(const Matrix& y, const std::vector<std::uint32_t>& index,
+                   std::size_t num_segments);
+
+/// max |a - b| over all elements; shapes must match.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+bool allclose(const Matrix& a, const Matrix& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+/// Elementwise map (out[i] = fn(a[i])).
+template <typename Fn>
+Matrix apply(const Matrix& a, Fn&& fn) {
+  Matrix out(a.rows(), a.cols());
+  const float* src = a.data();
+  float* dst = out.data();
+  const std::size_t n = a.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) dst[i] = fn(src[i]);
+  return out;
+}
+
+/// Elementwise binary map (out[i] = fn(a[i], b[i])); shapes must match.
+template <typename Fn>
+Matrix apply2(const Matrix& a, const Matrix& b, Fn&& fn) {
+  TRKX_CHECK_MSG(a.same_shape(b), "apply2 shape mismatch " << a.shape_str()
+                                                           << " vs "
+                                                           << b.shape_str());
+  Matrix out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  const std::size_t n = a.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) dst[i] = fn(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace trkx

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace trkx {
+
+/// Minimal command-line parser for examples and benches.
+///
+/// Accepts `--key value`, `--key=value`, and bare `--flag` forms. Unknown
+/// keys are kept so callers can validate with `unknown_keys()`.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non --key) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace trkx

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace trkx {
+
+/// Exception thrown on any violated precondition or internal invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TRKX_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace trkx
+
+/// Precondition / invariant check that throws trkx::Error on failure.
+/// Always enabled (not compiled out in release builds): the cost is trivial
+/// next to the kernels it guards, and silent corruption is far worse.
+#define TRKX_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::trkx::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TRKX_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream trkx_os_;                                        \
+      trkx_os_ << msg;                                                    \
+      ::trkx::detail::throw_check_failure(#expr, __FILE__, __LINE__,      \
+                                          trkx_os_.str());                \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace trkx {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double t =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%9.3f] [%s] %s\n", t, level_tag(level),
+               message.c_str());
+}
+
+}  // namespace trkx

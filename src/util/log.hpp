@@ -1,0 +1,37 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace trkx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single formatted line to stderr with a timestamp and level tag.
+/// Thread-safe (serialised by an internal mutex).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogStream {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogStream(LogLevel l) : level(l) {}
+  ~LogStream() { log_line(level, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace trkx
+
+#define TRKX_LOG(level_tag)                                              \
+  if (::trkx::LogLevel::level_tag < ::trkx::log_level()) {               \
+  } else                                                                 \
+    ::trkx::detail::LogStream(::trkx::LogLevel::level_tag).os
+
+#define TRKX_DEBUG TRKX_LOG(kDebug)
+#define TRKX_INFO TRKX_LOG(kInfo)
+#define TRKX_WARN TRKX_LOG(kWarn)
+#define TRKX_ERROR TRKX_LOG(kError)

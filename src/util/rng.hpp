@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+/// Deterministic, seedable, cheap-to-split PRNG (splitmix64 core).
+///
+/// Every stochastic component in the library (detector simulation, weight
+/// init, samplers, noise) draws from an Rng instance that is explicitly
+/// threaded through the call graph, so runs are reproducible given a seed
+/// and independent streams can be created with split().
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Derive an independent stream; deterministic function of current state.
+  Rng split() { return Rng(next_u64() ^ 0xda3e39cb94b95bdbull); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    TRKX_CHECK(n > 0);
+    // Lemire's multiply-shift rejection method: unbiased.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      std::uint64_t t = (0 - n) % n;
+      while (lo < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; spare cached).
+  double normal();
+
+  /// Normal with given mean and stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Poisson draw (Knuth for small lambda, normal approximation for large).
+  int poisson(double lambda);
+
+  /// Sample k distinct indices uniformly from [0, n) (Floyd's algorithm).
+  /// If k >= n, returns all n indices. Output order is unspecified.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::uint64_t state() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace trkx

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace trkx {
+
+/// Streaming mean/variance (Welford) plus min/max.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> values, double p);
+
+double mean(const std::vector<double>& values);
+double stddev(const std::vector<double>& values);
+
+/// Binary-classification counts and derived metrics used for the paper's
+/// edge precision / recall curves (Figure 4).
+struct BinaryMetrics {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;
+
+  void add(bool predicted, bool actual);
+  void merge(const BinaryMetrics& other);
+  std::size_t total() const;
+  double precision() const;  ///< tp / (tp + fp); 0 when undefined
+  double recall() const;     ///< tp / (tp + fn); 0 when undefined
+  double f1() const;
+  double accuracy() const;
+};
+
+}  // namespace trkx

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace trkx {
+
+/// Monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named time buckets; used by training loops to report the
+/// sampling / forward-backward / all-reduce split that Figure 3 plots.
+class PhaseTimers {
+ public:
+  void add(const std::string& phase, double seconds) {
+    buckets_[phase] += seconds;
+  }
+  double get(const std::string& phase) const {
+    auto it = buckets_.find(phase);
+    return it == buckets_.end() ? 0.0 : it->second;
+  }
+  void clear() { buckets_.clear(); }
+  const std::map<std::string, double>& buckets() const { return buckets_; }
+  /// Merge another timer set into this one (summing buckets).
+  void merge(const PhaseTimers& other) {
+    for (const auto& [k, v] : other.buckets_) buckets_[k] += v;
+  }
+
+ private:
+  std::map<std::string, double> buckets_;
+};
+
+/// RAII helper: adds elapsed time into a PhaseTimers bucket on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, std::string phase)
+      : timers_(timers), phase_(std::move(phase)) {}
+  ~ScopedPhase() { timers_.add(phase_, timer_.seconds()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+  std::string phase_;
+  WallTimer timer_;
+};
+
+}  // namespace trkx

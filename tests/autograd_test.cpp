@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/tape.hpp"
+#include "util/rng.hpp"
+
+namespace trkx {
+namespace {
+
+/// Helper: gradcheck a unary tape op through mean_square reduction.
+template <typename OpFn>
+GradcheckResult check_unary(OpFn op, std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x = Matrix::random_normal(rows, cols, rng, 0.0f, 1.0f);
+  return gradcheck(
+      [&op](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var x = tape.leaf(in[0], true);
+        Var y = op(tape, x);
+        Var loss = tape.mean_square(y);
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(x.grad());
+        }
+        return v;
+      },
+      {x});
+}
+
+TEST(TapeTest, LeafValueAndGradAccess) {
+  Tape tape;
+  Var x = tape.leaf(Matrix{{1, 2}}, true);
+  EXPECT_EQ(x.value()(0, 1), 2.0f);
+  EXPECT_TRUE(x.requires_grad());
+  EXPECT_THROW(x.grad(), Error);  // before backward
+}
+
+TEST(TapeTest, BackwardOnNonScalarThrows) {
+  Tape tape;
+  Var x = tape.leaf(Matrix{{1, 2}}, true);
+  EXPECT_THROW(tape.backward(x), Error);
+}
+
+TEST(TapeTest, BackwardTwiceThrows) {
+  Tape tape;
+  Var x = tape.leaf(Matrix{{1.0f}}, true);
+  Var loss = tape.mean_square(x);
+  tape.backward(loss);
+  EXPECT_THROW(tape.backward(loss), Error);
+}
+
+TEST(TapeTest, NoGradForConstantBranch) {
+  Tape tape;
+  Var c = tape.leaf(Matrix{{1, 2}}, false);
+  Var x = tape.leaf(Matrix{{3, 4}}, true);
+  Var y = tape.add(c, x);
+  Var loss = tape.mean_square(y);
+  tape.backward(loss);
+  EXPECT_FALSE(tape.has_grad(c));
+  EXPECT_TRUE(tape.has_grad(x));
+}
+
+TEST(TapeTest, GradAccumulatesAcrossUses) {
+  // loss = mean_square(x + x) = 4·mean(x²); dloss/dx = 8x/n.
+  Tape tape;
+  Matrix xv{{1.0f, 2.0f}};
+  Var x = tape.leaf(xv, true);
+  Var y = tape.add(x, x);
+  Var loss = tape.mean_square(y);
+  tape.backward(loss);
+  EXPECT_NEAR(x.grad()(0, 0), 8.0f * 1.0f / 2.0f, 1e-5f);
+  EXPECT_NEAR(x.grad()(0, 1), 8.0f * 2.0f / 2.0f, 1e-5f);
+}
+
+// ---------- gradchecks per op ----------
+
+TEST(Gradcheck, Matmul) {
+  Rng rng(1);
+  Matrix a = Matrix::random_normal(3, 4, rng);
+  Matrix b = Matrix::random_normal(4, 2, rng);
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var a = tape.leaf(in[0], true);
+        Var b = tape.leaf(in[1], true);
+        Var loss = tape.mean_square(tape.matmul(a, b));
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(a.grad());
+          grads->push_back(b.grad());
+        }
+        return v;
+      },
+      {a, b});
+  EXPECT_TRUE(result.passed) << "max abs err " << result.max_abs_error;
+}
+
+TEST(Gradcheck, LinearFused) {
+  Rng rng(2);
+  Matrix x = Matrix::random_normal(5, 3, rng);
+  Matrix w = Matrix::random_normal(3, 4, rng);
+  Matrix b = Matrix::random_normal(1, 4, rng);
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var x = tape.leaf(in[0], true);
+        Var w = tape.leaf(in[1], true);
+        Var b = tape.leaf(in[2], true);
+        Var loss = tape.mean_square(tape.linear(x, w, b));
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(x.grad());
+          grads->push_back(w.grad());
+          grads->push_back(b.grad());
+        }
+        return v;
+      },
+      {x, w, b});
+  EXPECT_TRUE(result.passed) << "max abs err " << result.max_abs_error;
+}
+
+TEST(Gradcheck, Relu) {
+  // Shift away from 0 to avoid the kink.
+  Rng rng(3);
+  Matrix x = Matrix::random_normal(4, 4, rng, 0.0f, 1.0f);
+  for (float& v : x.flat())
+    if (std::fabs(v) < 0.05f) v += 0.2f;
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var x = tape.leaf(in[0], true);
+        Var loss = tape.mean_square(tape.relu(x));
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(x.grad());
+        }
+        return v;
+      },
+      {x});
+  EXPECT_TRUE(result.passed) << "max abs err " << result.max_abs_error;
+}
+
+TEST(Gradcheck, Tanh) {
+  auto r = check_unary(
+      [](Tape& t, Var x) { return t.tanh(x); }, 3, 5, 4);
+  EXPECT_TRUE(r.passed) << r.max_abs_error;
+}
+
+TEST(Gradcheck, Sigmoid) {
+  auto r = check_unary(
+      [](Tape& t, Var x) { return t.sigmoid(x); }, 4, 3, 5);
+  EXPECT_TRUE(r.passed) << r.max_abs_error;
+}
+
+TEST(Gradcheck, ScaleSubHadamard) {
+  Rng rng(6);
+  Matrix a = Matrix::random_normal(3, 3, rng);
+  Matrix b = Matrix::random_normal(3, 3, rng);
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var a = tape.leaf(in[0], true);
+        Var b = tape.leaf(in[1], true);
+        Var y = tape.hadamard(tape.sub(a, b), tape.scale(a, 0.5f));
+        Var loss = tape.mean_square(y);
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(a.grad());
+          grads->push_back(b.grad());
+        }
+        return v;
+      },
+      {a, b});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(Gradcheck, LayerNorm) {
+  Rng rng(7);
+  Matrix x = Matrix::random_normal(4, 6, rng, 0.0f, 2.0f);
+  Matrix gamma = Matrix::random_normal(1, 6, rng, 1.0f, 0.2f);
+  Matrix beta = Matrix::random_normal(1, 6, rng, 0.0f, 0.2f);
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var x = tape.leaf(in[0], true);
+        Var g = tape.leaf(in[1], true);
+        Var b = tape.leaf(in[2], true);
+        Var loss = tape.mean_square(tape.layer_norm(x, g, b));
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(x.grad());
+          grads->push_back(g.grad());
+          grads->push_back(b.grad());
+        }
+        return v;
+      },
+      {x, gamma, beta});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(Gradcheck, ConcatAndSlice) {
+  Rng rng(8);
+  Matrix a = Matrix::random_normal(3, 2, rng);
+  Matrix b = Matrix::random_normal(3, 3, rng);
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var a = tape.leaf(in[0], true);
+        Var b = tape.leaf(in[1], true);
+        Var cat = tape.concat_cols({a, b, a});
+        Var sl = tape.slice_cols(cat, 1, 5);
+        Var loss = tape.mean_square(sl);
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(a.grad());
+          grads->push_back(b.grad());
+        }
+        return v;
+      },
+      {a, b});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(Gradcheck, ScaleRows) {
+  Rng rng(13);
+  Matrix rows = Matrix::random_normal(5, 4, rng);
+  Matrix scalars = Matrix::random_normal(5, 1, rng);
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var r = tape.leaf(in[0], true);
+        Var s = tape.leaf(in[1], true);
+        Var loss = tape.mean_square(tape.scale_rows(r, s));
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(r.grad());
+          grads->push_back(s.grad());
+        }
+        return v;
+      },
+      {rows, scalars});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(TapeTest, ScaleRowsShapeMismatchThrows) {
+  Tape tape;
+  Var r = tape.leaf(Matrix(3, 2), false);
+  Var s = tape.leaf(Matrix(2, 1), false);
+  EXPECT_THROW(tape.scale_rows(r, s), Error);
+}
+
+TEST(Gradcheck, RowGatherAndSegmentSum) {
+  Rng rng(9);
+  Matrix x = Matrix::random_normal(5, 3, rng);
+  const std::vector<std::uint32_t> idx{0, 4, 4, 2, 1, 0};
+  auto result = gradcheck(
+      [&idx](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var x = tape.leaf(in[0], true);
+        Var g = tape.row_gather(x, idx);
+        Var s = tape.segment_sum(g, {1, 0, 1, 2, 2, 0}, 3);
+        Var loss = tape.mean_square(s);
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(x.grad());
+        }
+        return v;
+      },
+      {x});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(Gradcheck, BceWithLogits) {
+  Rng rng(10);
+  Matrix z = Matrix::random_normal(8, 1, rng);
+  const std::vector<float> labels{1, 0, 1, 1, 0, 0, 1, 0};
+  auto result = gradcheck(
+      [&labels](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var z = tape.leaf(in[0], true);
+        Var loss = tape.bce_with_logits(z, labels);
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(z.grad());
+        }
+        return v;
+      },
+      {z});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(Gradcheck, BceWithPosWeightAndSampleWeights) {
+  Rng rng(11);
+  Matrix z = Matrix::random_normal(6, 1, rng);
+  const std::vector<float> labels{1, 0, 1, 0, 1, 0};
+  const std::vector<float> weights{1.0f, 2.0f, 0.5f, 1.0f, 1.5f, 3.0f};
+  auto result = gradcheck(
+      [&](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var z = tape.leaf(in[0], true);
+        Var loss = tape.bce_with_logits(z, labels, weights, 4.0f);
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(z.grad());
+        }
+        return v;
+      },
+      {z});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(Gradcheck, ContrastivePairLoss) {
+  Rng rng(12);
+  Matrix a = Matrix::random_normal(6, 4, rng);
+  Matrix b = Matrix::random_normal(6, 4, rng);
+  const std::vector<float> labels{1, 0, 1, 0, 0, 1};
+  auto result = gradcheck(
+      [&labels](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var a = tape.leaf(in[0], true);
+        Var b = tape.leaf(in[1], true);
+        Var loss = tape.contrastive_pair_loss(a, b, labels, 1.5f);
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(a.grad());
+          grads->push_back(b.grad());
+        }
+        return v;
+      },
+      {a, b});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+// ---------- loss values against hand computations ----------
+
+TEST(LossValues, BceMatchesManual) {
+  Tape tape;
+  Matrix z{{0.0f}, {2.0f}};
+  Var zv = tape.leaf(z, true);
+  const std::vector<float> labels{1.0f, 0.0f};
+  Var loss = tape.bce_with_logits(zv, labels);
+  // -log(σ(0)) = log 2; -log(1-σ(2)) = log(1+e²) - 0... manual:
+  const double l0 = std::log(2.0);
+  const double l1 = 2.0 + std::log1p(std::exp(-2.0));
+  EXPECT_NEAR(loss.value()(0, 0), (l0 + l1) / 2.0, 1e-5);
+}
+
+TEST(LossValues, BceGradIsSigmoidMinusLabel) {
+  Tape tape;
+  Matrix z{{0.5f}, {-1.0f}};
+  Var zv = tape.leaf(z, true);
+  Var loss = tape.bce_with_logits(zv, {1.0f, 0.0f});
+  tape.backward(loss);
+  const float s0 = 1.0f / (1.0f + std::exp(-0.5f));
+  const float s1 = 1.0f / (1.0f + std::exp(1.0f));
+  EXPECT_NEAR(zv.grad()(0, 0), (s0 - 1.0f) / 2.0f, 1e-5f);
+  EXPECT_NEAR(zv.grad()(1, 0), s1 / 2.0f, 1e-5f);
+}
+
+TEST(LossValues, ContrastiveZeroWhenPositivesCoincideAndNegativesFar) {
+  Tape tape;
+  Matrix a{{0, 0}, {5, 5}};
+  Matrix b{{0, 0}, {-5, -5}};
+  Var av = tape.leaf(a, true);
+  Var bv = tape.leaf(b, true);
+  Var loss = tape.contrastive_pair_loss(av, bv, {1.0f, 0.0f}, 1.0f);
+  EXPECT_NEAR(loss.value()(0, 0), 0.0f, 1e-5f);
+}
+
+TEST(TapeTest, ActivationFloatsCounts) {
+  Tape tape;
+  Var x = tape.leaf(Matrix(10, 4), false);
+  (void)tape.relu(x);
+  EXPECT_EQ(tape.activation_floats(), 80u);
+}
+
+// ---------- randomized expression gradchecks ----------
+
+/// Property sweep: random compositions of tape ops must all pass
+/// gradcheck. Each parameter seeds a different random expression tree
+/// built from the op set the IGNN uses.
+class RandomExpressionGradcheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomExpressionGradcheck, Passes) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 977 + 13);
+  const std::size_t rows = 2 + rng.uniform_index(4);
+  const std::size_t cols = 2 + rng.uniform_index(4);
+  Matrix x = Matrix::random_normal(rows, cols, rng, 0.0f, 0.8f);
+  Matrix w = Matrix::random_normal(cols, cols, rng, 0.0f, 0.5f);
+  // Avoid ReLU kinks in the finite-difference sweep.
+  for (float& v : x.flat())
+    if (std::fabs(v) < 0.05f) v += 0.1f;
+
+  const std::uint64_t recipe = rng.next_u64();
+  auto build = [&](Tape& tape, Var xv, Var wv) {
+    Var h = tape.matmul(xv, wv);
+    std::uint64_t bits = recipe;
+    for (int step = 0; step < 4; ++step) {
+      switch (bits % 5) {
+        case 0: h = tape.tanh(h); break;
+        case 1: h = tape.sigmoid(h); break;
+        case 2: h = tape.scale(tape.add(h, h), 0.5f); break;
+        case 3: h = tape.hadamard(h, tape.sigmoid(h)); break;
+        case 4: h = tape.concat_cols({h, h}); h = tape.slice_cols(h, 0, cols); break;
+      }
+      bits /= 5;
+    }
+    return tape.mean_square(h);
+  };
+  auto result = gradcheck(
+      [&](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var xv = tape.leaf(in[0], true);
+        Var wv = tape.leaf(in[1], true);
+        Var loss = build(tape, xv, wv);
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(xv.grad());
+          grads->push_back(wv.grad());
+        }
+        return v;
+      },
+      {x, w});
+  EXPECT_TRUE(result.passed)
+      << "seed " << seed << " max abs err " << result.max_abs_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomExpressionGradcheck,
+                         ::testing::Range(0, 12));
+
+TEST(TapeTest, SumOp) {
+  Tape tape;
+  Var x = tape.leaf(Matrix{{1, 2}, {3, 4}}, true);
+  Var s = tape.sum(x);
+  EXPECT_FLOAT_EQ(s.value()(0, 0), 10.0f);
+  tape.backward(s);
+  EXPECT_EQ(x.grad(), (Matrix{{1, 1}, {1, 1}}));
+}
+
+}  // namespace
+}  // namespace trkx

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "gnn/interaction_gnn.hpp"
+#include "graph/generators.hpp"
+
+namespace trkx {
+namespace {
+
+IgnnConfig tiny_config() {
+  IgnnConfig cfg;
+  cfg.node_input_dim = 3;
+  cfg.edge_input_dim = 2;
+  cfg.hidden_dim = 8;
+  cfg.num_layers = 2;
+  cfg.mlp_hidden = 1;
+  cfg.layer_norm = false;
+  return cfg;
+}
+
+TEST(IgnnTest, ForwardShapeIsEdgeLogits) {
+  ParameterStore store;
+  Rng rng(1);
+  InteractionGnn gnn(store, tiny_config(), rng);
+  Graph g = cycle_graph(6);
+  Matrix x = Matrix::random_normal(6, 3, rng);
+  Matrix y = Matrix::random_normal(6, 2, rng);
+  TapeContext ctx;
+  Var logits = gnn.forward(ctx, x, y, g);
+  EXPECT_EQ(logits.rows(), 6u);
+  EXPECT_EQ(logits.cols(), 1u);
+  EXPECT_TRUE(logits.value().all_finite());
+}
+
+TEST(IgnnTest, PredictIsSigmoidOfLogits) {
+  ParameterStore store;
+  Rng rng(2);
+  InteractionGnn gnn(store, tiny_config(), rng);
+  Graph g = path_graph(5);
+  Matrix x = Matrix::random_normal(5, 3, rng);
+  Matrix y = Matrix::random_normal(4, 2, rng);
+  const auto probs = gnn.predict(x, y, g);
+  ASSERT_EQ(probs.size(), 4u);
+  for (float p : probs) {
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+  TapeContext ctx;
+  Var logits = gnn.forward(ctx, x, y, g);
+  for (std::size_t e = 0; e < 4; ++e) {
+    const float z = logits.value()(e, 0);
+    EXPECT_NEAR(probs[e], 1.0f / (1.0f + std::exp(-z)), 1e-5f);
+  }
+}
+
+TEST(IgnnTest, ParameterCountScalesWithLayers) {
+  Rng rng(3);
+  IgnnConfig c1 = tiny_config();
+  c1.num_layers = 2;
+  ParameterStore s1;
+  InteractionGnn g1(s1, c1, rng);
+  IgnnConfig c2 = tiny_config();
+  c2.num_layers = 4;
+  ParameterStore s2;
+  Rng rng2(3);
+  InteractionGnn g2(s2, c2, rng2);
+  EXPECT_GT(s2.count(), s1.count());
+}
+
+TEST(IgnnTest, SharedWeightsReduceParameters) {
+  Rng rng(4);
+  IgnnConfig base = tiny_config();
+  base.num_layers = 6;
+  ParameterStore s_distinct;
+  InteractionGnn g_distinct(s_distinct, base, rng);
+  IgnnConfig shared = base;
+  shared.shared_weights = true;
+  ParameterStore s_shared;
+  Rng rng2(4);
+  InteractionGnn g_shared(s_shared, shared, rng2);
+  EXPECT_LT(s_shared.total_size(), s_distinct.total_size());
+}
+
+TEST(IgnnTest, ParameterGradientsMatchNumericOnTinyGraph) {
+  // Real gradcheck: perturb one weight matrix of the classifier and
+  // compare the analytic parameter gradient against finite differences.
+  ParameterStore store;
+  Rng rng(6);
+  IgnnConfig cfg = tiny_config();
+  cfg.hidden_dim = 4;
+  cfg.num_layers = 1;
+  cfg.mlp_hidden = 0;  // linear MLPs keep the check fast
+  InteractionGnn gnn(store, cfg, rng);
+  Graph g(3, {{0, 1}, {1, 2}});
+  Matrix x = Matrix::random_normal(3, 3, rng, 0.0f, 0.5f);
+  Matrix y = Matrix::random_normal(2, 2, rng, 0.0f, 0.5f);
+  const std::vector<float> labels{1.0f, 0.0f};
+
+  auto loss_value = [&]() {
+    TapeContext ctx;
+    Var logits = gnn.forward(ctx, x, y, g);
+    Var loss = ctx.tape().bce_with_logits(logits, labels);
+    return static_cast<double>(loss.value()(0, 0));
+  };
+
+  // Analytic gradients.
+  store.zero_grad();
+  {
+    TapeContext ctx;
+    Var logits = gnn.forward(ctx, x, y, g);
+    Var loss = ctx.tape().bce_with_logits(logits, labels);
+    ctx.backward(loss);
+  }
+
+  const float eps = 1e-3f;
+  for (auto& p : store.params()) {
+    // Spot-check a handful of coordinates per parameter.
+    const std::size_t stride = std::max<std::size_t>(1, p.size() / 3);
+    for (std::size_t i = 0; i < p.size(); i += stride) {
+      const float orig = p.value.data()[i];
+      p.value.data()[i] = orig + eps;
+      const double fp = loss_value();
+      p.value.data()[i] = orig - eps;
+      const double fm = loss_value();
+      p.value.data()[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      EXPECT_NEAR(p.grad.data()[i], numeric, 5e-3 + 0.05 * std::fabs(numeric))
+          << "param " << p.name << " index " << i;
+    }
+  }
+}
+
+TEST(IgnnTest, EdgePermutationEquivariance) {
+  // Reordering the edge list permutes the logits identically.
+  ParameterStore store;
+  Rng rng(7);
+  InteractionGnn gnn(store, tiny_config(), rng);
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  Matrix x = Matrix::random_normal(4, 3, rng);
+  Matrix y = Matrix::random_normal(4, 2, rng);
+  TapeContext c1;
+  Var l1 = gnn.forward(c1, x, y, g);
+
+  Graph g2(4, {{2, 3}, {0, 1}, {0, 3}, {1, 2}});
+  
+  Matrix y2 = row_gather(y, {2, 0, 3, 1});
+  TapeContext c2;
+  Var l2 = gnn.forward(c2, x, y2, g2);
+  // l2[0] corresponds to edge (2,3) = g edge 2, etc.
+  EXPECT_NEAR(l2.value()(0, 0), l1.value()(2, 0), 1e-4f);
+  EXPECT_NEAR(l2.value()(1, 0), l1.value()(0, 0), 1e-4f);
+  EXPECT_NEAR(l2.value()(2, 0), l1.value()(3, 0), 1e-4f);
+  EXPECT_NEAR(l2.value()(3, 0), l1.value()(1, 0), 1e-4f);
+}
+
+TEST(IgnnTest, DisjointComponentsAreIndependent) {
+  // The logits of a component do not depend on other components — the
+  // property ShaDow training relies on when batching components together.
+  ParameterStore store;
+  Rng rng(8);
+  InteractionGnn gnn(store, tiny_config(), rng);
+  Graph g1 = path_graph(4);
+  Matrix x1 = Matrix::random_normal(4, 3, rng);
+  Matrix y1 = Matrix::random_normal(3, 2, rng);
+  TapeContext c1;
+  Var solo = gnn.forward(c1, x1, y1, g1);
+
+  // Same component plus an unrelated second component appended.
+  Graph g2(7, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}});
+  Matrix x2(7, 3);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j) x2(i, j) = x1(i, j);
+  for (std::size_t i = 4; i < 7; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      x2(i, j) = static_cast<float>(rng.normal());
+  Matrix y2(5, 2);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) y2(i, j) = y1(i, j);
+  for (std::size_t i = 3; i < 5; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      y2(i, j) = static_cast<float>(rng.normal());
+  TapeContext c2;
+  Var joint = gnn.forward(c2, x2, y2, g2);
+  for (std::size_t e = 0; e < 3; ++e)
+    EXPECT_NEAR(joint.value()(e, 0), solo.value()(e, 0), 1e-4f);
+}
+
+TEST(IgnnTest, ActivationEstimateGrowsWithGraph) {
+  IgnnConfig cfg = tiny_config();
+  const std::size_t small = ignn_activation_estimate(cfg, 100, 300);
+  const std::size_t large = ignn_activation_estimate(cfg, 1000, 3000);
+  EXPECT_GT(large, small * 9);
+  cfg.num_layers *= 2;
+  EXPECT_GT(ignn_activation_estimate(cfg, 100, 300), small);
+}
+
+TEST(IgnnTest, AttentionGatingChangesOutputsAndAddsParams) {
+  Rng rng(11);
+  IgnnConfig plain = tiny_config();
+  IgnnConfig gated = tiny_config();
+  gated.attention = true;
+  ParameterStore s_plain, s_gated;
+  Rng r1(11), r2(11);
+  InteractionGnn g_plain(s_plain, plain, r1);
+  InteractionGnn g_gated(s_gated, gated, r2);
+  EXPECT_GT(s_gated.count(), s_plain.count());
+
+  Graph g = cycle_graph(6);
+  Matrix x = Matrix::random_normal(6, 3, rng);
+  Matrix y = Matrix::random_normal(6, 2, rng);
+  const auto p1 = g_plain.predict(x, y, g);
+  const auto p2 = g_gated.predict(x, y, g);
+  bool differ = false;
+  for (std::size_t i = 0; i < p1.size(); ++i)
+    if (std::fabs(p1[i] - p2[i]) > 1e-6f) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(IgnnTest, AttentionGradientsMatchNumeric) {
+  ParameterStore store;
+  Rng rng(12);
+  IgnnConfig cfg = tiny_config();
+  cfg.hidden_dim = 4;
+  cfg.num_layers = 1;
+  cfg.mlp_hidden = 0;
+  cfg.attention = true;
+  InteractionGnn gnn(store, cfg, rng);
+  Graph g(3, {{0, 1}, {1, 2}});
+  Matrix x = Matrix::random_normal(3, 3, rng, 0.0f, 0.5f);
+  Matrix y = Matrix::random_normal(2, 2, rng, 0.0f, 0.5f);
+  const std::vector<float> labels{1.0f, 0.0f};
+  auto loss_value = [&]() {
+    TapeContext ctx;
+    Var logits = gnn.forward(ctx, x, y, g);
+    Var loss = ctx.tape().bce_with_logits(logits, labels);
+    return static_cast<double>(loss.value()(0, 0));
+  };
+  store.zero_grad();
+  {
+    TapeContext ctx;
+    Var logits = gnn.forward(ctx, x, y, g);
+    Var loss = ctx.tape().bce_with_logits(logits, labels);
+    ctx.backward(loss);
+  }
+  const float eps = 1e-3f;
+  for (auto& p : store.params()) {
+    const std::size_t stride = std::max<std::size_t>(1, p.size() / 2);
+    for (std::size_t i = 0; i < p.size(); i += stride) {
+      const float orig = p.value.data()[i];
+      p.value.data()[i] = orig + eps;
+      const double fp = loss_value();
+      p.value.data()[i] = orig - eps;
+      const double fm = loss_value();
+      p.value.data()[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      EXPECT_NEAR(p.grad.data()[i], numeric, 5e-3 + 0.05 * std::fabs(numeric))
+          << "param " << p.name << " index " << i;
+    }
+  }
+}
+
+TEST(IgnnTest, InvalidConfigThrows) {
+  ParameterStore store;
+  Rng rng(9);
+  IgnnConfig cfg = tiny_config();
+  cfg.node_input_dim = 0;
+  EXPECT_THROW(InteractionGnn(store, cfg, rng), Error);
+}
+
+TEST(IgnnTest, WrongFeatureWidthThrows) {
+  ParameterStore store;
+  Rng rng(10);
+  InteractionGnn gnn(store, tiny_config(), rng);
+  Graph g = path_graph(3);
+  TapeContext ctx;
+  EXPECT_THROW(
+      gnn.forward(ctx, Matrix(3, 5), Matrix(2, 2), g), Error);
+}
+
+}  // namespace
+}  // namespace trkx

@@ -1,0 +1,555 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include "pipeline/pipeline.hpp"
+
+namespace trkx {
+namespace {
+
+DetectorConfig tiny_detector() {
+  DetectorConfig cfg;
+  cfg.mean_particles = 25.0;
+  cfg.noise_fraction = 0.05;
+  return cfg;
+}
+
+std::vector<Event> tiny_events(std::size_t count, std::uint64_t seed) {
+  std::vector<Event> events;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng er = rng.split();
+    events.push_back(generate_event(tiny_detector(), er));
+  }
+  return events;
+}
+
+// ---------- embedding ----------
+
+TEST(EmbeddingTest, TrainingReducesLoss) {
+  auto events = tiny_events(3, 1);
+  EmbeddingConfig cfg;
+  cfg.epochs = 6;
+  cfg.pairs_per_event = 512;
+  EmbeddingModel model(events[0].node_features.cols(), cfg);
+  const auto losses = model.train(events);
+  ASSERT_EQ(losses.size(), 6u);
+  EXPECT_LT(losses.back(), losses.front() * 0.9);
+}
+
+TEST(EmbeddingTest, EmbedsToConfiguredDim) {
+  auto events = tiny_events(1, 2);
+  EmbeddingConfig cfg;
+  cfg.embed_dim = 5;
+  EmbeddingModel model(events[0].node_features.cols(), cfg);
+  Matrix e = model.embed(events[0].node_features);
+  EXPECT_EQ(e.rows(), events[0].hits.size());
+  EXPECT_EQ(e.cols(), 5u);
+  EXPECT_TRUE(e.all_finite());
+}
+
+TEST(EmbeddingTest, TrainedEmbeddingSeparatesPairs) {
+  auto events = tiny_events(4, 3);
+  EmbeddingConfig cfg;
+  cfg.epochs = 10;
+  EmbeddingModel model(events[0].node_features.cols(), cfg);
+  model.train(events);
+  const Event& ev = events[0];
+  Matrix emb = model.embed(ev.node_features);
+  auto dist = [&](std::uint32_t a, std::uint32_t b) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < emb.cols(); ++j) {
+      const double d = emb(a, j) - emb(b, j);
+      d2 += d * d;
+    }
+    return std::sqrt(d2);
+  };
+  // Mean true-pair distance < mean random-pair distance.
+  double pos_sum = 0.0;
+  std::size_t pos_n = 0;
+  for (const TruthParticle& p : ev.particles)
+    for (std::size_t i = 0; i + 1 < p.hits.size(); ++i) {
+      pos_sum += dist(p.hits[i], p.hits[i + 1]);
+      ++pos_n;
+    }
+  Rng rng(4);
+  double neg_sum = 0.0;
+  const std::size_t neg_n = 500;
+  for (std::size_t i = 0; i < neg_n; ++i)
+    neg_sum += dist(rng.uniform_index(ev.hits.size()),
+                    rng.uniform_index(ev.hits.size()));
+  ASSERT_GT(pos_n, 0u);
+  EXPECT_LT(pos_sum / pos_n, 0.5 * neg_sum / neg_n);
+}
+
+// ---------- FRNN graph construction ----------
+
+class FrnnCases
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(FrnnCases, GridMatchesBruteForce) {
+  auto [n, dim, radius] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 10 + dim));
+  Matrix pts = Matrix::random_uniform(n, dim, rng, 0.0f, 2.0f);
+  FrnnConfig cfg;
+  cfg.radius = static_cast<float>(radius);
+  cfg.max_neighbors = 1000;  // no truncation → exact comparison
+  Graph a = build_frnn_graph(pts, cfg);
+  Graph b = build_frnn_graph_bruteforce(pts, cfg);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t e = 0; e < a.num_edges(); ++e)
+    EXPECT_TRUE(a.edge(e) == b.edge(e));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FrnnCases,
+    ::testing::Values(std::make_tuple(50, 2, 0.3), std::make_tuple(100, 3, 0.4),
+                      std::make_tuple(200, 4, 0.5), std::make_tuple(30, 6, 0.8),
+                      std::make_tuple(10, 2, 10.0)));
+
+TEST(FrnnTest, EdgesWithinRadius) {
+  Rng rng(5);
+  Matrix pts = Matrix::random_uniform(80, 3, rng);
+  FrnnConfig cfg;
+  cfg.radius = 0.25f;
+  Graph g = build_frnn_graph(pts, cfg);
+  for (const Edge& e : g.edges()) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double d = pts(e.src, j) - pts(e.dst, j);
+      d2 += d * d;
+    }
+    EXPECT_LE(std::sqrt(d2), 0.25 + 1e-6);
+  }
+}
+
+TEST(FrnnTest, MaxNeighborsCaps) {
+  // A dense cluster: every point within radius of every other.
+  Matrix pts(20, 2, 0.0f);
+  Rng rng(6);
+  for (float& x : pts.flat()) x = rng.uniform(0.0f, 0.01f);
+  FrnnConfig cfg;
+  cfg.radius = 1.0f;
+  cfg.max_neighbors = 3;
+  Graph g = build_frnn_graph(pts, cfg);
+  // Each ordered pair counted once at the lower index; per-query cap 3.
+  EXPECT_LE(g.num_edges(), 20u * 3u);
+}
+
+TEST(FrnnTest, LayerOrientationRespected) {
+  Matrix pts{{0, 0}, {0.1f, 0}, {0.2f, 0}};
+  FrnnConfig cfg;
+  cfg.radius = 0.15f;
+  Graph g = build_frnn_graph(pts, cfg, {2, 1, 0});
+  for (const Edge& e : g.edges()) EXPECT_GT(e.src, e.dst);  // layer asc
+}
+
+TEST(FrnnTest, RebuildEventGraphRelabelsTruth) {
+  auto events = tiny_events(1, 7);
+  Event& ev = events[0];
+  // Identity "embedding": raw positions scaled — truth pairs are nearby.
+  Matrix pos(ev.hits.size(), 3);
+  for (std::size_t i = 0; i < ev.hits.size(); ++i) {
+    pos(i, 0) = ev.hits[i].x / 100.0f;
+    pos(i, 1) = ev.hits[i].y / 100.0f;
+    pos(i, 2) = ev.hits[i].z / 100.0f;
+  }
+  FrnnConfig cfg;
+  cfg.radius = 3.0f;
+  FeatureScales scales;
+  rebuild_event_graph(ev, pos, cfg, 2, scales);
+  EXPECT_EQ(ev.edge_labels.size(), ev.graph.num_edges());
+  EXPECT_EQ(ev.edge_features.rows(), ev.graph.num_edges());
+  EXPECT_GT(ev.positive_edge_fraction(), 0.0);
+}
+
+// ---------- filter ----------
+
+TEST(FilterTest, TrainingReducesLossAndPrunes) {
+  auto events = tiny_events(3, 8);
+  FilterConfig cfg;
+  cfg.epochs = 8;
+  FilterModel filter(events[0].node_features.cols(),
+                     events[0].edge_features.cols(), cfg);
+  const auto losses = filter.train(events);
+  EXPECT_LT(losses.back(), losses.front());
+
+  Event ev = events[0];
+  const std::size_t before = ev.num_edges();
+  const double pos_before = ev.positive_edge_fraction();
+  const std::size_t removed = filter.apply(ev);
+  EXPECT_EQ(ev.num_edges(), before - removed);
+  EXPECT_EQ(ev.edge_labels.size(), ev.num_edges());
+  EXPECT_EQ(ev.edge_features.rows(), ev.num_edges());
+  if (removed > 0) {
+    // Pruning fakes raises the positive fraction.
+    EXPECT_GT(ev.positive_edge_fraction(), pos_before);
+  }
+}
+
+TEST(FilterTest, ScoresAreProbabilities) {
+  auto events = tiny_events(1, 9);
+  FilterModel filter(events[0].node_features.cols(),
+                     events[0].edge_features.cols(), FilterConfig{});
+  const auto scores = filter.score(events[0]);
+  ASSERT_EQ(scores.size(), events[0].num_edges());
+  for (float s : scores) {
+    EXPECT_GE(s, 0.0f);
+    EXPECT_LE(s, 1.0f);
+  }
+}
+
+// ---------- track building ----------
+
+TEST(TrackBuildTest, PerfectScoresRecoverTracks) {
+  auto events = tiny_events(1, 10);
+  const Event& ev = events[0];
+  // Oracle scores = truth labels.
+  std::vector<float> scores(ev.num_edges());
+  for (std::size_t e = 0; e < ev.num_edges(); ++e)
+    scores[e] = ev.edge_labels[e] ? 1.0f : 0.0f;
+  TrackBuildConfig cfg;
+  auto tracks = build_tracks(ev, scores, cfg);
+  auto metrics = score_tracks(ev, tracks, cfg);
+  EXPECT_GT(metrics.reconstructable, 0u);
+  EXPECT_GT(metrics.efficiency(), 0.85);
+  EXPECT_LT(metrics.fake_rate(), 0.15);
+}
+
+TEST(TrackBuildTest, ZeroScoresYieldNoTracks) {
+  auto events = tiny_events(1, 11);
+  const Event& ev = events[0];
+  std::vector<float> scores(ev.num_edges(), 0.0f);
+  auto tracks = build_tracks(ev, scores, TrackBuildConfig{});
+  EXPECT_TRUE(tracks.empty());
+}
+
+TEST(TrackBuildTest, KeepingAllEdgesIsNoBetterThanOracle) {
+  // Keeping every candidate edge merges tracks through fake edges; the
+  // result cannot beat oracle scores on efficiency and merges components
+  // (fewer candidates than true tracks in a dense event).
+  DetectorConfig dense = tiny_detector();
+  dense.mean_particles = 150.0;
+  Rng rng(12);
+  Event ev = generate_event(dense, rng);
+  TrackBuildConfig cfg;
+  std::vector<float> all_on(ev.num_edges(), 1.0f);
+  std::vector<float> oracle(ev.num_edges());
+  for (std::size_t e = 0; e < ev.num_edges(); ++e)
+    oracle[e] = ev.edge_labels[e] ? 1.0f : 0.0f;
+  auto m_all = score_tracks(ev, build_tracks(ev, all_on, cfg), cfg);
+  auto m_oracle = score_tracks(ev, build_tracks(ev, oracle, cfg), cfg);
+  EXPECT_LE(m_all.efficiency(), m_oracle.efficiency());
+  EXPECT_LT(m_all.candidates, m_oracle.candidates);
+}
+
+TEST(TrackBuildTest, MinHitsFilters) {
+  Graph g(5, {{0, 1}, {2, 3}});
+  Event ev;
+  ev.hits.resize(5);
+  ev.graph = g;
+  ev.edge_labels.assign(2, 1);
+  TrackBuildConfig cfg;
+  cfg.min_hits = 3;
+  auto tracks = build_tracks(ev, {1.0f, 1.0f}, cfg);
+  EXPECT_TRUE(tracks.empty());  // components of size 2 are dropped
+  cfg.min_hits = 2;
+  tracks = build_tracks(ev, {1.0f, 1.0f}, cfg);
+  EXPECT_EQ(tracks.size(), 2u);
+}
+
+TEST(TrackBuildTest, ScoreSizeMismatchThrows) {
+  auto events = tiny_events(1, 13);
+  EXPECT_THROW(build_tracks(events[0], {0.5f}, TrackBuildConfig{}), Error);
+}
+
+// ---------- GNN training modes ----------
+
+GnnTrainConfig fast_train_config() {
+  GnnTrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 64;
+  cfg.shadow = {.depth = 2, .fanout = 3};
+  cfg.bulk_k = 2;
+  cfg.evaluate_every_epoch = true;
+  return cfg;
+}
+
+IgnnConfig fast_gnn_config(const Event& sample) {
+  IgnnConfig cfg;
+  cfg.node_input_dim = sample.node_features.cols();
+  cfg.edge_input_dim = sample.edge_features.cols();
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.mlp_hidden = 1;
+  return cfg;
+}
+
+TEST(GnnTrainTest, AutoPosWeightReflectsImbalance) {
+  auto events = tiny_events(2, 14);
+  const float w = auto_pos_weight(events);
+  EXPECT_GE(w, 1.0f);
+  EXPECT_LE(w, 20.0f);
+}
+
+TEST(GnnTrainTest, FullGraphTrainingRunsAndRecords) {
+  auto events = tiny_events(3, 15);
+  auto val = tiny_events(1, 16);
+  GnnModel model(fast_gnn_config(events[0]), 99);
+  auto result = train_full_graph(model, events, val, fast_train_config());
+  ASSERT_EQ(result.epochs.size(), 2u);
+  EXPECT_GT(result.epochs[0].timers.get("train"), 0.0);
+  EXPECT_EQ(result.skipped_graphs, 0u);
+  EXPECT_GT(result.epochs.back().val.total(), 0u);
+}
+
+TEST(GnnTrainTest, FullGraphSkipsOversizedGraphs) {
+  auto events = tiny_events(3, 17);
+  auto val = tiny_events(1, 18);
+  GnnTrainConfig cfg = fast_train_config();
+  cfg.epochs = 1;
+  cfg.max_edges = 1;  // everything is oversized
+  GnnModel model(fast_gnn_config(events[0]), 99);
+  auto result = train_full_graph(model, events, val, cfg);
+  EXPECT_EQ(result.skipped_graphs, events.size());
+  EXPECT_EQ(result.epochs[0].train_loss, 0.0);
+}
+
+class ShadowTrainModes : public ::testing::TestWithParam<SamplerKind> {};
+
+TEST_P(ShadowTrainModes, LossDecreasesOverEpochs) {
+  auto events = tiny_events(2, 19);
+  auto val = tiny_events(1, 20);
+  GnnTrainConfig cfg = fast_train_config();
+  cfg.epochs = 3;
+  GnnModel model(fast_gnn_config(events[0]), 100);
+  auto result = train_shadow(model, events, val, cfg, GetParam());
+  ASSERT_EQ(result.epochs.size(), 3u);
+  EXPECT_LT(result.epochs.back().train_loss,
+            result.epochs.front().train_loss);
+  EXPECT_GT(result.epochs[0].timers.get("sample"), 0.0);
+  EXPECT_GT(result.epochs[0].timers.get("train"), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ShadowTrainModes,
+                         ::testing::Values(SamplerKind::kReference,
+                                           SamplerKind::kMatrixBulk));
+
+TEST(GnnTrainTest, EvaluateEdgesCountsAllValEdges) {
+  auto events = tiny_events(1, 21);
+  GnnModel model(fast_gnn_config(events[0]), 101);
+  BinaryMetrics m = evaluate_edges(model, events);
+  EXPECT_EQ(m.total(), events[0].num_edges());
+}
+
+TEST(GnnTrainTest, DdpMatchesSingleProcessStepCount) {
+  auto events = tiny_events(2, 22);
+  auto val = tiny_events(1, 23);
+  GnnTrainConfig cfg = fast_train_config();
+  cfg.epochs = 1;
+  GnnModel model(fast_gnn_config(events[0]), 102);
+  DistRuntime rt(2);
+  auto result =
+      train_shadow_ddp(model, events, val, cfg, rt, SamplerKind::kMatrixBulk);
+  ASSERT_EQ(result.epochs.size(), 1u);
+  EXPECT_GT(result.comm.all_reduce_calls, 0u);
+  EXPECT_TRUE(std::isfinite(result.epochs[0].train_loss));
+}
+
+TEST(GnnTrainTest, DdpReplicasStayInSync) {
+  // After DDP training the returned model must produce finite,
+  // deterministic outputs (replica 0 copied back).
+  auto events = tiny_events(2, 24);
+  auto val = tiny_events(1, 25);
+  GnnTrainConfig cfg = fast_train_config();
+  cfg.epochs = 1;
+  GnnModel m1(fast_gnn_config(events[0]), 103);
+  GnnModel m2(fast_gnn_config(events[0]), 103);
+  DistRuntime rt(2);
+  train_shadow_ddp(m1, events, val, cfg, rt, SamplerKind::kReference);
+  DistRuntime rt2(2);
+  train_shadow_ddp(m2, events, val, cfg, rt2, SamplerKind::kReference);
+  // Same seeds → identical final weights.
+  EXPECT_EQ(m1.store.flatten_values(), m2.store.flatten_values());
+}
+
+TEST(GnnTrainTest, SyncStrategiesGiveSameModel) {
+  auto events = tiny_events(2, 26);
+  auto val = tiny_events(1, 27);
+  GnnTrainConfig cfg = fast_train_config();
+  cfg.epochs = 1;
+  GnnModel m1(fast_gnn_config(events[0]), 104);
+  GnnModel m2(fast_gnn_config(events[0]), 104);
+  cfg.sync = SyncStrategy::kPerTensor;
+  DistRuntime rt1(2);
+  train_shadow_ddp(m1, events, val, cfg, rt1, SamplerKind::kReference);
+  cfg.sync = SyncStrategy::kCoalesced;
+  DistRuntime rt2(2);
+  train_shadow_ddp(m2, events, val, cfg, rt2, SamplerKind::kReference);
+  EXPECT_EQ(m1.store.flatten_values(), m2.store.flatten_values());
+}
+
+TEST(GnnTrainTest, EarlyStoppingTruncatesTraining) {
+  auto events = tiny_events(2, 40);
+  auto val = tiny_events(1, 41);
+  GnnTrainConfig cfg = fast_train_config();
+  cfg.epochs = 50;  // would take forever without early stop
+  cfg.early_stop_patience = 1;
+  GnnModel model(fast_gnn_config(events[0]), 200);
+  auto result =
+      train_shadow(model, events, val, cfg, SamplerKind::kMatrixBulk);
+  EXPECT_LT(result.epochs.size(), 50u);
+  EXPECT_GE(result.epochs.size(), 2u);  // needs ≥ patience+1 epochs
+}
+
+TEST(GnnTrainTest, EarlyStoppingWorksUnderDdp) {
+  auto events = tiny_events(2, 42);
+  auto val = tiny_events(1, 43);
+  GnnTrainConfig cfg = fast_train_config();
+  cfg.epochs = 30;
+  cfg.early_stop_patience = 1;
+  GnnModel model(fast_gnn_config(events[0]), 201);
+  DistRuntime rt(2);
+  auto result =
+      train_shadow_ddp(model, events, val, cfg, rt, SamplerKind::kReference);
+  EXPECT_LT(result.epochs.size(), 30u);
+}
+
+TEST(GnnTrainTest, SchedulerDrivesLearningRate) {
+  // With a zero-after-step-0 schedule, epochs beyond the first change
+  // nothing: final weights equal the weights after one epoch.
+  auto events = tiny_events(1, 44);
+  auto val = tiny_events(1, 45);
+  GnnTrainConfig cfg = fast_train_config();
+  cfg.evaluate_every_epoch = false;
+
+  GnnModel one_epoch(fast_gnn_config(events[0]), 202);
+  cfg.epochs = 1;
+  train_shadow(one_epoch, events, val, cfg, SamplerKind::kReference);
+
+  // Count steps in one epoch, then build a schedule that zeroes lr after.
+  std::size_t steps_per_epoch = 0;
+  {
+    Rng rng(cfg.seed);
+    std::vector<std::uint32_t> order(events.size());
+    rng.shuffle(order);
+    steps_per_epoch =
+        make_minibatches(events[0].num_hits(), cfg.batch_size, rng).size();
+  }
+  GnnModel scheduled(fast_gnn_config(events[0]), 202);
+  cfg.epochs = 3;
+  cfg.scheduler = std::make_shared<StepDecayLr>(
+      cfg.lr, 1e-30f, std::max<std::size_t>(steps_per_epoch, 1));
+  train_shadow(scheduled, events, val, cfg, SamplerKind::kReference);
+  // Not bitwise equal (Adam moments keep evolving with ~0 lr), but the
+  // weights must be overwhelmingly dominated by the first epoch.
+  const auto a = one_epoch.store.flatten_values();
+  const auto b = scheduled.store.flatten_values();
+  double diff = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += std::fabs(a[i] - b[i]);
+    norm += std::fabs(a[i]);
+  }
+  EXPECT_LT(diff / norm, 1e-3);
+}
+
+TEST(GnnTrainTest, KeepBestWeightsRestoresBestEpoch) {
+  auto events = tiny_events(2, 48);
+  auto val = tiny_events(1, 49);
+  GnnTrainConfig cfg = fast_train_config();
+  cfg.epochs = 4;
+  cfg.keep_best_weights = true;
+  GnnModel model(fast_gnn_config(events[0]), 300);
+  auto result =
+      train_shadow(model, events, val, cfg, SamplerKind::kMatrixBulk);
+  // Final model evaluation must equal the selected epoch's metrics.
+  ASSERT_LT(result.selected_epoch, result.epochs.size());
+  const BinaryMetrics final_val = evaluate_edges(model, val);
+  const BinaryMetrics& best = result.epochs[result.selected_epoch].val;
+  EXPECT_EQ(final_val.true_positives, best.true_positives);
+  EXPECT_EQ(final_val.false_positives, best.false_positives);
+  // And the selected epoch is the argmax of F1 across epochs.
+  for (const auto& e : result.epochs)
+    EXPECT_LE(e.val.f1(), best.f1() + 1e-12);
+}
+
+TEST(PipelineTest, SaveLoadRoundTripPreservesReconstruction) {
+  auto train = tiny_events(2, 46);
+  auto val = tiny_events(1, 47);
+  PipelineConfig cfg;
+  cfg.embedding.epochs = 2;
+  cfg.filter.epochs = 2;
+  cfg.gnn.hidden_dim = 8;
+  cfg.gnn.num_layers = 1;
+  cfg.gnn.mlp_hidden = 1;
+  cfg.gnn_train.epochs = 1;
+  cfg.gnn_train.batch_size = 64;
+  cfg.gnn_train.shadow = {.depth = 2, .fanout = 3};
+  cfg.use_learned_graphs = false;
+  TrackingPipeline original(train[0].node_features.cols(),
+                            train[0].edge_features.cols(), cfg);
+  original.fit(train, val);
+  std::stringstream ss;
+  original.save(ss);
+
+  TrackingPipeline restored(train[0].node_features.cols(),
+                            train[0].edge_features.cols(), cfg);
+  restored.load(ss);
+  const PipelineOutput a = original.reconstruct(val[0]);
+  const PipelineOutput b = restored.reconstruct(val[0]);
+  EXPECT_EQ(a.tracks.size(), b.tracks.size());
+  EXPECT_EQ(a.metrics.matched, b.metrics.matched);
+  EXPECT_EQ(a.edge_metrics.true_positives, b.edge_metrics.true_positives);
+}
+
+// ---------- full pipeline ----------
+
+TEST(PipelineTest, FitAndReconstructEndToEnd) {
+  auto train = tiny_events(3, 28);
+  auto val = tiny_events(1, 29);
+  PipelineConfig cfg;
+  cfg.embedding.epochs = 3;
+  cfg.filter.epochs = 3;
+  cfg.gnn.hidden_dim = 16;
+  cfg.gnn.num_layers = 2;
+  cfg.gnn.mlp_hidden = 1;
+  cfg.gnn_train.epochs = 2;
+  cfg.gnn_train.batch_size = 64;
+  cfg.gnn_train.shadow = {.depth = 2, .fanout = 3};
+  cfg.use_learned_graphs = false;  // geometric graphs: the paper's regime
+  TrackingPipeline pipeline(train[0].node_features.cols(),
+                            train[0].edge_features.cols(), cfg);
+  auto result = pipeline.fit(train, val);
+  EXPECT_EQ(result.epochs.size(), 2u);
+  PipelineOutput out = pipeline.reconstruct(val[0]);
+  EXPECT_GT(out.metrics.reconstructable, 0u);
+  EXPECT_GE(out.metrics.efficiency(), 0.0);
+  EXPECT_GT(out.edge_metrics.total(), 0u);
+}
+
+TEST(PipelineTest, LearnedGraphModeRuns) {
+  auto train = tiny_events(2, 30);
+  auto val = tiny_events(1, 31);
+  PipelineConfig cfg;
+  cfg.embedding.epochs = 4;
+  cfg.frnn.radius = 0.6f;
+  cfg.filter.epochs = 2;
+  cfg.gnn.hidden_dim = 8;
+  cfg.gnn.num_layers = 1;
+  cfg.gnn.mlp_hidden = 1;
+  cfg.gnn_train.epochs = 1;
+  cfg.gnn_train.batch_size = 64;
+  cfg.gnn_train.shadow = {.depth = 2, .fanout = 3};
+  cfg.use_learned_graphs = true;
+  TrackingPipeline pipeline(train[0].node_features.cols(),
+                            train[0].edge_features.cols(), cfg);
+  auto result = pipeline.fit(train, val);
+  EXPECT_EQ(result.epochs.size(), 1u);
+  PipelineOutput out = pipeline.reconstruct(val[0]);
+  EXPECT_GE(out.metrics.candidates, 0u);
+}
+
+}  // namespace
+}  // namespace trkx

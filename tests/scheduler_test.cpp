@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/scheduler.hpp"
+
+namespace trkx {
+namespace {
+
+TEST(ConstantLrTest, AlwaysSame) {
+  ConstantLr s(0.01f);
+  EXPECT_FLOAT_EQ(s.lr_at(0), 0.01f);
+  EXPECT_FLOAT_EQ(s.lr_at(1000000), 0.01f);
+}
+
+TEST(StepDecayTest, HalvesEveryInterval) {
+  StepDecayLr s(1.0f, 0.5f, 10);
+  EXPECT_FLOAT_EQ(s.lr_at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr_at(9), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr_at(10), 0.5f);
+  EXPECT_FLOAT_EQ(s.lr_at(25), 0.25f);
+}
+
+TEST(StepDecayTest, RejectsBadArgs) {
+  EXPECT_THROW(StepDecayLr(0.0f, 0.5f, 10), Error);
+  EXPECT_THROW(StepDecayLr(1.0f, 1.5f, 10), Error);
+  EXPECT_THROW(StepDecayLr(1.0f, 0.5f, 0), Error);
+}
+
+TEST(CosineTest, EndpointsAndMidpoint) {
+  CosineLr s(1.0f, 0.1f, 100);
+  EXPECT_FLOAT_EQ(s.lr_at(0), 1.0f);
+  EXPECT_NEAR(s.lr_at(50), 0.55f, 1e-5f);
+  EXPECT_FLOAT_EQ(s.lr_at(100), 0.1f);
+  EXPECT_FLOAT_EQ(s.lr_at(500), 0.1f);  // clamped after the horizon
+}
+
+TEST(CosineTest, MonotoneDecreasing) {
+  CosineLr s(1.0f, 0.0f, 50);
+  for (std::size_t t = 1; t <= 50; ++t)
+    EXPECT_LE(s.lr_at(t), s.lr_at(t - 1) + 1e-7f);
+}
+
+TEST(WarmupTest, RampsThenDefers) {
+  auto inner = std::make_shared<ConstantLr>(0.8f);
+  WarmupLr s(inner, 4);
+  EXPECT_FLOAT_EQ(s.lr_at(0), 0.2f);
+  EXPECT_FLOAT_EQ(s.lr_at(1), 0.4f);
+  EXPECT_FLOAT_EQ(s.lr_at(3), 0.8f);
+  EXPECT_FLOAT_EQ(s.lr_at(4), 0.8f);
+  EXPECT_FLOAT_EQ(s.lr_at(100), 0.8f);
+}
+
+TEST(WarmupTest, ComposesWithDecay) {
+  auto inner = std::make_shared<StepDecayLr>(1.0f, 0.1f, 10);
+  WarmupLr s(inner, 5);
+  EXPECT_LT(s.lr_at(0), 1.0f);       // ramping
+  EXPECT_FLOAT_EQ(s.lr_at(5), 1.0f); // inner step 0
+  EXPECT_FLOAT_EQ(s.lr_at(15), 0.1f);  // inner step 10
+}
+
+TEST(SchedulerTest, AppliesToOptimizer) {
+  ParameterStore store;
+  store.create("w", 1, 1);
+  Adam opt(store, AdamOptions{.lr = 123.0f});
+  CosineLr s(1.0f, 0.0f, 10);
+  s.apply(opt, 0);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 1.0f);
+  s.apply(opt, 10);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.0f);
+}
+
+TEST(SchedulerTest, ScheduledTrainingChangesTrajectory) {
+  // Decaying lr must give a different (and here: closer) endpoint than a
+  // huge constant lr on a quadratic.
+  auto run = [](bool scheduled) {
+    ParameterStore store;
+    Parameter& p = store.create("w", 1, 1);
+    p.value(0, 0) = 10.0f;
+    Sgd opt(store, SgdOptions{.lr = 1.1f});  // overshoots: |1 - 2*1.1| > 1
+    StepDecayLr sched(1.1f, 0.5f, 5);
+    for (std::size_t t = 0; t < 40; ++t) {
+      if (scheduled) sched.apply(opt, t);
+      p.grad(0, 0) = 2.0f * p.value(0, 0);  // f = w²
+      opt.step();
+    }
+    return std::fabs(p.value(0, 0));
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(EarlyStoppingTest, StopsAfterPatience) {
+  EarlyStopping es(2);
+  EXPECT_TRUE(es.update(0.5));
+  EXPECT_FALSE(es.should_stop());
+  EXPECT_FALSE(es.update(0.4));
+  EXPECT_FALSE(es.should_stop());
+  EXPECT_FALSE(es.update(0.45));
+  EXPECT_TRUE(es.should_stop());
+  EXPECT_DOUBLE_EQ(es.best(), 0.5);
+}
+
+TEST(EarlyStoppingTest, ImprovementResetsCounter) {
+  EarlyStopping es(2);
+  es.update(0.5);
+  es.update(0.4);
+  EXPECT_TRUE(es.update(0.6));
+  EXPECT_EQ(es.epochs_since_best(), 0u);
+  EXPECT_FALSE(es.should_stop());
+}
+
+TEST(EarlyStoppingTest, MinDeltaIgnoresTinyGains) {
+  EarlyStopping es(1, 0.1);
+  es.update(0.5);
+  EXPECT_FALSE(es.update(0.55));  // within min_delta → not an improvement
+  EXPECT_TRUE(es.should_stop());
+}
+
+}  // namespace
+}  // namespace trkx

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sparse/csr.hpp"
+#include "sparse/sample.hpp"
+#include "sparse/spgemm.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace trkx {
+namespace {
+
+CsrMatrix random_sparse(std::size_t rows, std::size_t cols, double density,
+                        Rng& rng) {
+  std::vector<Triplet> trips;
+  for (std::uint32_t r = 0; r < rows; ++r)
+    for (std::uint32_t c = 0; c < cols; ++c)
+      if (rng.bernoulli(density))
+        trips.push_back({r, c, rng.uniform(-1.0f, 1.0f)});
+  return CsrMatrix::from_triplets(rows, cols, std::move(trips), false);
+}
+
+// ---------- construction ----------
+
+TEST(CsrTest, EmptyMatrix) {
+  CsrMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 0u);
+  m.check_invariants();
+}
+
+TEST(CsrTest, FromTripletsSortsAndStores) {
+  CsrMatrix m = CsrMatrix::from_triplets(
+      3, 3, {{2, 1, 5.0f}, {0, 2, 1.0f}, {0, 0, 2.0f}});
+  m.check_invariants();
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(2, 1), 5.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0.0f);
+}
+
+TEST(CsrTest, DuplicatesSummed) {
+  CsrMatrix m = CsrMatrix::from_triplets(
+      2, 2, {{0, 1, 1.0f}, {0, 1, 2.5f}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 3.5f);
+}
+
+TEST(CsrTest, DuplicatesRejectedWhenDisallowed) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{0, 1, 1.0f}, {0, 1, 2.0f}},
+                                        false),
+               Error);
+}
+
+TEST(CsrTest, OutOfRangeTripletThrows) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0f}}), Error);
+}
+
+TEST(CsrTest, IdentityAndSelection) {
+  CsrMatrix i = CsrMatrix::identity(4);
+  EXPECT_TRUE(allclose(i.to_dense(), Matrix::identity(4)));
+  CsrMatrix sel = CsrMatrix::selection(5, {3, 0, 3});
+  EXPECT_EQ(sel.rows(), 3u);
+  EXPECT_FLOAT_EQ(sel.at(0, 3), 1.0f);
+  EXPECT_FLOAT_EQ(sel.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(sel.at(2, 3), 1.0f);
+}
+
+TEST(CsrTest, DenseRoundTrip) {
+  Rng rng(1);
+  CsrMatrix m = random_sparse(6, 5, 0.3, rng);
+  CsrMatrix back = CsrMatrix::from_dense(m.to_dense());
+  EXPECT_TRUE(m == back);
+}
+
+TEST(CsrTest, TripletsRoundTrip) {
+  Rng rng(2);
+  CsrMatrix m = random_sparse(5, 5, 0.4, rng);
+  CsrMatrix back = CsrMatrix::from_triplets(5, 5, m.to_triplets(), false);
+  EXPECT_TRUE(m == back);
+}
+
+TEST(CsrTest, FromCsrValidates) {
+  // row_ptr not matching nnz.
+  EXPECT_THROW(CsrMatrix::from_csr(2, 2, {0, 1, 3}, {0}, {1.0f}), Error);
+  // unsorted columns in a row.
+  EXPECT_THROW(CsrMatrix::from_csr(1, 3, {0, 2}, {2, 0}, {1.0f, 1.0f}),
+               Error);
+}
+
+// ---------- transforms ----------
+
+TEST(CsrTest, TransposeMatchesDense) {
+  Rng rng(3);
+  CsrMatrix m = random_sparse(7, 4, 0.35, rng);
+  EXPECT_TRUE(allclose(m.transpose().to_dense(), transpose(m.to_dense())));
+  m.transpose().check_invariants();
+}
+
+TEST(CsrTest, SelectRows) {
+  Rng rng(4);
+  CsrMatrix m = random_sparse(6, 6, 0.4, rng);
+  const std::vector<std::uint32_t> idx{4, 1, 1};
+  CsrMatrix sel = m.select_rows(idx);
+  sel.check_invariants();
+  EXPECT_EQ(sel.rows(), 3u);
+  Matrix expected = row_gather(m.to_dense(), idx);
+  EXPECT_TRUE(allclose(sel.to_dense(), expected));
+}
+
+TEST(CsrTest, SelectColsRenumbers) {
+  CsrMatrix m = CsrMatrix::from_triplets(
+      2, 4, {{0, 0, 1.0f}, {0, 3, 2.0f}, {1, 2, 3.0f}});
+  // Select columns {3, 0} in that order: new col 0 = old 3, new col 1 = old 0.
+  CsrMatrix sel = m.select_cols({3, 0});
+  sel.check_invariants();
+  EXPECT_EQ(sel.cols(), 2u);
+  EXPECT_FLOAT_EQ(sel.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(sel.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(sel.at(1, 0), 0.0f);
+}
+
+TEST(CsrTest, InducedMatchesDenseReference) {
+  Rng rng(5);
+  CsrMatrix m = random_sparse(8, 8, 0.4, rng);
+  const std::vector<std::uint32_t> idx{6, 2, 5};
+  CsrMatrix ind = m.induced(idx);
+  Matrix d = m.to_dense();
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    for (std::size_t j = 0; j < idx.size(); ++j)
+      EXPECT_FLOAT_EQ(ind.at(i, j), d(idx[i], idx[j]));
+}
+
+TEST(CsrTest, NormalizeRows) {
+  CsrMatrix m = CsrMatrix::from_triplets(
+      2, 3, {{0, 0, 1.0f}, {0, 2, 3.0f}, {1, 1, 0.0f}});
+  m.normalize_rows();
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.25f);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 0.75f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0.0f);  // zero-sum row untouched
+}
+
+TEST(CsrTest, VstackMatchesConcatRows) {
+  Rng rng(6);
+  CsrMatrix a = random_sparse(3, 4, 0.4, rng);
+  CsrMatrix b = random_sparse(2, 4, 0.4, rng);
+  CsrMatrix s = CsrMatrix::vstack({&a, &b});
+  s.check_invariants();
+  Matrix da = a.to_dense(), db = b.to_dense();
+  EXPECT_TRUE(allclose(s.to_dense(), concat_rows({&da, &db})));
+}
+
+TEST(CsrTest, VstackColumnMismatchThrows) {
+  CsrMatrix a(2, 3), b(2, 4);
+  EXPECT_THROW(CsrMatrix::vstack({&a, &b}), Error);
+}
+
+// ---------- SpGEMM / SpMM (parameterized) ----------
+
+class SpgemmSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, double>> {};
+
+TEST_P(SpgemmSizes, MatchesDense) {
+  auto [m, k, n, density] = GetParam();
+  Rng rng(m * 31 + k * 7 + n);
+  CsrMatrix a = random_sparse(m, k, density, rng);
+  CsrMatrix b = random_sparse(k, n, density, rng);
+  CsrMatrix c = spgemm(a, b);
+  c.check_invariants();
+  EXPECT_TRUE(allclose(c.to_dense(), matmul(a.to_dense(), b.to_dense()),
+                       1e-4f, 1e-3f));
+}
+
+TEST_P(SpgemmSizes, SpmmMatchesDense) {
+  auto [m, k, n, density] = GetParam();
+  Rng rng(m + k + n + 99);
+  CsrMatrix a = random_sparse(m, k, density, rng);
+  Matrix x = Matrix::random_normal(k, n, rng);
+  EXPECT_TRUE(allclose(spmm(a, x), matmul(a.to_dense(), x), 1e-4f, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SpgemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1, 1.0),
+                      std::make_tuple(4, 6, 5, 0.3),
+                      std::make_tuple(10, 10, 10, 0.1),
+                      std::make_tuple(20, 15, 25, 0.25),
+                      std::make_tuple(32, 32, 32, 0.05),
+                      std::make_tuple(8, 8, 8, 0.9)));
+
+TEST(SpgemmTest, ShapeMismatchThrows) {
+  CsrMatrix a(2, 3), b(4, 2);
+  EXPECT_THROW(spgemm(a, b), Error);
+}
+
+TEST(SpgemmTest, SelectionMatricesExtractSubmatrix) {
+  Rng rng(7);
+  CsrMatrix a = random_sparse(9, 9, 0.35, rng);
+  const std::vector<std::uint32_t> idx{1, 7, 3, 8};
+  CsrMatrix via_spgemm = induced_via_spgemm(a, idx);
+  CsrMatrix direct = a.induced(idx);
+  EXPECT_TRUE(allclose(via_spgemm.to_dense(), direct.to_dense()));
+}
+
+TEST(SparseAddTest, MatchesDense) {
+  Rng rng(8);
+  CsrMatrix a = random_sparse(6, 6, 0.3, rng);
+  CsrMatrix b = random_sparse(6, 6, 0.3, rng);
+  CsrMatrix c = sparse_add(a, b);
+  c.check_invariants();
+  EXPECT_TRUE(allclose(c.to_dense(), add(a.to_dense(), b.to_dense())));
+}
+
+// ---------- row sampling ----------
+
+TEST(SampleRowsTest, KeepsAllWhenRowSmall) {
+  CsrMatrix m = CsrMatrix::from_triplets(
+      2, 5, {{0, 1, 1.0f}, {0, 3, 1.0f}, {1, 0, 1.0f}});
+  Rng rng(9);
+  CsrMatrix s = sample_rows(m, 4, rng);
+  EXPECT_EQ(s.row_cols(0), (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(s.row_cols(1), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(SampleRowsTest, FanoutBoundAndSubset) {
+  Rng rng(10);
+  CsrMatrix m = random_sparse(20, 30, 0.5, rng);
+  CsrMatrix norm = m;
+  for (float& v : norm.values()) v = 1.0f;
+  norm.normalize_rows();
+  CsrMatrix s = sample_rows(norm, 3, rng);
+  s.check_invariants();
+  for (std::size_t r = 0; r < 20; ++r) {
+    const auto orig = m.row_cols(r);
+    const auto picked = s.row_cols(r);
+    EXPECT_LE(picked.size(), 3u);
+    EXPECT_EQ(picked.size(), std::min<std::size_t>(3, orig.size()));
+    std::set<std::uint32_t> orig_set(orig.begin(), orig.end());
+    for (auto c : picked) EXPECT_TRUE(orig_set.count(c));
+  }
+}
+
+TEST(SampleRowsTest, UniformRowsSampleUniformly) {
+  // One row with 6 uniform entries, fanout 2 → each column picked with
+  // probability 1/3.
+  CsrMatrix m = CsrMatrix::from_triplets(
+      1, 6,
+      {{0, 0, 1.f}, {0, 1, 1.f}, {0, 2, 1.f}, {0, 3, 1.f}, {0, 4, 1.f},
+       {0, 5, 1.f}});
+  m.normalize_rows();
+  Rng rng(11);
+  const int trials = 30000;
+  std::vector<int> counts(6, 0);
+  for (int t = 0; t < trials; ++t) {
+    CsrMatrix s = sample_rows(m, 2, rng);
+    for (auto c : s.row_cols(0)) ++counts[c];
+  }
+  const double expected = trials * 2.0 / 6.0;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.06);
+}
+
+TEST(SampleRowsTest, WeightedRowsFavourHeavyColumns) {
+  CsrMatrix m = CsrMatrix::from_triplets(
+      1, 3, {{0, 0, 8.0f}, {0, 1, 1.0f}, {0, 2, 1.0f}});
+  m.normalize_rows();
+  Rng rng(12);
+  int heavy = 0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    CsrMatrix s = sample_rows(m, 1, rng);
+    if (s.row_cols(0)[0] == 0) ++heavy;
+  }
+  EXPECT_GT(heavy, trials / 2);
+}
+
+TEST(SampleRowsTest, DeterministicGivenSeed) {
+  Rng rng1(13), rng2(13);
+  Rng mrng(14);
+  CsrMatrix m = random_sparse(10, 20, 0.6, mrng);
+  CsrMatrix s1 = sample_rows(m, 4, rng1);
+  CsrMatrix s2 = sample_rows(m, 4, rng2);
+  EXPECT_TRUE(s1 == s2);
+}
+
+}  // namespace
+}  // namespace trkx

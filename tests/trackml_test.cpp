@@ -1,0 +1,128 @@
+// Tests for TrackML-style CSV ingestion (io/trackml).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/trackml.hpp"
+
+namespace trkx {
+namespace {
+
+const char* kPrefix = "/tmp/trkx_trackml_test";
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  os << content;
+}
+
+void cleanup() {
+  std::remove((std::string(kPrefix) + "-hits.csv").c_str());
+  std::remove((std::string(kPrefix) + "-truth.csv").c_str());
+}
+
+/// Two 3-hit tracks moving outward plus one noise hit, hand-written in the
+/// TrackML column layout (with extra columns and shuffled order to test
+/// header-based matching).
+void write_tiny_event() {
+  write_file(std::string(kPrefix) + "-hits.csv",
+             "hit_id,x,y,z,volume_id,layer_id,module_id\n"
+             "1,32,0,5,8,2,101\n"
+             "2,72,4,11,8,4,102\n"
+             "3,116,10,18,8,6,103\n"
+             "4,0,32,-7,8,2,104\n"
+             "5,-4,72,-15,8,4,105\n"
+             "6,-10,116,-24,8,6,106\n"
+             "7,72,-40,300,8,4,107\n");  // noise
+  write_file(std::string(kPrefix) + "-truth.csv",
+             "hit_id,particle_id,tx,ty,tz,tpx,tpy,tpz,weight\n"
+             "1,1001,32,0,5,1.2,0.1,0.2,1\n"
+             "2,1001,72,4,11,1.2,0.1,0.2,1\n"
+             "3,1001,116,10,18,1.2,0.1,0.2,1\n"
+             "4,2002,0,32,-7,0.0,0.9,-0.3,1\n"
+             "5,2002,-4,72,-15,0.0,0.9,-0.3,1\n"
+             "6,2002,-10,116,-24,0.0,0.9,-0.3,1\n"
+             "7,0,72,-40,300,0,0,0,1\n");
+}
+
+TEST(TrackmlTest, ReadsHitsTruthAndSurfaces) {
+  write_tiny_event();
+  TrackmlReadOptions opt;
+  opt.build_graph = false;
+  Event e = read_trackml_event(kPrefix, opt);
+  ASSERT_EQ(e.num_hits(), 7u);
+  ASSERT_EQ(e.particles.size(), 2u);
+  // Surfaces compacted in encounter order: (8,2)->0, (8,4)->1, (8,6)->2.
+  EXPECT_EQ(e.hits[0].layer, 0u);
+  EXPECT_EQ(e.hits[1].layer, 1u);
+  EXPECT_EQ(e.hits[2].layer, 2u);
+  // Noise hit keeps kNoise.
+  EXPECT_EQ(e.hits[6].particle, Hit::kNoise);
+  // Kinematics from tpx/tpy/tpz.
+  EXPECT_NEAR(e.particles[0].pt, std::hypot(1.2f, 0.1f), 1e-5f);
+  EXPECT_NEAR(e.particles[1].phi0, std::atan2(0.9f, 0.0f), 1e-5f);
+  // Hits ordered outward.
+  for (const TruthParticle& p : e.particles)
+    for (std::size_t i = 0; i + 1 < p.hits.size(); ++i)
+      EXPECT_LT(e.hits[p.hits[i]].r(), e.hits[p.hits[i + 1]].r());
+  cleanup();
+}
+
+TEST(TrackmlTest, BuildsGraphWithTruthLabels) {
+  write_tiny_event();
+  TrackmlReadOptions opt;
+  opt.build_graph = true;
+  opt.graph_config.window_dphi = 0.5;
+  opt.graph_config.dphi_margin = -1.0;  // no curvature bound for toy data
+  opt.graph_config.window_deta = 2.0;
+  opt.graph_config.z0_cut = 200.0;
+  Event e = read_trackml_event(kPrefix, opt);
+  EXPECT_EQ(e.edge_labels.size(), e.num_edges());
+  EXPECT_EQ(e.node_features.rows(), e.num_hits());
+  // Both tracks' consecutive segments must be present and labelled true.
+  std::size_t true_edges = 0;
+  for (char l : e.edge_labels) true_edges += (l != 0);
+  EXPECT_GE(true_edges, 4u);
+  cleanup();
+}
+
+TEST(TrackmlTest, RoundTripThroughWriter) {
+  DetectorConfig cfg;
+  cfg.mean_particles = 20.0;
+  Rng rng(1);
+  Event original = generate_event(cfg, rng);
+  write_trackml_event(kPrefix, original);
+
+  TrackmlReadOptions opt;
+  opt.graph_config = cfg;
+  Event back = read_trackml_event(kPrefix, opt);
+  ASSERT_EQ(back.num_hits(), original.num_hits());
+  ASSERT_EQ(back.particles.size(), original.particles.size());
+  // Hit coordinates survive (CSV text precision ~1e-4 relative).
+  for (std::size_t i = 0; i < back.num_hits(); ++i) {
+    EXPECT_NEAR(back.hits[i].x, original.hits[i].x,
+                1e-3f * (1.0f + std::fabs(original.hits[i].x)));
+    EXPECT_EQ(back.hits[i].particle == Hit::kNoise,
+              original.hits[i].particle == Hit::kNoise);
+  }
+  // The rebuilt graph carries positive labels again.
+  EXPECT_GT(back.positive_edge_fraction(), 0.0);
+  cleanup();
+}
+
+TEST(TrackmlTest, MissingFileThrows) {
+  EXPECT_THROW(read_trackml_event("/tmp/definitely_missing_trkx_trackml"),
+               Error);
+}
+
+TEST(TrackmlTest, MissingColumnThrows) {
+  write_file(std::string(kPrefix) + "-hits.csv", "hit_id,x,y\n1,1,2\n");
+  write_file(std::string(kPrefix) + "-truth.csv",
+             "hit_id,particle_id,tx,ty,tz,tpx,tpy,tpz,weight\n");
+  EXPECT_THROW(read_trackml_event(kPrefix), Error);
+  cleanup();
+}
+
+}  // namespace
+}  // namespace trkx

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace trkx {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent(7);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  EXPECT_NE(c1.state(), c2.state());
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+  Rng parent2(7);
+  Rng d1 = parent2.split();
+  Rng parent3(7);
+  Rng e1 = parent3.split();
+  EXPECT_EQ(d1.state(), e1.state());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(Rng, UniformIndexChiSquared) {
+  Rng rng(6);
+  const std::uint64_t k = 10;
+  const int n = 100000;
+  std::vector<int> counts(k, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(k)];
+  const double expected = static_cast<double>(n) / k;
+  double chi2 = 0.0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // 9 dof: p=0.001 critical value is 27.9.
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMeanSmallLambda) {
+  Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanLargeLambda) {
+  Rng rng(10);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(200.0);
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(11);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto s = rng.sample_without_replacement(50, 20);
+    std::set<std::uint32_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (auto v : s) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementAllWhenKGeN) {
+  Rng rng(13);
+  auto s = rng.sample_without_replacement(5, 9);
+  std::sort(s.begin(), s.end());
+  ASSERT_EQ(s.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+  Rng rng(14);
+  const int trials = 30000;
+  std::vector<int> counts(10, 0);
+  for (int t = 0; t < trials; ++t)
+    for (auto v : rng.sample_without_replacement(10, 3)) ++counts[v];
+  const double expected = trials * 3.0 / 10.0;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---------- stats ----------
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleElement) {
+  RunningStat s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 50), Error);
+}
+
+TEST(BinaryMetricsTest, PrecisionRecallF1) {
+  BinaryMetrics m;
+  // 3 TP, 1 FP, 2 FN, 4 TN
+  for (int i = 0; i < 3; ++i) m.add(true, true);
+  m.add(true, false);
+  for (int i = 0; i < 2; ++i) m.add(false, true);
+  for (int i = 0; i < 4; ++i) m.add(false, false);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.6);
+  EXPECT_NEAR(m.f1(), 2 * 0.75 * 0.6 / 1.35, 1e-12);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.7);
+  EXPECT_EQ(m.total(), 10u);
+}
+
+TEST(BinaryMetricsTest, UndefinedIsZero) {
+  BinaryMetrics m;
+  EXPECT_EQ(m.precision(), 0.0);
+  EXPECT_EQ(m.recall(), 0.0);
+  EXPECT_EQ(m.f1(), 0.0);
+}
+
+TEST(BinaryMetricsTest, Merge) {
+  BinaryMetrics a, b;
+  a.add(true, true);
+  b.add(false, true);
+  a.merge(b);
+  EXPECT_EQ(a.true_positives, 1u);
+  EXPECT_EQ(a.false_negatives, 1u);
+  EXPECT_EQ(a.total(), 2u);
+}
+
+// ---------- cli ----------
+
+TEST(Cli, ParsesKeyValueForms) {
+  // Note: a bare flag consumes the next token unless it starts with "--",
+  // so positionals must precede bare flags.
+  const char* argv[] = {"prog", "pos1", "--alpha", "3", "--beta=hi",
+                        "--flag"};
+  ArgParser args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get("beta", ""), "hi");
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_FALSE(args.get_bool("missing", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("y", 1.5), 1.5);
+  EXPECT_FALSE(args.has("x"));
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--lr", "0.25"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.25);
+}
+
+// ---------- thread pool ----------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(50, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---------- timers ----------
+
+TEST(PhaseTimersTest, AccumulatesAndMerges) {
+  PhaseTimers t;
+  t.add("a", 1.0);
+  t.add("a", 2.0);
+  t.add("b", 0.5);
+  EXPECT_DOUBLE_EQ(t.get("a"), 3.0);
+  EXPECT_DOUBLE_EQ(t.get("b"), 0.5);
+  EXPECT_DOUBLE_EQ(t.get("missing"), 0.0);
+  PhaseTimers u;
+  u.add("a", 1.0);
+  t.merge(u);
+  EXPECT_DOUBLE_EQ(t.get("a"), 4.0);
+}
+
+TEST(ScopedPhaseTest, RecordsElapsed) {
+  PhaseTimers t;
+  {
+    ScopedPhase p(t, "x");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(t.get("x"), 0.0);
+}
+
+// ---------- error ----------
+
+TEST(ErrorTest, CheckThrowsWithContext) {
+  try {
+    TRKX_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckPassesSilently) {
+  EXPECT_NO_THROW(TRKX_CHECK(2 + 2 == 4));
+}
+
+}  // namespace
+}  // namespace trkx
