@@ -7,11 +7,19 @@
 // matrix counts; the analytically modelled NVLink times are reported as
 // counters.
 
+// Alongside the google-benchmark table, main() dumps the global metrics
+// registry (allreduce.{per_tensor,coalesced}.{calls,bytes} counters fed by
+// synchronize_gradients) to allreduce.metrics.json so the perf trajectory
+// can track the per-tensor vs coalesced call pattern across PRs.
+
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "dist/communicator.hpp"
 #include "dist/gradient_sync.hpp"
 #include "gnn/interaction_gnn.hpp"
+#include "obs/metrics.hpp"
 
 namespace trkx {
 namespace {
@@ -98,3 +106,14 @@ BENCHMARK(BM_AllReduceBuffer)->Range(1 << 10, 1 << 20)
 
 }  // namespace
 }  // namespace trkx
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* path = "allreduce.metrics.json";
+  trkx::MetricsRegistry::global().write_json(path);
+  std::printf("metrics written to %s\n", path);
+  return 0;
+}

@@ -18,12 +18,18 @@
 //
 //   ./bench_fig3_epoch_time [--ex3-scale 0.05] [--ctd-scale 0.004]
 //       [--train 2] [--epochs 1] [--batch 256] [--hidden 32] [--layers 4]
-//       [--max-ranks 4]
+//       [--max-ranks 4] [--trace-out trace.json]
+//       [--metrics-out fig3_epoch_time.metrics.json]
+//
+// Alongside the CSV it always dumps the global metrics registry (phase
+// histograms, all-reduce call/byte counters) so the perf trajectory can
+// track the sampling/compute/comms split across PRs.
 
 #include <cstdio>
 
 #include "detector/presets.hpp"
 #include "io/csv.hpp"
+#include "obs/report.hpp"
 #include "pipeline/gnn_train.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -93,6 +99,8 @@ void run_dataset(const char* name, const Dataset& data, const IgnnConfig& gnn,
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
   ArgParser args(argc, argv);
+  ObsExport obs(args.get("trace-out", ""),
+                args.get("metrics-out", "fig3_epoch_time.metrics.json"));
   const double ex3_scale = args.get_double("ex3-scale", 0.05);
   const double ctd_scale = args.get_double("ctd-scale", 0.004);
   const std::size_t n_train = static_cast<std::size_t>(args.get_int("train", 2));
@@ -144,6 +152,8 @@ int main(int argc, char** argv) {
       "terms; measured thread time also drops with fewer barrier\nrounds). "
       "Per-rank sample/train times shrink with P (1/P of each batch per "
       "rank).\n");
-  std::printf("series written to fig3_epoch_time.csv\n");
+  obs.flush();
+  std::printf("series written to fig3_epoch_time.csv, metrics to %s\n",
+              obs.metrics_path().c_str());
   return 0;
 }

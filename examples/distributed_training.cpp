@@ -1,6 +1,7 @@
 // Distributed data-parallel GNN training on simulated ranks.
 //
 //   ./distributed_training [--ranks 4] [--scale 0.06] [--epochs 3]
+//       [--trace-out trace.json] [--metrics-out metrics.json]
 //
 // Trains the Interaction GNN with ShaDow minibatches sharded across P
 // thread-backed ranks (the stand-in for one-process-per-GPU DDP), once
@@ -13,6 +14,7 @@
 #include <cstdio>
 
 #include "detector/presets.hpp"
+#include "obs/report.hpp"
 #include "pipeline/gnn_train.hpp"
 #include "util/cli.hpp"
 
@@ -20,6 +22,7 @@ using namespace trkx;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ObsExport obs(args);  // --trace-out / --metrics-out
   const int ranks = args.get_int("ranks", 4);
   const double scale = args.get_double("scale", 0.06);
   const std::size_t epochs = static_cast<std::size_t>(args.get_int("epochs", 3));

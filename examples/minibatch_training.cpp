@@ -7,10 +7,12 @@
 //   shadow-bulk — ShaDow with matrix-based bulk sampling (this paper)
 //
 //   ./minibatch_training [--scale 0.08] [--epochs 8] [--batch 256]
+//       [--trace-out trace.json] [--metrics-out metrics.json]
 
 #include <cstdio>
 
 #include "detector/presets.hpp"
+#include "obs/report.hpp"
 #include "pipeline/gnn_train.hpp"
 #include "util/cli.hpp"
 
@@ -18,6 +20,7 @@ using namespace trkx;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  ObsExport obs(args);  // --trace-out / --metrics-out
   const double scale = args.get_double("scale", 0.08);
   const std::size_t epochs = static_cast<std::size_t>(args.get_int("epochs", 8));
   const std::size_t batch = static_cast<std::size_t>(args.get_int("batch", 256));

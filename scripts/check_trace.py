@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by TraceSession.
+
+Usage:
+    check_trace.py TRACE.json [--require-names a,b,c] [--min-threads N]
+                   [--min-events N]
+
+Checks that the file is well-formed trace-event JSON (the format accepted
+by chrome://tracing and https://ui.perfetto.dev): a top-level object with a
+"traceEvents" list, where every event carries name/ph/ts/pid/tid and every
+complete ("ph":"X") event carries a non-negative dur. Optional flags assert
+the presence of specific span names (e.g. the Figure 3 phases
+sample,forward,backward,allreduce,eval) and a minimum number of distinct
+thread ids. Exits 0 on success, 1 with a message per violation otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to trace JSON")
+    parser.add_argument(
+        "--require-names",
+        default="",
+        help="comma-separated span names that must appear",
+    )
+    parser.add_argument(
+        "--min-threads",
+        type=int,
+        default=1,
+        help="minimum number of distinct tids",
+    )
+    parser.add_argument(
+        "--min-events", type=int, default=1, help="minimum event count"
+    )
+    args = parser.parse_args()
+
+    errors = []
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot parse {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        print(
+            "FAIL: top level must be an object with a 'traceEvents' list",
+            file=sys.stderr,
+        )
+        return 1
+
+    events = doc["traceEvents"]
+    names, tids = set(), set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                errors.append(f"{where}: missing '{key}'")
+        if not isinstance(ev.get("ts"), (int, float)) or ev.get("ts", 0) < 0:
+            errors.append(f"{where}: 'ts' must be a non-negative number")
+        if ev.get("ph") == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(
+                    f"{where}: complete event needs non-negative 'dur'"
+                )
+        if isinstance(ev.get("name"), str):
+            names.add(ev["name"])
+        tids.add(ev.get("tid"))
+
+    if len(events) < args.min_events:
+        errors.append(f"only {len(events)} events, need >= {args.min_events}")
+    if len(tids) < args.min_threads:
+        errors.append(
+            f"only {len(tids)} distinct tids ({sorted(map(str, tids))}), "
+            f"need >= {args.min_threads}"
+        )
+    for required in filter(None, args.require_names.split(",")):
+        if required not in names:
+            errors.append(f"required span name '{required}' not found")
+
+    for e in errors:
+        print(f"FAIL: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(
+        f"OK: {len(events)} events, {len(tids)} threads, "
+        f"{len(names)} span names"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

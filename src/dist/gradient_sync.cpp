@@ -1,15 +1,23 @@
 #include "dist/gradient_sync.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace trkx {
 
 void synchronize_gradients(Communicator& comm, ParameterStore& store,
                            SyncStrategy strategy) {
+  TRKX_TRACE_SPAN("allreduce", "comms");
   const float inv_p = 1.0f / static_cast<float>(comm.size());
+  std::size_t calls = 0;
+  std::size_t bytes = 0;
   switch (strategy) {
     case SyncStrategy::kPerTensor: {
       for (auto& p : store.params()) {
         comm.all_reduce_sum(p.grad.flat());
         for (float& g : p.grad.flat()) g *= inv_p;
+        ++calls;
+        bytes += p.grad.flat().size() * sizeof(float);
       }
       break;
     }
@@ -18,9 +26,20 @@ void synchronize_gradients(Communicator& comm, ParameterStore& store,
       comm.all_reduce_sum(std::span<float>(flat.data(), flat.size()));
       for (float& g : flat) g *= inv_p;
       store.unflatten_grads(flat);
+      calls = 1;
+      bytes = flat.size() * sizeof(float);
       break;
     }
   }
+  // Per-strategy counters make the paper's §III-D tradeoff directly
+  // readable from one metrics dump: same bytes, fewer calls when
+  // coalesced (each call pays the all-reduce latency α once).
+  const char* tag =
+      strategy == SyncStrategy::kPerTensor ? "per_tensor" : "coalesced";
+  metrics().counter(std::string("allreduce.") + tag + ".calls").add(calls);
+  metrics().counter(std::string("allreduce.") + tag + ".bytes").add(bytes);
+  metrics().counter("allreduce.calls").add(calls);
+  metrics().counter("allreduce.bytes").add(bytes);
 }
 
 }  // namespace trkx

@@ -1,0 +1,64 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <exception>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace trkx {
+
+namespace {
+std::string flag_or_env(const ArgParser& args, const std::string& flag,
+                        const char* env) {
+  std::string v = args.get(flag, "");
+  if (v.empty()) {
+    if (const char* e = std::getenv(env); e && *e) v = e;
+  }
+  return v;
+}
+}  // namespace
+
+ObsExport::ObsExport(const ArgParser& args)
+    : trace_path_(flag_or_env(args, "trace-out", "TRKX_TRACE")),
+      metrics_path_(flag_or_env(args, "metrics-out", "TRKX_METRICS")) {
+  arm();
+}
+
+ObsExport::ObsExport(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  arm();
+}
+
+void ObsExport::arm() {
+  if (!trace_path_.empty()) TraceSession::global().start();
+}
+
+void ObsExport::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (!trace_path_.empty()) {
+    TraceSession::global().write_json(trace_path_);
+    TRKX_INFO << "wrote trace (" << TraceSession::global().event_count()
+              << " spans) to " << trace_path_;
+  }
+  if (!metrics_path_.empty()) {
+    MetricsRegistry::global().write_json(metrics_path_);
+    TRKX_INFO << "wrote metrics to " << metrics_path_;
+  }
+}
+
+ObsExport::~ObsExport() {
+  // A failed dump (e.g. unwritable path) must not abort the program via a
+  // throwing destructor after the run itself succeeded.
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    TRKX_ERROR << "observability dump failed: " << e.what();
+  }
+}
+
+}  // namespace trkx

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+namespace trkx {
+
+class ArgParser;
+
+/// Shared `--trace-out` / `--metrics-out` handling for examples and bench
+/// mains. Construction reads the flags (and falls back to the TRKX_TRACE /
+/// TRKX_METRICS environment variables) and starts the global TraceSession
+/// when a trace is requested; destruction writes the requested files and
+/// logs their paths. Near-zero cost when neither flag is given.
+///
+///   int main(int argc, char** argv) {
+///     ArgParser args(argc, argv);
+///     ObsExport obs(args);
+///     ... run ...
+///   }  // trace.json / metrics.json written here
+class ObsExport {
+ public:
+  explicit ObsExport(const ArgParser& args);
+  /// Explicit paths (empty = disabled), for callers without an ArgParser.
+  ObsExport(std::string trace_path, std::string metrics_path);
+  ~ObsExport();
+
+  const std::string& trace_path() const { return trace_path_; }
+  const std::string& metrics_path() const { return metrics_path_; }
+  bool tracing() const { return !trace_path_.empty(); }
+
+  /// Write any requested files now (also disarms the destructor write).
+  void flush();
+
+  ObsExport(const ObsExport&) = delete;
+  ObsExport& operator=(const ObsExport&) = delete;
+
+ private:
+  void arm();
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool flushed_ = false;
+};
+
+}  // namespace trkx

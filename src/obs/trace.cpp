@@ -1,0 +1,161 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/thread_id.hpp"
+
+namespace trkx {
+
+namespace {
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
+}
+}  // namespace
+
+struct TraceSession::ThreadBuf {
+  int tid = 0;
+  mutable std::mutex mutex;  ///< one writer (the owning thread) vs readers
+  std::vector<TraceEvent> events;
+};
+
+TraceSession::TraceSession() : epoch_ns_(steady_ns()) {}
+TraceSession::~TraceSession() = default;
+
+void TraceSession::start() { enabled_.store(true, std::memory_order_relaxed); }
+void TraceSession::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buf : bufs_) {
+    std::lock_guard<std::mutex> block(buf->mutex);
+    buf->events.clear();
+  }
+  epoch_ns_ = steady_ns();
+}
+
+std::uint64_t TraceSession::now_ns() const { return steady_ns() - epoch_ns_; }
+
+TraceSession::ThreadBuf& TraceSession::local_buf() {
+  // One buffer per (session, thread); the pointer is cached thread_local.
+  thread_local TraceSession* cached_session = nullptr;
+  thread_local ThreadBuf* cached_buf = nullptr;
+  if (cached_session != this) {
+    auto buf = std::make_unique<ThreadBuf>();
+    buf->tid = this_thread_id();
+    buf->events.reserve(1024);
+    std::lock_guard<std::mutex> lock(mutex_);
+    bufs_.push_back(std::move(buf));
+    cached_buf = bufs_.back().get();
+    cached_session = this;
+  }
+  return *cached_buf;
+}
+
+void TraceSession::record(const char* name, const char* category,
+                          std::uint64_t start_ns, std::uint64_t end_ns) {
+  ThreadBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(TraceEvent{name, category, start_ns,
+                                  end_ns - start_ns, buf.tid});
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> block(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void TraceSession::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> block(buf->mutex);
+    for (const TraceEvent& e : buf->events) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+         << json_escape(e.category) << "\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(e.start_ns) / 1e3
+         << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3
+         << ",\"pid\":1,\"tid\":" << e.tid << "}";
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceSession::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  TRKX_CHECK_MSG(os.good(), "trace write_json: cannot open " << path);
+  write_json(os);
+}
+
+TraceSession& TraceSession::global() {
+  // Leaked on purpose: spans may close during static teardown.
+  static TraceSession* g = new TraceSession();
+  return *g;
+}
+
+TraceSession& trace() { return TraceSession::global(); }
+
+namespace {
+
+/// Env-var driven capture: TRKX_TRACE=<path> starts the global session at
+/// load and writes the trace JSON at exit; TRKX_METRICS=<path> dumps the
+/// global metrics registry at exit. Lets any binary be traced without code
+/// changes (`TRKX_TRACE=trace.json ./bench_fig3_epoch_time`).
+struct EnvAutoCapture {
+  std::string trace_path;
+  std::string metrics_path;
+  EnvAutoCapture() {
+    // Touch the leaked singletons so they outlive this object.
+    TraceSession& session = TraceSession::global();
+    MetricsRegistry::global();
+    if (const char* t = std::getenv("TRKX_TRACE"); t && *t) {
+      trace_path = t;
+      session.start();
+    }
+    if (const char* m = std::getenv("TRKX_METRICS"); m && *m)
+      metrics_path = m;
+  }
+  ~EnvAutoCapture() {
+    // Runs during static teardown: swallow write failures (bad path) —
+    // throwing here would turn a finished run into std::terminate.
+    try {
+      if (!trace_path.empty())
+        TraceSession::global().write_json(trace_path);
+      if (!metrics_path.empty())
+        MetricsRegistry::global().write_json(metrics_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trkx: observability dump failed: %s\n", e.what());
+    }
+  }
+};
+EnvAutoCapture g_env_auto_capture;
+
+}  // namespace
+
+}  // namespace trkx

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Compile-time gate for span tracing. The build sets TRKX_TRACING=0 (CMake
+// option -DTRKX_TRACING=OFF) to compile every TRKX_TRACE_SPAN out entirely;
+// the default keeps them compiled in behind a single relaxed atomic load,
+// so a binary that never calls TraceSession::start() pays ~nothing.
+#ifndef TRKX_TRACING
+#define TRKX_TRACING 1
+#endif
+
+namespace trkx {
+
+/// One completed span ("ph":"X" in the Chrome trace-event format).
+/// `name` must be a string with static storage duration — the macros pass
+/// literals; instrumentation that needs dynamic names should intern them.
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  std::uint64_t start_ns;  ///< nanoseconds since the session epoch
+  std::uint64_t dur_ns;
+  int tid;                 ///< dense thread id (this_thread_id)
+};
+
+/// Span recorder with per-thread buffers: record() appends to the calling
+/// thread's buffer under that thread's own (uncontended) mutex, so DDP
+/// rank threads and OpenMP workers never serialise against each other.
+/// Exports Chrome trace-event JSON loadable in chrome://tracing and
+/// https://ui.perfetto.dev.
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();
+
+  /// Begin recording. Spans opened while the session is stopped are
+  /// dropped at open time (a single atomic load).
+  void start();
+  void stop();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Drop all recorded events (buffers stay registered).
+  void clear();
+
+  std::size_t event_count() const;
+  /// Nanoseconds since the session epoch (construction or last clear()).
+  std::uint64_t now_ns() const;
+  void record(const char* name, const char* category, std::uint64_t start_ns,
+              std::uint64_t end_ns);
+
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":µs,"dur":µs,"pid":1,
+  /// "tid":n,"cat":...},...]} — ts/dur in (fractional) microseconds.
+  void write_json(std::ostream& os) const;
+  void write_json(const std::string& path) const;
+
+  /// The process-global session driven by TRKX_TRACE_SPAN (leaked on
+  /// purpose, like MetricsRegistry::global()).
+  static TraceSession& global();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  struct ThreadBuf;
+  ThreadBuf& local_buf();
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_;  ///< steady_clock origin of ts 0
+  mutable std::mutex mutex_;  ///< guards bufs_ registration list
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+};
+
+/// Shorthand for TraceSession::global().
+TraceSession& trace();
+
+/// RAII span against the global session. Construction is a relaxed atomic
+/// load when tracing is stopped; when running it timestamps the scope and
+/// records one complete event on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, const char* category = "trkx") {
+#if TRKX_TRACING
+    TraceSession& s = TraceSession::global();
+    if (s.enabled()) {
+      session_ = &s;
+      name_ = name;
+      category_ = category;
+      start_ns_ = s.now_ns();
+    }
+#else
+    (void)name;
+    (void)category;
+#endif
+  }
+  ~TraceScope() {
+#if TRKX_TRACING
+    if (session_)
+      session_->record(name_, category_, start_ns_, session_->now_ns());
+#endif
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+#if TRKX_TRACING
+  TraceSession* session_ = nullptr;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+#endif
+};
+
+namespace detail {
+#define TRKX_OBS_CONCAT2(a, b) a##b
+#define TRKX_OBS_CONCAT(a, b) TRKX_OBS_CONCAT2(a, b)
+}  // namespace detail
+
+#if TRKX_TRACING
+/// Trace the enclosing scope as a span named `name` (a string literal).
+#define TRKX_TRACE_SPAN(...) \
+  ::trkx::TraceScope TRKX_OBS_CONCAT(trkx_trace_scope_, __COUNTER__) { \
+    __VA_ARGS__ \
+  }
+#else
+#define TRKX_TRACE_SPAN(...) static_cast<void>(0)
+#endif
+
+}  // namespace trkx

@@ -1,5 +1,6 @@
 #include "pipeline/embedding.hpp"
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace trkx {
@@ -42,6 +43,7 @@ double EmbeddingModel::train_batch(const Matrix& feats_a,
 }
 
 std::vector<double> EmbeddingModel::train(const std::vector<Event>& events) {
+  TRKX_TRACE_SPAN("embedding.train", "pipeline");
   TRKX_CHECK(!events.empty());
   Adam opt(store_, AdamOptions{.lr = config_.lr});
   std::vector<double> epoch_loss;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace trkx {
@@ -41,6 +42,7 @@ std::vector<float> FilterModel::score(const Event& event) const {
 }
 
 std::vector<double> FilterModel::train(const std::vector<Event>& events) {
+  TRKX_TRACE_SPAN("filter.train", "pipeline");
   TRKX_CHECK(!events.empty());
   // Auto pos_weight from global imbalance: fakes dominate, so weight
   // positives up to keep recall.
@@ -83,6 +85,7 @@ std::vector<double> FilterModel::train(const std::vector<Event>& events) {
 }
 
 std::size_t FilterModel::apply(Event& event) const {
+  TRKX_TRACE_SPAN("filter.apply", "pipeline");
   const std::vector<float> scores = score(event);
   if (scores.empty()) return 0;
   std::vector<Edge> kept_edges;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -26,6 +29,7 @@ const EpochRecord& TrainResult::last() const {
 BinaryMetrics evaluate_edges(const GnnModel& model,
                              const std::vector<Event>& events,
                              float threshold) {
+  TRKX_TRACE_SPAN("eval", "phase");
   BinaryMetrics metrics;
   for (const Event& event : events) {
     if (event.graph.num_edges() == 0) continue;
@@ -92,10 +96,17 @@ double compute_gradients(GnnModel& model, Optimizer& opt, const Graph& graph,
   opt.zero_grad();
   if (graph.num_edges() == 0) return 0.0;
   TapeContext ctx;
-  Var logits = model.gnn->forward(ctx, data.node_features,
-                                  data.edge_features, graph);
-  Var loss = ctx.tape().bce_with_logits(logits, data.labels, {}, pos_weight);
-  ctx.backward(loss);
+  Var loss;
+  {
+    TRKX_TRACE_SPAN("forward", "phase");
+    Var logits = model.gnn->forward(ctx, data.node_features,
+                                    data.edge_features, graph);
+    loss = ctx.tape().bce_with_logits(logits, data.labels, {}, pos_weight);
+  }
+  {
+    TRKX_TRACE_SPAN("backward", "phase");
+    ctx.backward(loss);
+  }
   return loss.value()(0, 0);
 }
 
@@ -140,6 +151,7 @@ TrainResult train_full_graph(GnnModel& model, const std::vector<Event>& train,
   double best_f1 = -1.0;
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    TRKX_TRACE_SPAN("epoch", "train");
     EpochRecord record;
     WallTimer epoch_timer;
     double loss_sum = 0.0;
@@ -157,7 +169,7 @@ TrainResult train_full_graph(GnnModel& model, const std::vector<Event>& train,
         continue;
       }
       if (event.num_edges() == 0) continue;
-      ScopedPhase phase(record.timers, "train");
+      PhaseSpan phase(record.timers, "train");
       StepData data;
       data.node_features = event.node_features;
       data.edge_features = event.edge_features;
@@ -173,6 +185,11 @@ TrainResult train_full_graph(GnnModel& model, const std::vector<Event>& train,
       record.val = evaluate_edges(model, val, config.eval_threshold);
     record.wall_seconds = epoch_timer.seconds();
     const double val_f1 = record.val.f1();
+    metrics().counter("train.epochs").add(1);
+    metrics().gauge("train.loss").set(record.train_loss);
+    metrics().gauge("val.precision").set(record.val.precision());
+    metrics().gauge("val.recall").set(record.val.recall());
+    metrics().histogram("epoch.wall_s").observe(record.wall_seconds);
     result.epochs.push_back(std::move(record));
     TRKX_DEBUG << "full-graph epoch " << epoch << " loss "
                << result.epochs.back().train_loss << " valP "
@@ -250,6 +267,7 @@ void run_shadow_training(ShadowTrainContext ctx) {
   std::size_t best_epoch = 0;
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    TRKX_TRACE_SPAN("epoch", "train");
     EpochRecord record;
     WallTimer epoch_timer;
     double loss_sum = 0.0;
@@ -277,7 +295,7 @@ void run_shadow_training(ShadowTrainContext ctx) {
         // Sample: one batch (reference) or k batches in bulk (matrix).
         std::vector<ShadowSample> samples;
         {
-          ScopedPhase phase(record.timers, "sample");
+          PhaseSpan phase(record.timers, "sample");
           if (ctx.sampler_kind == SamplerKind::kReference) {
             if (!local[bi].empty())
               samples.push_back(ref_samplers[ei]->sample(local[bi], sample_rng));
@@ -308,7 +326,7 @@ void run_shadow_training(ShadowTrainContext ctx) {
         for (ShadowSample& sample : samples) {
           double local_loss = 0.0;
           {
-            ScopedPhase phase(record.timers, "train");
+            PhaseSpan phase(record.timers, "train");
             if (!sample.roots.empty()) {
               const StepData data = gather_sample(event, sample);
               local_loss = compute_gradients(*ctx.model, *ctx.opt,
@@ -319,11 +337,11 @@ void run_shadow_training(ShadowTrainContext ctx) {
             }
           }
           if (ctx.comm) {
-            ScopedPhase phase(record.timers, "allreduce");
+            PhaseSpan phase(record.timers, "allreduce");
             synchronize_gradients(*ctx.comm, ctx.model->store, config.sync);
           }
           {
-            ScopedPhase phase(record.timers, "train");
+            PhaseSpan phase(record.timers, "train");
             if (config.scheduler) config.scheduler->apply(*ctx.opt, global_step);
             apply_step(*ctx.opt, config.grad_clip);
           }
@@ -370,6 +388,11 @@ void run_shadow_training(ShadowTrainContext ctx) {
       TRKX_DEBUG << "shadow epoch " << epoch << " loss " << record.train_loss
                  << " valP " << record.val.precision() << " valR "
                  << record.val.recall();
+      metrics().counter("train.epochs").add(1);
+      metrics().gauge("train.loss").set(record.train_loss);
+      metrics().gauge("val.precision").set(record.val.precision());
+      metrics().gauge("val.recall").set(record.val.recall());
+      metrics().histogram("epoch.wall_s").observe(record.wall_seconds);
       ctx.result->epochs.push_back(std::move(record));
       ctx.result->selected_epoch = epoch;
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace trkx {
@@ -29,6 +30,7 @@ Event TrackingPipeline::prepare_event(const Event& event) const {
 
 TrainResult TrackingPipeline::fit(const std::vector<Event>& train_events,
                                   const std::vector<Event>& val_events) {
+  TRKX_TRACE_SPAN("pipeline.fit", "pipeline");
   TRKX_CHECK(!train_events.empty());
   // Derive the feature normalisation envelope from the data.
   float r_max = 1.0f, z_max = 1.0f;
@@ -96,6 +98,7 @@ void TrackingPipeline::load(std::istream& is) {
 }
 
 PipelineOutput TrackingPipeline::reconstruct(const Event& event) const {
+  TRKX_TRACE_SPAN("pipeline.reconstruct", "pipeline");
   const Event prepared = prepare_event(event);
   PipelineOutput out;
   std::vector<float> scores;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace trkx {
@@ -17,6 +18,7 @@ void TrackingMetrics::merge(const TrackingMetrics& other) {
 std::vector<TrackCandidate> build_tracks(const Event& event,
                                          const std::vector<float>& edge_scores,
                                          const TrackBuildConfig& config) {
+  TRKX_TRACE_SPAN("track_building", "pipeline");
   TRKX_CHECK(edge_scores.size() == event.graph.num_edges());
   std::vector<char> mask(edge_scores.size());
   for (std::size_t e = 0; e < edge_scores.size(); ++e)

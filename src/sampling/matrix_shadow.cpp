@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/sample.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/error.hpp"
@@ -56,12 +58,17 @@ std::vector<std::vector<std::uint32_t>> MatrixShadowSampler::run_levels(
     // literal formulation).
     timer.reset();
     CsrMatrix p;
-    if (config_.generic_spgemm) {
-      const CsrMatrix q = CsrMatrix::selection(n, frontier);
-      p = spgemm(q, sym_adj_);
-    } else {
-      p = sym_adj_.select_rows(frontier);
+    {
+      TRKX_TRACE_SPAN("shadow.spgemm", "sample");
+      if (config_.generic_spgemm) {
+        const CsrMatrix q = CsrMatrix::selection(n, frontier);
+        p = spgemm(q, sym_adj_);
+      } else {
+        p = sym_adj_.select_rows(frontier);
+      }
     }
+    metrics().counter("sample.spgemm_calls").add(1);
+    metrics().counter("sample.frontier_rows").add(frontier.size());
     if (stats) {
       stats->spgemm_seconds += timer.seconds();
       ++stats->spgemm_calls;
@@ -69,8 +76,13 @@ std::vector<std::vector<std::uint32_t>> MatrixShadowSampler::run_levels(
     }
 
     timer.reset();
-    p.normalize_rows();
-    CsrMatrix sampled = sample_rows(p, config_.fanout, rng);
+    CsrMatrix sampled;
+    {
+      TRKX_TRACE_SPAN("shadow.normalise_draw", "sample");
+      p.normalize_rows();
+      sampled = sample_rows(p, config_.fanout, rng);
+    }
+    metrics().counter("sample.sampled_nnz").add(sampled.nnz());
     if (stats) {
       stats->sample_seconds += timer.seconds();
       stats->sampled_nnz += sampled.nnz();
@@ -165,6 +177,9 @@ std::vector<ShadowSample> MatrixShadowSampler::sample_bulk(
   auto visited = run_levels(roots, rng, stats);
 
   WallTimer timer;
+  TRKX_TRACE_SPAN("shadow.extract", "sample");
+  metrics().counter("sample.bulk_calls").add(1);
+  metrics().counter("sample.bulk_batches").add(batches.size());
   std::vector<ShadowSample> out;
   out.reserve(batches.size());
   std::size_t off = 0;

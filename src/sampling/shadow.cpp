@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace trkx {
@@ -49,7 +51,12 @@ ShadowSample ShadowSampler::sample(const std::vector<std::uint32_t>& batch,
                                    Rng& rng) const {
   std::vector<std::vector<std::uint32_t>> sets;
   sets.reserve(batch.size());
-  for (std::uint32_t b : batch) sets.push_back(walk_vertex_set(b, rng));
+  {
+    TRKX_TRACE_SPAN("shadow.walk", "sample");
+    for (std::uint32_t b : batch) sets.push_back(walk_vertex_set(b, rng));
+  }
+  metrics().counter("sample.walks").add(batch.size());
+  TRKX_TRACE_SPAN("shadow.assemble", "sample");
   return assemble_shadow_sample(*parent_, batch, sets);
 }
 

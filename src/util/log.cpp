@@ -5,11 +5,25 @@
 #include <cstdio>
 #include <mutex>
 
+#include "util/error.hpp"
+#include "util/thread_id.hpp"
+
 namespace trkx {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+
+// Guarded by g_mutex. g_sink points at stderr when null; g_owned is the
+// FILE opened by set_log_file (closed when replaced).
+std::FILE* g_sink = nullptr;
+std::FILE* g_owned = nullptr;
+
+void swap_sink_locked(std::FILE* sink, std::FILE* owned) {
+  if (g_owned) std::fclose(g_owned);
+  g_sink = sink;
+  g_owned = owned;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -25,15 +39,30 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(std::FILE* sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  swap_sink_locked(sink, nullptr);
+}
+
+void set_log_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  TRKX_CHECK_MSG(f != nullptr, "set_log_file: cannot open " << path);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  swap_sink_locked(f, f);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
   using clock = std::chrono::steady_clock;
   static const clock::time_point start = clock::now();
   const double t =
       std::chrono::duration<double>(clock::now() - start).count();
+  const int tid = this_thread_id();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%9.3f] [%s] %s\n", t, level_tag(level),
+  std::FILE* out = g_sink ? g_sink : stderr;
+  std::fprintf(out, "[%9.3f] [%s] [t%02d] %s\n", t, level_tag(level), tid,
                message.c_str());
+  std::fflush(out);
 }
 
 }  // namespace trkx

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -11,7 +12,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit a single formatted line to stderr with a timestamp and level tag.
+/// Redirect log output to `sink` (default stderr). The caller keeps
+/// ownership of the FILE; pass nullptr to restore stderr. Takes effect for
+/// subsequent log_line calls on every thread.
+void set_log_sink(std::FILE* sink);
+
+/// Convenience: open `path` (truncating) and log there until the next
+/// set_log_sink/set_log_file call or process exit. Lets each rank of a
+/// distributed run write an attributable per-rank log file.
+void set_log_file(const std::string& path);
+
+/// Emit a single formatted line with a timestamp, level tag, and the dense
+/// id of the emitting thread (see this_thread_id), so interleaved lines
+/// from distributed-training ranks stay attributable.
 /// Thread-safe (serialised by an internal mutex).
 void log_line(LogLevel level, const std::string& message);
 

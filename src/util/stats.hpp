@@ -6,9 +6,16 @@
 namespace trkx {
 
 /// Streaming mean/variance (Welford) plus min/max.
+///
+/// min()/max() are initialised from the first add() — never from a
+/// spurious 0.0 — so an all-positive (or all-negative) stream reports only
+/// values that were actually observed. With no observations both return 0.
 class RunningStat {
  public:
   void add(double x);
+  /// Combine another stat into this one (Chan et al. parallel Welford);
+  /// lets per-thread stats be accumulated shard-wise and merged on read.
+  void merge(const RunningStat& other);
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
   double variance() const;  ///< sample variance (n-1 denominator)
@@ -20,8 +27,8 @@ class RunningStat {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = 0.0;  ///< valid only when n_ > 0 (set on first add)
+  double max_ = 0.0;  ///< valid only when n_ > 0 (set on first add)
 };
 
 /// p in [0,100]; linear interpolation between order statistics.

@@ -1,0 +1,13 @@
+#include "util/thread_id.hpp"
+
+#include <atomic>
+
+namespace trkx {
+
+int this_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace trkx

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace trkx {
+
+/// Small dense id for the calling thread: 0 for the first thread that asks,
+/// 1 for the second, and so on. Stable for the thread's lifetime. Used to
+/// attribute log lines and trace events to threads without exposing opaque
+/// std::thread::id values, and to index per-thread metric shards.
+int this_thread_id();
+
+}  // namespace trkx

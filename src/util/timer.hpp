@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace trkx {
@@ -24,23 +25,54 @@ class WallTimer {
 
 /// Accumulates named time buckets; used by training loops to report the
 /// sampling / forward-backward / all-reduce split that Figure 3 plots.
+///
+/// Thread-safe: add()/get()/merge() may be called concurrently (e.g. from
+/// OpenMP regions or DDP rank threads), serialised by an internal mutex.
+/// For contention-free accumulation in tight parallel loops, prefer one
+/// local PhaseTimers per thread merged once at the end — merge() exists
+/// for exactly that pattern. New code should record through the richer
+/// src/obs layer (trace spans + metrics histograms); PhaseTimers remains
+/// as the per-epoch accumulator behind TrainResult.
 class PhaseTimers {
  public:
+  PhaseTimers() = default;
+  PhaseTimers(const PhaseTimers& other) : buckets_(other.buckets()) {}
+  PhaseTimers& operator=(const PhaseTimers& other) {
+    if (this != &other) {
+      auto copy = other.buckets();
+      std::lock_guard<std::mutex> lock(mutex_);
+      buckets_ = std::move(copy);
+    }
+    return *this;
+  }
+
   void add(const std::string& phase, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
     buckets_[phase] += seconds;
   }
   double get(const std::string& phase) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = buckets_.find(phase);
     return it == buckets_.end() ? 0.0 : it->second;
   }
-  void clear() { buckets_.clear(); }
-  const std::map<std::string, double>& buckets() const { return buckets_; }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buckets_.clear();
+  }
+  /// Snapshot of the buckets (by value: the map may change concurrently).
+  std::map<std::string, double> buckets() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_;
+  }
   /// Merge another timer set into this one (summing buckets).
   void merge(const PhaseTimers& other) {
-    for (const auto& [k, v] : other.buckets_) buckets_[k] += v;
+    auto theirs = other.buckets();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [k, v] : theirs) buckets_[k] += v;
   }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, double> buckets_;
 };
 

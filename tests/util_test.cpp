@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <thread>
 
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -168,6 +171,53 @@ TEST(RunningStat, SingleElement) {
   EXPECT_EQ(s.mean(), 3.0);
 }
 
+TEST(RunningStat, MinMaxFromFirstAddNotZero) {
+  // Regression: min/max must come from the first observation, never from a
+  // spurious 0.0 default, for streams entirely on one side of zero.
+  RunningStat pos;
+  for (double x : {5.0, 3.0, 8.0}) pos.add(x);
+  EXPECT_DOUBLE_EQ(pos.min(), 3.0);
+  EXPECT_DOUBLE_EQ(pos.max(), 8.0);
+  RunningStat neg;
+  for (double x : {-5.0, -3.0, -8.0}) neg.add(x);
+  EXPECT_DOUBLE_EQ(neg.min(), -8.0);
+  EXPECT_DOUBLE_EQ(neg.max(), -3.0);
+}
+
+TEST(RunningStat, EmptyReportsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat whole;
+  for (double x : xs) whole.add(x);
+  RunningStat a, b;
+  for (std::size_t i = 0; i < xs.size(); ++i) (i < 3 ? a : b).add(xs[i]);
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeEmptySides) {
+  RunningStat a, b, empty;
+  a.add(2.0);
+  a.merge(empty);  // merging an empty stat changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  b.merge(a);  // merging into an empty stat copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 2.0);
+}
+
 TEST(Percentile, MedianAndExtremes) {
   std::vector<double> v{5, 1, 3, 2, 4};
   EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
@@ -287,6 +337,66 @@ TEST(ScopedPhaseTest, RecordsElapsed) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   EXPECT_GT(t.get("x"), 0.0);
+}
+
+TEST(PhaseTimersTest, ConcurrentAddsFromManyThreads) {
+  // DDP rank threads share one PhaseTimers per epoch record; hammer it.
+  PhaseTimers t;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 8; ++r)
+    threads.emplace_back([&t, r] {
+      const std::string mine = "phase" + std::to_string(r % 2);
+      for (int i = 0; i < 5000; ++i) {
+        t.add(mine, 0.001);
+        t.add("shared", 0.001);
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_NEAR(t.get("shared"), 8 * 5000 * 0.001, 1e-6);
+  EXPECT_NEAR(t.get("phase0") + t.get("phase1"), 8 * 5000 * 0.001, 1e-6);
+  // Snapshot under concurrent-free conditions is consistent.
+  const auto buckets = t.buckets();
+  EXPECT_EQ(buckets.size(), 3u);
+}
+
+TEST(PhaseTimersTest, CopyIsSnapshot) {
+  PhaseTimers t;
+  t.add("a", 1.0);
+  PhaseTimers copy = t;
+  t.add("a", 1.0);
+  EXPECT_DOUBLE_EQ(copy.get("a"), 1.0);
+  EXPECT_DOUBLE_EQ(t.get("a"), 2.0);
+}
+
+// ---------- log ----------
+
+TEST(LogTest, SinkRedirectAndThreadTag) {
+  const char* path = "/tmp/trkx_util_test_log.txt";
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kDebug);
+  set_log_file(path);
+  TRKX_INFO << "hello from main";
+  std::thread worker([] { TRKX_WARN << "hello from worker"; });
+  worker.join();
+  set_log_sink(nullptr);  // back to stderr (closes the owned file)
+  set_log_level(prev);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("hello from main"), std::string::npos);
+  EXPECT_NE(text.find("hello from worker"), std::string::npos);
+  EXPECT_NE(text.find("[INFO "), std::string::npos);
+  EXPECT_NE(text.find("[WARN "), std::string::npos);
+  // Each line carries a [tNN] thread tag, and the two lines came from
+  // different threads.
+  std::set<std::string> tags;
+  for (std::size_t pos = text.find("[t"); pos != std::string::npos;
+       pos = text.find("[t", pos + 1))
+    tags.insert(text.substr(pos, text.find(']', pos) + 1 - pos));
+  EXPECT_EQ(tags.size(), 2u);
+  std::remove(path);
 }
 
 // ---------- error ----------
