@@ -18,15 +18,25 @@
 //
 //   ./bench_fig3_epoch_time [--ex3-scale 0.05] [--ctd-scale 0.004]
 //       [--train 2] [--epochs 1] [--batch 256] [--hidden 32] [--layers 4]
-//       [--max-ranks 4] [--trace-out trace.json]
+//       [--max-ranks 4] [--prefetch 2] [--trace-out trace.json]
 //       [--metrics-out fig3_epoch_time.metrics.json]
+//       [--json-out BENCH_fig3.json]
+//
+// Every configuration runs twice, with the sampler↔trainer prefetch
+// pipeline off (prefetch_depth=0, the serial reference) and on, so the
+// table and the JSON artifact carry the overlap speedup directly.
 //
 // Alongside the CSV it always dumps the global metrics registry (phase
 // histograms, all-reduce call/byte counters) so the perf trajectory can
-// track the sampling/compute/comms split across PRs.
+// track the sampling/compute/comms split across PRs. With --json-out (or
+// TRKX_BENCH_JSON) it also writes the unified BENCH_fig3.json artifact of
+// per-phase medians validated by scripts/check_bench_json.py.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "detector/presets.hpp"
 #include "io/csv.hpp"
 #include "obs/report.hpp"
@@ -44,52 +54,101 @@ struct RunConfig {
   SyncStrategy sync;
 };
 
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t m = v.size() / 2;
+  return v.size() % 2 == 1 ? v[m] : 0.5 * (v[m - 1] + v[m]);
+}
+
+/// Median over epochs of one phase bucket.
+double phase_median(const TrainResult& r, const char* phase) {
+  std::vector<double> v;
+  v.reserve(r.epochs.size());
+  for (const auto& e : r.epochs) v.push_back(e.timers.get(phase));
+  return median(std::move(v));
+}
+
 void run_dataset(const char* name, const Dataset& data, const IgnnConfig& gnn,
                  GnnTrainConfig cfg, const std::vector<int>& rank_counts,
-                 CsvWriter& csv) {
+                 CsvWriter& csv, BenchJsonWriter& json) {
   std::printf("\n--- %s: avg %.0f vertices / %.0f edges per graph ---\n",
               name, data.avg_vertices(), data.avg_edges());
-  std::printf("%-9s %-3s %-3s | %-9s %-9s %-11s %-11s | %-9s\n", "impl", "P",
-              "k", "sample[s]", "train[s]", "allred[s]", "allred-mdl",
-              "epoch[s]");
+  std::printf("%-9s %-3s %-3s %-3s | %-9s %-9s %-11s %-11s %-9s | %-9s %s\n",
+              "impl", "P", "k", "pf", "sample[s]", "train[s]", "allred[s]",
+              "allred-mdl", "stall[s]", "epoch[s]", "speedup");
 
   const RunConfig runs[] = {
       {"baseline", SamplerKind::kReference, SyncStrategy::kPerTensor},
       {"ours", SamplerKind::kMatrixBulk, SyncStrategy::kCoalesced},
   };
+  // Prefetch off first, then on: the serial epoch time is the reference
+  // the pipelined run's speedup column divides.
+  std::vector<std::size_t> depths{0};
+  if (cfg.prefetch_depth > 0) depths.push_back(cfg.prefetch_depth);
+
   for (const RunConfig& run : runs) {
     for (int p : rank_counts) {
-      GnnTrainConfig c = cfg;
-      c.sync = run.sync;
-      // The paper samples more minibatches in bulk as aggregate GPU
-      // memory grows with P.
-      c.bulk_k = run.sampler == SamplerKind::kMatrixBulk
-                     ? static_cast<std::size_t>(2 * p)
-                     : 1;
-      c.evaluate_every_epoch = false;
-      GnnModel model(gnn, c.seed);
-      TrainResult r;
-      if (p == 1) {
-        r = train_shadow(model, data.train, data.val, c, run.sampler);
-      } else {
-        DistRuntime rt(p);
-        r = train_shadow_ddp(model, data.train, data.val, c, rt, run.sampler);
+      double serial_epoch = 0.0;
+      for (std::size_t pf : depths) {
+        GnnTrainConfig c = cfg;
+        c.sync = run.sync;
+        c.prefetch_depth = pf;
+        // The paper samples more minibatches in bulk as aggregate GPU
+        // memory grows with P.
+        c.bulk_k = run.sampler == SamplerKind::kMatrixBulk
+                       ? static_cast<std::size_t>(2 * p)
+                       : 1;
+        c.evaluate_every_epoch = false;
+        GnnModel model(gnn, c.seed);
+        TrainResult r;
+        if (p == 1) {
+          r = train_shadow(model, data.train, data.val, c, run.sampler);
+        } else {
+          DistRuntime rt(p);
+          r = train_shadow_ddp(model, data.train, data.val, c, rt,
+                               run.sampler);
+        }
+        // Per-epoch medians. "sample" spans the sampler proper; "gather"
+        // is the feature-matrix assembly the producer also hides.
+        const double sample =
+            phase_median(r, "sample") + phase_median(r, "gather");
+        const double train = phase_median(r, "train");
+        const double allred = phase_median(r, "allreduce");
+        const double stall = phase_median(r, "prefetch_stall");
+        const double modeled =
+            r.comm.modeled_seconds / static_cast<double>(r.epochs.size());
+        std::vector<double> walls;
+        for (const auto& e : r.epochs) walls.push_back(e.wall_seconds);
+        const double epoch_wall = median(std::move(walls));
+        if (pf == 0) serial_epoch = epoch_wall;
+        const double speedup =
+            pf > 0 && epoch_wall > 0.0 ? serial_epoch / epoch_wall : 1.0;
+        std::printf(
+            "%-9s %-3d %-3zu %-3zu | %-9.3f %-9.3f %-11.3f %-11.5f %-9.3f | "
+            "%-9.3f %.2fx\n",
+            run.impl, p, c.bulk_k, pf, sample, train, allred, modeled, stall,
+            epoch_wall, speedup);
+        csv.row(std::vector<std::string>{
+            name, run.impl, std::to_string(p), std::to_string(c.bulk_k),
+            std::to_string(pf), format_double(sample), format_double(train),
+            format_double(allred), format_double(modeled),
+            format_double(stall), format_double(epoch_wall)});
+        auto& s = json.series(std::string(name) + "/" + run.impl + "/p" +
+                              std::to_string(p) + "/pf" + std::to_string(pf));
+        s.param("dataset", name)
+            .param("impl", run.impl)
+            .param("ranks", static_cast<long long>(p))
+            .param("bulk_k", static_cast<long long>(c.bulk_k))
+            .param("prefetch_depth", static_cast<long long>(pf));
+        s.metric("sample_s_median", sample)
+            .metric("train_s_median", train)
+            .metric("allreduce_s_median", allred)
+            .metric("allreduce_modeled_s_median", modeled)
+            .metric("prefetch_stall_s_median", stall)
+            .metric("epoch_s_median", epoch_wall);
+        if (pf > 0) s.metric("speedup_vs_serial", speedup);
       }
-      // Per-epoch means.
-      const double n = static_cast<double>(r.epochs.size());
-      const double sample = r.total_phase("sample") / n;
-      const double train = r.total_phase("train") / n;
-      const double allred = r.total_phase("allreduce") / n;
-      const double modeled = r.comm.modeled_seconds / n;
-      double epoch_wall = 0.0;
-      for (const auto& e : r.epochs) epoch_wall += e.wall_seconds / n;
-      std::printf("%-9s %-3d %-3zu | %-9.3f %-9.3f %-11.3f %-11.5f | %-9.3f\n",
-                  run.impl, p, c.bulk_k, sample, train, allred, modeled,
-                  epoch_wall);
-      csv.row(std::vector<std::string>{
-          name, run.impl, std::to_string(p), std::to_string(c.bulk_k),
-          format_double(sample), format_double(train), format_double(allred),
-          format_double(modeled), format_double(epoch_wall)});
     }
   }
 }
@@ -109,16 +168,23 @@ int main(int argc, char** argv) {
   GnnTrainConfig cfg;
   cfg.epochs = static_cast<std::size_t>(args.get_int("epochs", 1));
   cfg.batch_size = static_cast<std::size_t>(args.get_int("batch", 256));
-  cfg.shadow = {.depth = 2, .fanout = 4};  // CPU-sized (paper: d=3, s=6)
+  // CPU-sized sampling default; pass --shadow-depth 3 --shadow-fanout 6
+  // for the paper config (much larger subgraphs, so training dominates).
+  cfg.shadow = {
+      .depth = static_cast<std::size_t>(args.get_int("shadow-depth", 2)),
+      .fanout = static_cast<std::size_t>(args.get_int("shadow-fanout", 4))};
   cfg.seed = 9;
+  cfg.prefetch_depth = static_cast<std::size_t>(args.get_int("prefetch", 2));
 
   std::vector<int> ranks;
   for (int p = 1; p <= max_ranks; p *= 2) ranks.push_back(p);
 
   std::printf("=== Figure 3: epoch time across process counts ===\n");
   CsvWriter csv("fig3_epoch_time.csv",
-                {"dataset", "impl", "ranks", "bulk_k", "sample_s", "train_s",
-                 "allreduce_s", "allreduce_modeled_s", "epoch_s"});
+                {"dataset", "impl", "ranks", "bulk_k", "prefetch_depth",
+                 "sample_s", "train_s", "allreduce_s", "allreduce_modeled_s",
+                 "prefetch_stall_s", "epoch_s"});
+  BenchJsonWriter json("fig3_epoch_time");
 
   {
     DatasetSpec spec = ctd_spec(ctd_scale);
@@ -130,7 +196,7 @@ int main(int argc, char** argv) {
     gnn.hidden_dim = static_cast<std::size_t>(args.get_int("hidden", 32));
     gnn.num_layers = static_cast<std::size_t>(args.get_int("layers", 4));
     gnn.mlp_hidden = spec.mlp_hidden_layers - 1;
-    run_dataset("CTD", data, gnn, cfg, ranks, csv);
+    run_dataset("CTD", data, gnn, cfg, ranks, csv, json);
   }
   {
     DatasetSpec spec = ex3_spec(ex3_scale);
@@ -142,7 +208,7 @@ int main(int argc, char** argv) {
     gnn.hidden_dim = static_cast<std::size_t>(args.get_int("hidden", 32));
     gnn.num_layers = static_cast<std::size_t>(args.get_int("layers", 4));
     gnn.mlp_hidden = spec.mlp_hidden_layers - 1;
-    run_dataset("Ex3", data, gnn, cfg, ranks, csv);
+    run_dataset("Ex3", data, gnn, cfg, ranks, csv, json);
   }
 
   std::printf(
@@ -155,5 +221,9 @@ int main(int argc, char** argv) {
   obs.flush();
   std::printf("series written to fig3_epoch_time.csv, metrics to %s\n",
               obs.metrics_path().c_str());
+  const std::string json_path =
+      BenchJsonWriter::resolve_path(args.get("json-out", ""));
+  if (json.write(json_path))
+    std::printf("bench JSON written to %s\n", json_path.c_str());
   return 0;
 }

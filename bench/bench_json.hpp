@@ -1,0 +1,121 @@
+// Unified machine-readable benchmark artifact.
+//
+// Every bench that opts in accepts --json-out <path> (with the
+// TRKX_BENCH_JSON environment variable as fallback, so CI can redirect
+// artifacts without touching per-bench flags) and writes
+//
+//   {"bench": "<name>",
+//    "series": [{"name": "<series>",
+//                "params": {"<key>": "<value>", ...},
+//                "metrics": {"<key>": <number>, ...}}, ...]}
+//
+// scripts/check_bench_json.py validates this shape (perf-smoke label).
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace trkx {
+
+/// Collects named series of (params, metrics) and dumps them as JSON.
+class BenchJsonWriter {
+ public:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> params;
+    std::vector<std::pair<std::string, double>> metrics;
+
+    Series& param(const std::string& key, const std::string& value) {
+      params.emplace_back(key, value);
+      return *this;
+    }
+    Series& param(const std::string& key, long long value) {
+      return param(key, std::to_string(value));
+    }
+    Series& metric(const std::string& key, double value) {
+      metrics.emplace_back(key, value);
+      return *this;
+    }
+  };
+
+  explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Output path: the --json-out value if given, else $TRKX_BENCH_JSON,
+  /// else "" (disabled).
+  static std::string resolve_path(const std::string& cli_value) {
+    if (!cli_value.empty()) return cli_value;
+    const char* env = std::getenv("TRKX_BENCH_JSON");
+    return env != nullptr ? env : "";
+  }
+
+  Series& series(const std::string& name) {
+    series_.push_back(Series{name, {}, {}});
+    return series_.back();
+  }
+
+  /// Write the artifact; no-op (returns false) when path is empty.
+  bool write(const std::string& path) const {
+    if (path.empty()) return false;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    TRKX_CHECK_MSG(f != nullptr, "cannot open bench JSON output: " + path);
+    std::fprintf(f, "{\"bench\": %s, \"series\": [", quote(bench_).c_str());
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const Series& s = series_[i];
+      std::fprintf(f, "%s\n  {\"name\": %s, \"params\": {",
+                   i == 0 ? "" : ",", quote(s.name).c_str());
+      for (std::size_t j = 0; j < s.params.size(); ++j)
+        std::fprintf(f, "%s%s: %s", j == 0 ? "" : ", ",
+                     quote(s.params[j].first).c_str(),
+                     quote(s.params[j].second).c_str());
+      std::fprintf(f, "}, \"metrics\": {");
+      for (std::size_t j = 0; j < s.metrics.size(); ++j) {
+        std::fprintf(f, "%s%s: ", j == 0 ? "" : ", ",
+                     quote(s.metrics[j].first).c_str());
+        const double v = s.metrics[j].second;
+        if (std::isfinite(v))
+          std::fprintf(f, "%.9g", v);
+        else
+          std::fprintf(f, "null");  // non-finite is not valid JSON
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Series> series_;
+};
+
+}  // namespace trkx

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a unified bench JSON artifact (bench/bench_json.hpp).
+
+Usage:
+    check_bench_json.py BENCH.json [--bench NAME]
+                        [--require-metrics a,b,c] [--min-series N]
+                        [--require-params a,b]
+
+Expected shape:
+
+    {"bench": "<name>",
+     "series": [{"name": "<series>",
+                 "params": {"<key>": "<string value>", ...},
+                 "metrics": {"<key>": <number or null>, ...}}, ...]}
+
+Every series must carry a non-empty name, params must map strings to
+strings, and metrics must map strings to numbers (null marks a non-finite
+measurement). Optional flags pin the bench name, require metric/param keys
+on every series, and set a minimum series count. Exits 0 on success, 1
+with one message per violation otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="path to bench JSON")
+    parser.add_argument("--bench", default="", help="expected bench name")
+    parser.add_argument(
+        "--require-metrics",
+        default="",
+        help="comma-separated metric keys every series must carry",
+    )
+    parser.add_argument(
+        "--require-params",
+        default="",
+        help="comma-separated param keys every series must carry",
+    )
+    parser.add_argument(
+        "--min-series", type=int, default=1, help="minimum series count"
+    )
+    args = parser.parse_args()
+
+    errors = []
+    try:
+        with open(args.artifact, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot parse {args.artifact}: {exc}", file=sys.stderr)
+        return 1
+
+    if not isinstance(doc, dict):
+        errors.append("top level is not an object")
+        doc = {}
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        errors.append('"bench" must be a non-empty string')
+    elif args.bench and bench != args.bench:
+        errors.append(f'"bench" is {bench!r}, expected {args.bench!r}')
+
+    series = doc.get("series")
+    if not isinstance(series, list):
+        errors.append('"series" must be a list')
+        series = []
+    if len(series) < args.min_series:
+        errors.append(
+            f"expected at least {args.min_series} series, got {len(series)}"
+        )
+
+    want_metrics = [k for k in args.require_metrics.split(",") if k]
+    want_params = [k for k in args.require_params.split(",") if k]
+    for i, s in enumerate(series):
+        where = f"series[{i}]"
+        if not isinstance(s, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f'{where}: "name" must be a non-empty string')
+        else:
+            where = f"series[{i}] ({name})"
+        params = s.get("params")
+        if not isinstance(params, dict):
+            errors.append(f'{where}: "params" must be an object')
+            params = {}
+        for k, v in params.items():
+            if not isinstance(v, str):
+                errors.append(f"{where}: param {k!r} is not a string")
+        metrics = s.get("metrics")
+        if not isinstance(metrics, dict):
+            errors.append(f'{where}: "metrics" must be an object')
+            metrics = {}
+        for k, v in metrics.items():
+            if not (v is None or isinstance(v, (int, float))):
+                errors.append(f"{where}: metric {k!r} is not a number")
+        for k in want_metrics:
+            if k not in metrics:
+                errors.append(f"{where}: missing required metric {k!r}")
+        for k in want_params:
+            if k not in params:
+                errors.append(f"{where}: missing required param {k!r}")
+
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if not errors:
+        n = len(series)
+        print(f"{args.artifact}: OK ({n} series)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

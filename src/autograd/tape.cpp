@@ -36,11 +36,11 @@ Var Tape::emit(Matrix value, bool requires_grad,
   return Var(this, nodes_.size() - 1);
 }
 
-void Tape::accumulate(Var v, const Matrix& g) {
+void Tape::accumulate(Var v, Matrix g) {
   Node& n = node(v);
   if (!n.requires_grad) return;
   if (n.grad.empty()) {
-    n.grad = g;
+    n.grad = std::move(g);
   } else {
     add_inplace(n.grad, g);
   }

@@ -133,8 +133,11 @@ class Tape {
 
   Var emit(Matrix value, bool requires_grad,
            std::function<void(Node&)> backward);
-  /// Accumulate g into the node's grad (allocating if needed).
-  void accumulate(Var v, const Matrix& g);
+  /// Accumulate g into the node's grad. Taking g by value lets backward
+  /// closures hand over their temporaries: the first contribution to a
+  /// node is a buffer move, not a copy, so the pool sees one allocation
+  /// per gradient instead of two.
+  void accumulate(Var v, Matrix g);
 
   friend class Var;
   std::deque<Node> nodes_;

@@ -1,12 +1,16 @@
 #include "pipeline/gnn_train.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/trace.hpp"
+#include "tensor/pool.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/prefetch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace trkx {
 
@@ -28,16 +32,31 @@ const EpochRecord& TrainResult::last() const {
 
 BinaryMetrics evaluate_edges(const GnnModel& model,
                              const std::vector<Event>& events,
-                             float threshold) {
+                             float threshold, std::size_t threads) {
   TRKX_TRACE_SPAN("eval", "phase");
-  BinaryMetrics metrics;
-  for (const Event& event : events) {
-    if (event.graph.num_edges() == 0) continue;
+  const std::size_t n = events.size();
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == 0) threads = std::min(n, hw);
+  const auto score_event = [&](const Event& event, BinaryMetrics& out) {
+    if (event.graph.num_edges() == 0) return;
     const std::vector<float> scores = model.gnn->predict(
         event.node_features, event.edge_features, event.graph);
     for (std::size_t e = 0; e < scores.size(); ++e)
-      metrics.add(scores[e] >= threshold, event.edge_labels[e] != 0);
+      out.add(scores[e] >= threshold, event.edge_labels[e] != 0);
+  };
+  BinaryMetrics metrics;
+  if (threads <= 1 || n <= 1) {
+    for (const Event& event : events) score_event(event, metrics);
+    return metrics;
   }
+  // Score events concurrently, then merge counts in event order (merge is
+  // integer sums, so the result matches the serial path exactly).
+  std::vector<BinaryMetrics> per_event(n);
+  ThreadPool pool(std::min(threads, n));
+  pool.parallel_for(
+      n, [&](std::size_t i) { score_event(events[i], per_event[i]); });
+  for (const BinaryMetrics& m : per_event) metrics.merge(m);
   return metrics;
 }
 
@@ -121,19 +140,26 @@ std::vector<std::vector<std::uint32_t>> event_minibatches(
   return make_minibatches(event.num_hits(), batch_size, rng);
 }
 
-/// The contiguous shard of a global batch owned by `rank` of `size`.
+}  // namespace
+
 std::vector<std::uint32_t> shard_batch(const std::vector<std::uint32_t>& batch,
                                        int rank, int size) {
+  TRKX_CHECK(size > 0 && rank >= 0 && rank < size);
   const std::size_t n = batch.size();
-  const std::size_t chunk =
-      (n + static_cast<std::size_t>(size) - 1) / static_cast<std::size_t>(size);
-  const std::size_t begin = std::min(n, chunk * static_cast<std::size_t>(rank));
-  const std::size_t end = std::min(n, begin + chunk);
+  const std::size_t r = static_cast<std::size_t>(rank);
+  const std::size_t p = static_cast<std::size_t>(size);
+  // Balanced contiguous partition: ceil-sized shards for the first
+  // n mod p ranks, floor-sized for the rest. Unlike all-ceil chunking,
+  // this never starves the trailing ranks (n = p + 1 used to give rank
+  // p−1 nothing while rank 0 got two), and small batches (n < p) spread
+  // one element to each of the first n ranks.
+  const std::size_t base = n / p;
+  const std::size_t rem = n % p;
+  const std::size_t begin = r * base + std::min(r, rem);
+  const std::size_t end = begin + base + (r < rem ? 1 : 0);
   return {batch.begin() + static_cast<std::ptrdiff_t>(begin),
           batch.begin() + static_cast<std::ptrdiff_t>(end)};
 }
-
-}  // namespace
 
 TrainResult train_full_graph(GnnModel& model, const std::vector<Event>& train,
                              const std::vector<Event>& val,
@@ -236,6 +262,29 @@ struct ShadowTrainContext {
   TrainResult* result = nullptr; // written by rank 0 only
 };
 
+/// One prefetchable unit of sampling work: a single minibatch for the
+/// reference sampler, one bulk-k chunk for the matrix sampler. Built
+/// serially at epoch start (so the shared batch_rng sequence is identical
+/// on every rank), then produced in any order by the prefetch pipeline.
+struct SampleUnit {
+  std::uint32_t ei = 0;         ///< event index into the training set
+  std::size_t first_batch = 0;  ///< event-local index of batches.front()
+  std::vector<std::vector<std::uint32_t>> batches;  ///< my local shards
+};
+
+/// A unit after sampling and gathering — everything forward/backward
+/// needs. Entries with empty roots are empty rank shards that still
+/// participate in the gradient all-reduce.
+struct PreparedUnit {
+  std::uint32_t ei = 0;
+  std::vector<ShadowSample> samples;
+  std::vector<StepData> data;  ///< parallel to samples
+};
+
+/// Domain-separation tag for the per-(rank, epoch, event, batch) sampling
+/// streams, so they never collide with other uses of config.seed.
+constexpr std::uint64_t kSampleStreamTag = 0x53414d504c453344ull;
+
 void run_shadow_training(ShadowTrainContext ctx) {
   const GnnTrainConfig& config = *ctx.config;
   const int rank = ctx.comm ? ctx.comm->rank() : 0;
@@ -256,15 +305,23 @@ void run_shadow_training(ShadowTrainContext ctx) {
   }
 
   // Batch order must be identical across ranks: derived from the shared
-  // config seed. Sampling randomness is per-rank (independent draws).
+  // config seed. Sampling randomness comes from independent streams keyed
+  // by (rank, epoch, event, batch) — see Rng::stream — so the prefetch
+  // pipeline can sample units in any order, on any thread, and still
+  // reproduce the serial run bit for bit.
   Rng batch_rng(config.seed);
-  Rng sample_rng(config.seed ^ (0xabcdef1234567890ull +
-                                static_cast<std::uint64_t>(rank) * 0x9e37ull));
   EarlyStopping early(std::max<std::size_t>(config.early_stop_patience, 1));
   std::size_t global_step = 0;
   std::vector<float> best_weights;
   double best_f1 = -1.0;
   std::size_t best_epoch = 0;
+
+  // Producer threads for the sampler↔trainer overlap, reused across
+  // epochs. Depth 0 keeps everything on this thread (serial reference).
+  std::unique_ptr<ThreadPool> producer;
+  if (config.prefetch_depth > 0)
+    producer = std::make_unique<ThreadPool>(
+        std::max<std::size_t>(1, config.prefetch_threads));
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     TRKX_TRACE_SPAN("epoch", "train");
@@ -278,13 +335,13 @@ void run_shadow_training(ShadowTrainContext ctx) {
       order[i] = static_cast<std::uint32_t>(i);
     batch_rng.shuffle(order);
 
+    // Epoch plan: every unit of sampling work, in consumption order.
+    std::vector<SampleUnit> units;
     for (std::uint32_t ei : order) {
       const Event& event = (*ctx.train)[ei];
       if (event.num_hits() == 0) continue;
       const auto global_batches =
           event_minibatches(event, config.batch_size, batch_rng);
-
-      // My shard of every global batch for this event.
       std::vector<std::vector<std::uint32_t>> local;
       local.reserve(global_batches.size());
       for (const auto& b : global_batches)
@@ -292,45 +349,88 @@ void run_shadow_training(ShadowTrainContext ctx) {
 
       std::size_t bi = 0;
       while (bi < local.size()) {
-        // Sample: one batch (reference) or k batches in bulk (matrix).
-        std::vector<ShadowSample> samples;
-        {
-          PhaseSpan phase(record.timers, "sample");
-          if (ctx.sampler_kind == SamplerKind::kReference) {
-            if (!local[bi].empty())
-              samples.push_back(ref_samplers[ei]->sample(local[bi], sample_rng));
-            else
-              samples.emplace_back();
-            ++bi;
-          } else {
-            const std::size_t k =
-                std::min(config.bulk_k, local.size() - bi);
-            std::vector<std::vector<std::uint32_t>> chunk;
-            std::vector<std::size_t> chunk_pos;
-            for (std::size_t j = 0; j < k; ++j) {
-              if (!local[bi + j].empty()) {
-                chunk.push_back(local[bi + j]);
-                chunk_pos.push_back(j);
-              }
-            }
-            std::vector<ShadowSample> sampled;
-            if (!chunk.empty())
-              sampled = mat_samplers[ei]->sample_bulk(chunk, sample_rng);
-            samples.resize(k);
-            for (std::size_t j = 0; j < chunk.size(); ++j)
-              samples[chunk_pos[j]] = std::move(sampled[j]);
-            bi += k;
-          }
-        }
+        const std::size_t k =
+            ctx.sampler_kind == SamplerKind::kReference
+                ? 1
+                : std::min(config.bulk_k, local.size() - bi);
+        SampleUnit unit;
+        unit.ei = ei;
+        unit.first_batch = bi;
+        unit.batches.assign(
+            local.begin() + static_cast<std::ptrdiff_t>(bi),
+            local.begin() + static_cast<std::ptrdiff_t>(bi + k));
+        units.push_back(std::move(unit));
+        bi += k;
+      }
+    }
 
-        for (ShadowSample& sample : samples) {
+    // Producer: sample + gather one unit. Runs on the prefetch thread
+    // when depth > 0, inline inside queue.get() when depth == 0.
+    const auto produce = [&, epoch](std::size_t u) {
+      TRKX_TRACE_SPAN("prefetch.produce", "prefetch");
+      const SampleUnit& unit = units[u];
+      const Event& event = (*ctx.train)[unit.ei];
+      Rng rng = Rng::stream(config.seed ^ kSampleStreamTag,
+                            static_cast<std::uint64_t>(rank), epoch,
+                            unit.ei, unit.first_batch);
+      PreparedUnit out;
+      out.ei = unit.ei;
+      {
+        PhaseSpan phase(record.timers, "sample");
+        if (ctx.sampler_kind == SamplerKind::kReference) {
+          if (!unit.batches.front().empty())
+            out.samples.push_back(
+                ref_samplers[unit.ei]->sample(unit.batches.front(), rng));
+          else
+            out.samples.emplace_back();
+        } else {
+          // Bulk-sample the non-empty shards of the chunk in one stacked
+          // pass; empty shards keep an empty sample slot.
+          std::vector<std::vector<std::uint32_t>> chunk;
+          std::vector<std::size_t> chunk_pos;
+          for (std::size_t j = 0; j < unit.batches.size(); ++j) {
+            if (!unit.batches[j].empty()) {
+              chunk.push_back(unit.batches[j]);
+              chunk_pos.push_back(j);
+            }
+          }
+          std::vector<ShadowSample> sampled;
+          if (!chunk.empty())
+            sampled = mat_samplers[unit.ei]->sample_bulk(chunk, rng);
+          out.samples.resize(unit.batches.size());
+          for (std::size_t j = 0; j < chunk.size(); ++j)
+            out.samples[chunk_pos[j]] = std::move(sampled[j]);
+        }
+      }
+      {
+        PhaseSpan phase(record.timers, "gather");
+        out.data.resize(out.samples.size());
+        for (std::size_t j = 0; j < out.samples.size(); ++j)
+          if (!out.samples[j].roots.empty())
+            out.data[j] = gather_sample(event, out.samples[j]);
+      }
+      return out;
+    };
+
+    {
+      PrefetchQueue<PreparedUnit> queue(producer.get(),
+                                        config.prefetch_depth, units.size(),
+                                        produce);
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        PreparedUnit prepared;
+        {
+          TRKX_TRACE_SPAN("prefetch.get", "prefetch");
+          prepared = queue.get(u);
+        }
+        for (std::size_t j = 0; j < prepared.samples.size(); ++j) {
+          const ShadowSample& sample = prepared.samples[j];
           double local_loss = 0.0;
           {
             PhaseSpan phase(record.timers, "train");
             if (!sample.roots.empty()) {
-              const StepData data = gather_sample(event, sample);
               local_loss = compute_gradients(*ctx.model, *ctx.opt,
-                                             sample.sub.graph, data,
+                                             sample.sub.graph,
+                                             prepared.data[j],
                                              ctx.pos_weight);
             } else {
               ctx.opt->zero_grad();  // empty shard still participates
@@ -342,7 +442,8 @@ void run_shadow_training(ShadowTrainContext ctx) {
           }
           {
             PhaseSpan phase(record.timers, "train");
-            if (config.scheduler) config.scheduler->apply(*ctx.opt, global_step);
+            if (config.scheduler)
+              config.scheduler->apply(*ctx.opt, global_step);
             apply_step(*ctx.opt, config.grad_clip);
           }
           ++global_step;
@@ -350,6 +451,24 @@ void run_shadow_training(ShadowTrainContext ctx) {
           ++steps;
         }
       }
+
+      const auto& ps = queue.stats();
+      record.timers.add("prefetch_stall", ps.stall_seconds);
+      metrics().histogram("prefetch.stall_s").observe(ps.stall_seconds);
+      metrics().gauge("prefetch.occupancy").set(ps.mean_occupancy());
+      metrics().counter("prefetch.stalls").add(ps.stalls);
+      metrics().counter("prefetch.units").add(ps.gets);
+      metrics().counter("prefetch.inline_units").add(ps.inline_runs);
+    }
+
+    if (is_root) {
+      TRKX_TRACE_SPAN("pool.publish", "pool");
+      const TensorPool::Stats pstats = TensorPool::stats();
+      metrics().gauge("pool.hit_rate").set(pstats.hit_rate());
+      metrics().gauge("pool.hits").set(static_cast<double>(pstats.hits));
+      metrics().gauge("pool.misses").set(static_cast<double>(pstats.misses));
+      metrics().gauge("pool.bytes_cached")
+          .set(static_cast<double>(pstats.bytes_cached));
     }
 
     record.train_loss =

@@ -52,6 +52,17 @@ struct GnnTrainConfig {
   /// 0 disables. Both limits apply when set.
   std::size_t memory_budget_bytes = 0;
   SyncStrategy sync = SyncStrategy::kCoalesced;
+  /// Sampler/trainer overlap: the producer task samples and gathers up to
+  /// this many work units (one batch for the reference sampler, one
+  /// bulk-k chunk for the matrix sampler) ahead of the training step.
+  /// 0 = fully serial (sample → train per unit, the pre-pipeline
+  /// behaviour). Sampling randomness is keyed per (rank, epoch, event,
+  /// batch), so any depth produces bit-identical training trajectories.
+  std::size_t prefetch_depth = 2;
+  /// Producer threads backing the prefetch pipeline (per rank). One
+  /// thread is enough to hide the sample phase behind forward/backward;
+  /// see README "Thread budget" before raising it.
+  std::size_t prefetch_threads = 1;
   bool evaluate_every_epoch = true;
   float eval_threshold = 0.5f;
   /// Optional learning-rate schedule, applied per optimizer step (shared
@@ -91,9 +102,22 @@ struct TrainResult {
 };
 
 /// Edge precision/recall of full-graph inference over `events`.
+/// Per-event predictions are independent, so events are scored in
+/// parallel on a ThreadPool of `threads` workers (0 = one per event,
+/// capped at the hardware concurrency; 1 = serial) and the per-event
+/// counts merged in event order — the result is identical for any thread
+/// count.
 BinaryMetrics evaluate_edges(const GnnModel& model,
                              const std::vector<Event>& events,
-                             float threshold = 0.5f);
+                             float threshold = 0.5f,
+                             std::size_t threads = 0);
+
+/// The shard of a global minibatch owned by `rank` of `size`: a balanced
+/// contiguous partition (first n mod size ranks get one extra element).
+/// Shards exactly partition the batch; when the batch has fewer elements
+/// than there are ranks, trailing ranks receive empty shards.
+std::vector<std::uint32_t> shard_batch(const std::vector<std::uint32_t>& batch,
+                                       int rank, int size);
 
 /// Mean BCE pos_weight implied by the label imbalance of `events`.
 float auto_pos_weight(const std::vector<Event>& events);

@@ -48,6 +48,14 @@ std::vector<std::vector<std::uint32_t>> MatrixShadowSampler::run_levels(
   for (std::size_t r = 0; r < num_roots; ++r)
     row_root[r] = static_cast<std::uint32_t>(r);
 
+  // One independent stream per root, derived sequentially from the
+  // caller's rng. A root's draws then depend only on its own stream, so
+  // the grouped sample_rows can sample roots on any thread in any order
+  // and still reproduce the serial result bit for bit.
+  std::vector<Rng> root_rngs;
+  root_rngs.reserve(num_roots);
+  for (std::size_t r = 0; r < num_roots; ++r) root_rngs.push_back(rng.split());
+
   WallTimer timer;
   for (std::size_t level = 0; level < config_.depth; ++level) {
     if (frontier.empty()) break;
@@ -80,7 +88,7 @@ std::vector<std::vector<std::uint32_t>> MatrixShadowSampler::run_levels(
     {
       TRKX_TRACE_SPAN("shadow.normalise_draw", "sample");
       p.normalize_rows();
-      sampled = sample_rows(p, config_.fanout, rng);
+      sampled = sample_rows(p, config_.fanout, row_root, root_rngs);
     }
     metrics().counter("sample.sampled_nnz").add(sampled.nnz());
     if (stats) {

@@ -2,71 +2,121 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace trkx {
+
+namespace {
+
+/// Draw up to `s` distinct columns of row `r` into `out` (sorted).
+void sample_row(const CsrMatrix& probs, std::size_t r, std::size_t s,
+                Rng& rng, std::vector<std::uint32_t>& out) {
+  const std::uint64_t begin = probs.row_ptr()[r];
+  const std::uint64_t end = probs.row_ptr()[r + 1];
+  const std::size_t nnz = end - begin;
+  if (nnz <= s) {
+    // Keep the whole row (already column-sorted in CSR).
+    for (std::uint64_t k = begin; k < end; ++k)
+      out.push_back(probs.col_idx()[k]);
+    return;
+  }
+  // Detect the uniform case (all stored values equal) — ShaDow rows are
+  // uniform after normalize_rows() — and use exact uniform sampling
+  // without replacement there. Otherwise fall back to weighted draws
+  // with rejection on duplicates.
+  bool uniform = true;
+  const float v0 = probs.values()[begin];
+  for (std::uint64_t k = begin + 1; k < end; ++k) {
+    if (probs.values()[k] != v0) {
+      uniform = false;
+      break;
+    }
+  }
+  std::vector<std::uint32_t> picked;
+  if (uniform) {
+    auto offsets = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(nnz), static_cast<std::uint32_t>(s));
+    picked.reserve(s);
+    for (std::uint32_t off : offsets)
+      picked.push_back(probs.col_idx()[begin + off]);
+  } else {
+    // Weighted without replacement via Efraimidis–Spirakis keys:
+    // take the s largest u^(1/w). Deterministic given the RNG stream.
+    std::vector<std::pair<double, std::uint32_t>> keys;
+    keys.reserve(nnz);
+    for (std::uint64_t k = begin; k < end; ++k) {
+      const double w = std::max(1e-30, static_cast<double>(probs.values()[k]));
+      const double u = std::max(1e-300, rng.uniform());
+      keys.emplace_back(std::log(u) / w, probs.col_idx()[k]);
+    }
+    std::partial_sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(s),
+                      keys.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    picked.reserve(s);
+    for (std::size_t i = 0; i < s; ++i) picked.push_back(keys[i].second);
+  }
+  std::sort(picked.begin(), picked.end());
+  out.insert(out.end(), picked.begin(), picked.end());
+}
+
+/// Assemble the 0/1 CSR result from per-row sampled column lists.
+CsrMatrix assemble(const CsrMatrix& probs,
+                   std::vector<std::vector<std::uint32_t>>& row_cols) {
+  const std::size_t rows = probs.rows();
+  std::vector<std::uint64_t> row_ptr(rows + 1, 0);
+  std::size_t total = 0;
+  for (const auto& rc : row_cols) total += rc.size();
+  std::vector<std::uint32_t> col;
+  col.reserve(total);
+  for (std::size_t r = 0; r < rows; ++r) {
+    col.insert(col.end(), row_cols[r].begin(), row_cols[r].end());
+    row_ptr[r + 1] = col.size();
+  }
+  std::vector<float> val(col.size(), 1.0f);
+  return CsrMatrix::from_csr(rows, probs.cols(), std::move(row_ptr),
+                             std::move(col), std::move(val));
+}
+
+}  // namespace
 
 CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s, Rng& rng) {
   TRKX_CHECK(s > 0);
   const std::size_t rows = probs.rows();
-  std::vector<std::uint64_t> row_ptr(rows + 1, 0);
-  std::vector<std::uint32_t> col;
-  std::vector<float> val;
-  col.reserve(rows * s);
+  std::vector<std::vector<std::uint32_t>> row_cols(rows);
+  for (std::size_t r = 0; r < rows; ++r) sample_row(probs, r, s, rng, row_cols[r]);
+  return assemble(probs, row_cols);
+}
 
-  for (std::size_t r = 0; r < rows; ++r) {
-    const std::uint64_t begin = probs.row_ptr()[r];
-    const std::uint64_t end = probs.row_ptr()[r + 1];
-    const std::size_t nnz = end - begin;
-    if (nnz <= s) {
-      // Keep the whole row.
-      for (std::uint64_t k = begin; k < end; ++k) col.push_back(probs.col_idx()[k]);
-    } else {
-      // Detect the uniform case (all stored values equal) — ShaDow rows are
-      // uniform after normalize_rows() — and use exact uniform sampling
-      // without replacement there. Otherwise fall back to weighted draws
-      // with rejection on duplicates.
-      bool uniform = true;
-      const float v0 = probs.values()[begin];
-      for (std::uint64_t k = begin + 1; k < end; ++k) {
-        if (probs.values()[k] != v0) {
-          uniform = false;
-          break;
-        }
-      }
-      std::vector<std::uint32_t> picked;
-      if (uniform) {
-        auto offsets = rng.sample_without_replacement(
-            static_cast<std::uint32_t>(nnz), static_cast<std::uint32_t>(s));
-        picked.reserve(s);
-        for (std::uint32_t off : offsets)
-          picked.push_back(probs.col_idx()[begin + off]);
-      } else {
-        // Weighted without replacement via Efraimidis–Spirakis keys:
-        // take the s largest u^(1/w). Deterministic given the RNG stream.
-        std::vector<std::pair<double, std::uint32_t>> keys;
-        keys.reserve(nnz);
-        for (std::uint64_t k = begin; k < end; ++k) {
-          const double w = std::max(1e-30, static_cast<double>(probs.values()[k]));
-          const double u = std::max(1e-300, rng.uniform());
-          keys.emplace_back(std::log(u) / w, probs.col_idx()[k]);
-        }
-        std::partial_sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(s),
-                          keys.end(), [](const auto& a, const auto& b) {
-                            return a.first > b.first;
-                          });
-        picked.reserve(s);
-        for (std::size_t i = 0; i < s; ++i) picked.push_back(keys[i].second);
-      }
-      std::sort(picked.begin(), picked.end());
-      col.insert(col.end(), picked.begin(), picked.end());
-    }
-    row_ptr[r + 1] = col.size();
+CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s,
+                      const std::vector<std::uint32_t>& group,
+                      std::vector<Rng>& rngs) {
+  TRKX_CHECK(s > 0);
+  const std::size_t rows = probs.rows();
+  TRKX_CHECK(group.size() == rows);
+
+  // Contiguous [begin, end) row ranges per group id.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (std::size_t r = 0; r < rows;) {
+    const std::uint32_t g = group[r];
+    TRKX_CHECK(g < rngs.size());
+    std::size_t e = r + 1;
+    while (e < rows && group[e] == g) ++e;
+    TRKX_CHECK(ranges.empty() || group[ranges.back().first] < g);
+    ranges.emplace_back(r, e);
+    r = e;
   }
-  // Ensure sorted column order within rows that kept everything (already
-  // sorted since the source is CSR) — values are all 1.
-  val.assign(col.size(), 1.0f);
-  return CsrMatrix::from_csr(rows, probs.cols(), std::move(row_ptr),
-                             std::move(col), std::move(val));
+
+  std::vector<std::vector<std::uint32_t>> row_cols(rows);
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(ranges.size());
+       ++i) {
+    const auto [rb, re] = ranges[static_cast<std::size_t>(i)];
+    Rng& rg = rngs[group[rb]];
+    for (std::size_t r = rb; r < re; ++r)
+      sample_row(probs, r, s, rg, row_cols[r]);
+  }
+  return assemble(probs, row_cols);
 }
 
 }  // namespace trkx

@@ -16,4 +16,15 @@ namespace trkx {
 /// the sampled columns of row i.
 CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s, Rng& rng);
 
+/// Grouped variant: row i draws from rngs[group[i]] instead of a single
+/// shared stream. Rows sharing a group id are processed in row order on
+/// one stream; distinct groups are independent and sampled in parallel
+/// (OpenMP), so the result is identical for any thread count. `group`
+/// must be nondecreasing (groups are contiguous row ranges — the ShaDow
+/// bulk sampler's roots-stacked layout). Group ids may exceed
+/// rngs.size() - 1 only if the corresponding rows are absent.
+CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s,
+                      const std::vector<std::uint32_t>& group,
+                      std::vector<Rng>& rngs);
+
 }  // namespace trkx

@@ -1,0 +1,199 @@
+#include "tensor/pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+namespace trkx {
+namespace {
+
+// Power-of-two buckets from 256 B to 64 MB. Anything larger bypasses the
+// pool (a single full-graph activation matrix, say) — those allocations
+// are rare enough that malloc is not the bottleneck.
+constexpr std::size_t kMinBucketBytes = 256;
+constexpr std::size_t kMaxBucketBytes = std::size_t{1} << 26;
+constexpr std::size_t kNumBuckets = 19;  // 2^8 .. 2^26
+
+/// Bucket index for a request, or kNumBuckets when it bypasses the pool.
+std::size_t bucket_index(std::size_t bytes) {
+  if (bytes > kMaxBucketBytes) return kNumBuckets;
+  std::size_t idx = 0;
+  std::size_t cap = kMinBucketBytes;
+  while (cap < bytes) {
+    cap <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+std::size_t bucket_bytes(std::size_t idx) { return kMinBucketBytes << idx; }
+
+struct ThreadCache;
+
+/// Leaked process-wide registry of live thread caches plus the folded
+/// counters of exited threads; stats() merges both. Leaked on purpose so
+/// thread-exit destructors can always reach it.
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadCache*> caches;
+  TensorPool::Stats retired;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+std::size_t read_max_cached_bytes() {
+  if (const char* env = std::getenv("TRKX_POOL_MAX_MB")) {
+    const long mb = std::atol(env);
+    if (mb >= 0) return static_cast<std::size_t>(mb) << 20;
+  }
+  return std::size_t{128} << 20;
+}
+
+bool read_enabled() {
+  if (const char* env = std::getenv("TRKX_TENSOR_POOL")) {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+  return true;
+}
+
+std::atomic<bool> g_enabled{read_enabled()};
+
+struct ThreadCache {
+  std::vector<void*> free_lists[kNumBuckets];
+  std::size_t bytes_cached = 0;
+  // Owner-written, cross-thread-read (stats aggregation): relaxed atomics.
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> returns{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> bytes_cached_pub{0};
+
+  ThreadCache() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.caches.push_back(this);
+  }
+
+  ~ThreadCache() {
+    drop_blocks();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.retired.hits += hits.load(std::memory_order_relaxed);
+    r.retired.misses += misses.load(std::memory_order_relaxed);
+    r.retired.returns += returns.load(std::memory_order_relaxed);
+    r.retired.evictions += evictions.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < r.caches.size(); ++i) {
+      if (r.caches[i] == this) {
+        r.caches.erase(r.caches.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+
+  void drop_blocks() {
+    for (auto& list : free_lists) {
+      for (void* p : list) ::operator delete(p);
+      list.clear();
+    }
+    bytes_cached = 0;
+    bytes_cached_pub.store(0, std::memory_order_relaxed);
+  }
+};
+
+ThreadCache& local_cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+}  // namespace
+
+void* TensorPool::acquire(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  const std::size_t idx = bucket_index(bytes);
+  // Always allocate bucket-rounded sizes so a block's real capacity is a
+  // pure function of the request size, regardless of when the pool was
+  // enabled — release() can then cache any block safely.
+  const std::size_t alloc_bytes =
+      idx < kNumBuckets ? bucket_bytes(idx) : bytes;
+  ThreadCache& cache = local_cache();
+  if (idx < kNumBuckets && g_enabled.load(std::memory_order_relaxed)) {
+    auto& list = cache.free_lists[idx];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      cache.bytes_cached -= alloc_bytes;
+      cache.bytes_cached_pub.store(cache.bytes_cached,
+                                   std::memory_order_relaxed);
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+  }
+  cache.misses.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(alloc_bytes);
+}
+
+void TensorPool::release(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  const std::size_t idx = bucket_index(bytes);
+  ThreadCache& cache = local_cache();
+  if (idx < kNumBuckets && g_enabled.load(std::memory_order_relaxed)) {
+    const std::size_t cap = bucket_bytes(idx);
+    if (cache.bytes_cached + cap <= max_cached_bytes()) {
+      cache.free_lists[idx].push_back(p);
+      cache.bytes_cached += cap;
+      cache.bytes_cached_pub.store(cache.bytes_cached,
+                                   std::memory_order_relaxed);
+      cache.returns.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  cache.evictions.fetch_add(1, std::memory_order_relaxed);
+  ::operator delete(p);
+}
+
+bool TensorPool::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void TensorPool::set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+TensorPool::Stats TensorPool::stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Stats s = r.retired;
+  for (const ThreadCache* c : r.caches) {
+    s.hits += c->hits.load(std::memory_order_relaxed);
+    s.misses += c->misses.load(std::memory_order_relaxed);
+    s.returns += c->returns.load(std::memory_order_relaxed);
+    s.evictions += c->evictions.load(std::memory_order_relaxed);
+    s.bytes_cached += c->bytes_cached_pub.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void TensorPool::reset_stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.retired = Stats{};
+  for (ThreadCache* c : r.caches) {
+    c->hits.store(0, std::memory_order_relaxed);
+    c->misses.store(0, std::memory_order_relaxed);
+    c->returns.store(0, std::memory_order_relaxed);
+    c->evictions.store(0, std::memory_order_relaxed);
+  }
+}
+
+void TensorPool::clear_thread_cache() { local_cache().drop_blocks(); }
+
+std::size_t TensorPool::max_cached_bytes() {
+  static const std::size_t cap = read_max_cached_bytes();
+  return cap;
+}
+
+}  // namespace trkx

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace trkx {
+
+/// Bounded look-ahead runner over an indexed sequence of work items.
+///
+/// produce(i) for i in [0, count) is executed on a ThreadPool up to
+/// `depth` items ahead of consumption; get(i) — which must be called in
+/// order 0, 1, 2, … — blocks until item i is ready. With depth == 0 (or a
+/// null pool) every produce runs inline inside get(), which is the serial
+/// reference behaviour the determinism tests compare against.
+///
+/// This is the sampler↔trainer overlap primitive: the training loop
+/// consumes batch t while the pool's producer task samples and gathers
+/// batch t+1..t+depth. Work items must be independent (the per-stream RNG
+/// scheme guarantees that for minibatch sampling), so results are
+/// identical whichever thread runs them.
+template <typename T>
+class PrefetchQueue {
+ public:
+  struct Stats {
+    double stall_seconds = 0.0;   ///< time the consumer spent blocked
+    std::size_t stalls = 0;       ///< gets that found the item not ready
+    std::size_t gets = 0;
+    std::size_t inline_runs = 0;  ///< produces executed inside get()
+    double occupancy_sum = 0.0;   ///< ready-but-unconsumed items per get
+    double mean_occupancy() const {
+      return gets == 0 ? 0.0 : occupancy_sum / static_cast<double>(gets);
+    }
+  };
+
+  PrefetchQueue(ThreadPool* pool, std::size_t depth, std::size_t count,
+                std::function<T(std::size_t)> produce)
+      : pool_(depth > 0 ? pool : nullptr),
+        depth_(depth),
+        count_(count),
+        produce_(std::move(produce)),
+        ready_(std::make_shared<std::atomic<std::size_t>>(0)) {
+    if (pool_ != nullptr) slots_.resize(count_);
+    pump();
+  }
+
+  /// Wait for all in-flight work (consumer abandoned mid-sequence).
+  ~PrefetchQueue() {
+    for (std::size_t i = next_consume_; i < next_submit_; ++i)
+      slots_[i].wait();
+  }
+
+  PrefetchQueue(const PrefetchQueue&) = delete;
+  PrefetchQueue& operator=(const PrefetchQueue&) = delete;
+
+  /// Result of produce(index). Must be called with index == number of
+  /// prior get() calls (strictly in-order consumption).
+  T get(std::size_t index) {
+    TRKX_CHECK(index == next_consume_ && index < count_);
+    ++next_consume_;
+    ++stats_.gets;
+    if (pool_ == nullptr) {
+      ++stats_.inline_runs;
+      return produce_(index);
+    }
+    // Occupancy before the wait: items already produced and not consumed.
+    const std::size_t done = ready_->load(std::memory_order_acquire);
+    stats_.occupancy_sum +=
+        static_cast<double>(done > index ? done - index : 0);
+    std::future<T>& fut = slots_[index];
+    if (fut.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++stats_.stalls;
+      WallTimer stall;
+      fut.wait();
+      stats_.stall_seconds += stall.seconds();
+    }
+    T out = fut.get();
+    pump();
+    return out;
+  }
+
+  const Stats& stats() const { return stats_; }
+  std::size_t count() const { return count_; }
+
+ private:
+  /// Submit producer tasks until `depth_` items are in flight beyond the
+  /// consumption point (or the sequence is exhausted).
+  void pump() {
+    if (pool_ == nullptr) return;
+    while (next_submit_ < count_ &&
+           next_submit_ < next_consume_ + depth_) {
+      const std::size_t i = next_submit_++;
+      auto task = std::make_shared<std::packaged_task<T()>>(
+          [this, i] { return produce_(i); });
+      slots_[i] = task->get_future();
+      auto ready = ready_;
+      pool_->submit([task, ready] {
+        (*task)();
+        ready->fetch_add(1, std::memory_order_release);
+      });
+    }
+  }
+
+  ThreadPool* pool_;
+  std::size_t depth_;
+  std::size_t count_;
+  std::function<T(std::size_t)> produce_;
+  std::shared_ptr<std::atomic<std::size_t>> ready_;
+  std::vector<std::future<T>> slots_;
+  std::size_t next_submit_ = 0;
+  std::size_t next_consume_ = 0;
+  Stats stats_;
+};
+
+}  // namespace trkx

@@ -28,6 +28,24 @@ class Rng {
   /// Derive an independent stream; deterministic function of current state.
   Rng split() { return Rng(next_u64() ^ 0xda3e39cb94b95bdbull); }
 
+  /// Independent stream keyed by up to four coordinates — a pure function
+  /// of (seed, a, b, c, d) with no sequential draw dependence. This is
+  /// what makes the prefetch pipeline deterministic: sampling minibatch
+  /// (epoch, event, batch) draws from stream(seed, rank, epoch·M+event,
+  /// batch) no matter which thread runs it or in what order, so pipelined
+  /// and serial training consume bit-identical randomness.
+  static Rng stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0,
+                    std::uint64_t c = 0, std::uint64_t d = 0) {
+    Rng r(seed);
+    // Fold each key through one splitmix step so nearby coordinates land
+    // on unrelated states (plain XOR of small ints would correlate).
+    r.state_ = Rng(r.next_u64() ^ (a + 0x9e3779b97f4a7c15ull)).next_u64();
+    r.state_ = Rng(r.next_u64() ^ (b + 0xbf58476d1ce4e5b9ull)).next_u64();
+    r.state_ = Rng(r.next_u64() ^ (c + 0x94d049bb133111ebull)).next_u64();
+    r.state_ = Rng(r.next_u64() ^ (d + 0xda3e39cb94b95bdbull)).next_u64();
+    return r;
+  }
+
   /// Uniform double in [0, 1).
   double uniform() {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
