@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# ci_matrix.sh — run the full correctness/config matrix with distinct
+# build dirs and emit a machine-readable summary.
+#
+# Configurations:
+#   release      RelWithDebInfo build + full ctest suite (tier-1 gate)
+#   asan-ubsan   TRKX_SANITIZE=address;undefined, suite minus perf-smoke
+#   tsan-stress  TRKX_SANITIZE=thread, tsan-stress labelled tests
+#   lint-tidy    scripts/lint.py (+ headers) and clang-tidy if installed
+#
+# Usage:
+#   scripts/ci_matrix.sh [--only NAME[,NAME...]] [--out SUMMARY.json]
+#
+# Each configuration builds under build-ci/<name>; logs live next to the
+# binaries. The summary JSON (default build-ci/ci_summary.json) follows
+# the schema validated by scripts/check_ci_summary.py — the same
+# artifact-plus-validator pattern as the bench JSON — so downstream
+# tooling can gate on it without scraping logs. Exit code: number of
+# failed configurations.
+
+set -u
+cd "$(dirname "$0")/.."
+
+JOBS="${TRKX_JOBS:-$(nproc)}"
+SUPP="$PWD/scripts/sanitizers"
+OUT="build-ci/ci_summary.json"
+ONLY=""
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --only) ONLY="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "usage: $0 [--only name,name] [--out summary.json]" >&2; exit 2 ;;
+  esac
+done
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export LSAN_OPTIONS="suppressions=$SUPP/lsan.supp"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$SUPP/ubsan.supp"
+export TSAN_OPTIONS="halt_on_error=1:suppressions=$SUPP/tsan.supp"
+
+mkdir -p build-ci
+NAMES=() STATUSES=() SECONDS_LIST=() DETAILS=()
+
+record() {  # record <name> <status> <seconds> <detail>
+  NAMES+=("$1"); STATUSES+=("$2"); SECONDS_LIST+=("$3"); DETAILS+=("$4")
+  printf '[ci-matrix] %-12s %-5s (%ss) %s\n' "$1" "$2" "$3" "$4"
+}
+
+wants() {
+  [ -z "$ONLY" ] && return 0
+  case ",$ONLY," in *",$1,"*) return 0 ;; *) return 1 ;; esac
+}
+
+build_and_test() {  # build_and_test <name> <ctest-args...> -- <cmake-args...>
+  local name="$1"; shift
+  local ctest_args=()
+  while [ "$#" -gt 0 ] && [ "$1" != "--" ]; do ctest_args+=("$1"); shift; done
+  [ "$#" -gt 0 ] && shift
+  local dir="build-ci/$name"
+  local t0 t1
+  t0=$(date +%s)
+  mkdir -p "$dir"
+  if ! cmake -B "$dir" -S . "$@" > "$dir/configure.log" 2>&1; then
+    record "$name" fail "$(( $(date +%s) - t0 ))" "configure: $dir/configure.log"
+    return 1
+  fi
+  if ! cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1; then
+    record "$name" fail "$(( $(date +%s) - t0 ))" "build: $dir/build.log"
+    return 1
+  fi
+  if ! (cd "$dir" &&
+        ctest --output-on-failure -j "$JOBS" "${ctest_args[@]}" \
+          > ctest.log 2>&1); then
+    record "$name" fail "$(( $(date +%s) - t0 ))" "ctest: $dir/ctest.log"
+    return 1
+  fi
+  t1=$(date +%s)
+  record "$name" pass "$((t1 - t0))" "$dir"
+}
+
+if wants release; then
+  build_and_test release -- -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if wants asan-ubsan; then
+  build_and_test asan-ubsan -LE perf-smoke -- \
+    "-DTRKX_SANITIZE=address;undefined" \
+    -DTRKX_BUILD_BENCHES=OFF -DTRKX_BUILD_EXAMPLES=OFF
+fi
+
+if wants tsan-stress; then
+  build_and_test tsan-stress -L tsan-stress -- -DTRKX_SANITIZE=thread \
+    -DTRKX_BUILD_BENCHES=OFF -DTRKX_BUILD_EXAMPLES=OFF
+fi
+
+if wants lint-tidy; then
+  t0=$(date +%s)
+  lint_log=build-ci/lint.log
+  if python3 scripts/lint.py --check-headers --compiler "${CXX:-c++}" \
+       > "$lint_log" 2>&1; then
+    if command -v clang-tidy > /dev/null 2>&1; then
+      if bash scripts/check_static.sh --tidy >> "$lint_log" 2>&1; then
+        record lint-tidy pass "$(( $(date +%s) - t0 ))" "$lint_log"
+      else
+        record lint-tidy fail "$(( $(date +%s) - t0 ))" "$lint_log"
+      fi
+    else
+      record lint-tidy pass "$(( $(date +%s) - t0 ))" \
+        "lint only (clang-tidy not installed)"
+    fi
+  else
+    record lint-tidy fail "$(( $(date +%s) - t0 ))" "$lint_log"
+  fi
+fi
+
+# ---- summary JSON ----
+FAILED=0
+{
+  printf '{\n  "schema": "trkx-ci-summary-v1",\n'
+  printf '  "jobs": %s,\n' "$JOBS"
+  printf '  "configs": [\n'
+  for i in "${!NAMES[@]}"; do
+    [ "${STATUSES[$i]}" = fail ] && FAILED=$((FAILED + 1))
+    printf '    {"name": "%s", "status": "%s", "seconds": %s, "detail": "%s"}%s\n' \
+      "${NAMES[$i]}" "${STATUSES[$i]}" "${SECONDS_LIST[$i]}" \
+      "${DETAILS[$i]}" "$([ "$i" -lt $(( ${#NAMES[@]} - 1 )) ] && echo ,)"
+  done
+  printf '  ],\n'
+  if [ "$FAILED" -eq 0 ]; then
+    printf '  "overall": "pass"\n'
+  else
+    printf '  "overall": "fail"\n'
+  fi
+  printf '}\n'
+} > "$OUT"
+
+python3 scripts/check_ci_summary.py "$OUT" || exit 1
+echo "[ci-matrix] summary: $OUT ($FAILED failed)"
+exit "$FAILED"

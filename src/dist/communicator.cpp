@@ -1,10 +1,11 @@
 #include "dist/communicator.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -126,14 +127,14 @@ void DistRuntime::run(const std::function<void(Communicator&)>& fn) {
   }
   std::vector<std::thread> threads;
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
     threads.emplace_back([&, r] {
       try {
         fn(comms_[static_cast<std::size_t>(r)]);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        LockGuard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     });

@@ -106,6 +106,11 @@ class DistRuntime {
   int num_ranks_;
   AllReduceCostModel cost_model_;
   std::unique_ptr<std::barrier<>> barrier_;
+  // The exchange buffers below are synchronised by barrier_ phases, not a
+  // mutex (each collective is publish → barrier → read → barrier, with
+  // writers touching disjoint rank slots / chunks between barriers), so
+  // they carry no TRKX_GUARDED_BY capability — the std::barrier
+  // arrive_and_wait provides the happens-before edges TSan checks.
   std::vector<float*> contrib_;
   std::vector<const float*> gather_ptrs_;
   std::vector<std::size_t> gather_sizes_;

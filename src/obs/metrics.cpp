@@ -160,16 +160,16 @@ double Histogram::Snapshot::percentile(double p) const {
 // ---------- MetricsRegistry ----------
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto& slot = counters_[name];
-  if (!slot) slot.reset(new Counter(name));
+  if (!slot) slot.reset(new Counter(name));  // NOLINT(trkx-naked-new): private ctor (friend)
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto& slot = gauges_[name];
-  if (!slot) slot.reset(new Gauge(name));
+  if (!slot) slot.reset(new Gauge(name));  // NOLINT(trkx-naked-new): private ctor (friend)
   return *slot;
 }
 
@@ -179,14 +179,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto& slot = histograms_[name];
-  if (!slot) slot.reset(new Histogram(name, std::move(bounds)));
+  if (!slot)
+    slot.reset(  // NOLINT(trkx-naked-new): private ctor (friend)
+        new Histogram(name, std::move(bounds)));
   return *slot;
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -234,7 +236,7 @@ void MetricsRegistry::write_json(const std::string& path) const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   os << "kind,name,count,value,min,max,mean,p50,p90,p99\n";
   for (const auto& [name, c] : counters_)
     os << "counter," << name << ",," << c->value() << ",,,,,,\n";
@@ -257,7 +259,7 @@ void MetricsRegistry::write_csv(const std::string& path) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -265,7 +267,8 @@ void MetricsRegistry::reset() {
 
 MetricsRegistry& MetricsRegistry::global() {
   // Leaked on purpose: threads may record during static teardown.
-  static MetricsRegistry* g = new MetricsRegistry();
+  static MetricsRegistry* g =
+      new MetricsRegistry();  // NOLINT(trkx-naked-new): leaked singleton
   return *g;
 }
 

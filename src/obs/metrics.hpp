@@ -6,9 +6,10 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace trkx {
 
@@ -127,10 +128,13 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      TRKX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      TRKX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      TRKX_GUARDED_BY(mutex_);
 };
 
 /// Shorthand for MetricsRegistry::global().

@@ -33,8 +33,8 @@ std::string json_escape(const char* s) {
 
 struct TraceSession::ThreadBuf {
   int tid = 0;
-  mutable std::mutex mutex;  ///< one writer (the owning thread) vs readers
-  std::vector<TraceEvent> events;
+  mutable Mutex mutex;  ///< one writer (the owning thread) vs readers
+  std::vector<TraceEvent> events TRKX_GUARDED_BY(mutex);
 };
 
 TraceSession::TraceSession() : epoch_ns_(steady_ns()) {}
@@ -44,15 +44,17 @@ void TraceSession::start() { enabled_.store(true, std::memory_order_relaxed); }
 void TraceSession::stop() { enabled_.store(false, std::memory_order_relaxed); }
 
 void TraceSession::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& buf : bufs_) {
-    std::lock_guard<std::mutex> block(buf->mutex);
+    LockGuard block(buf->mutex);
     buf->events.clear();
   }
-  epoch_ns_ = steady_ns();
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
 }
 
-std::uint64_t TraceSession::now_ns() const { return steady_ns() - epoch_ns_; }
+std::uint64_t TraceSession::now_ns() const {
+  return steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
 
 TraceSession::ThreadBuf& TraceSession::local_buf() {
   // One buffer per (session, thread); the pointer is cached thread_local.
@@ -62,7 +64,7 @@ TraceSession::ThreadBuf& TraceSession::local_buf() {
     auto buf = std::make_unique<ThreadBuf>();
     buf->tid = this_thread_id();
     buf->events.reserve(1024);
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     bufs_.push_back(std::move(buf));
     cached_buf = bufs_.back().get();
     cached_session = this;
@@ -73,27 +75,27 @@ TraceSession::ThreadBuf& TraceSession::local_buf() {
 void TraceSession::record(const char* name, const char* category,
                           std::uint64_t start_ns, std::uint64_t end_ns) {
   ThreadBuf& buf = local_buf();
-  std::lock_guard<std::mutex> lock(buf.mutex);
+  LockGuard lock(buf.mutex);
   buf.events.push_back(TraceEvent{name, category, start_ns,
                                   end_ns - start_ns, buf.tid});
 }
 
 std::size_t TraceSession::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::size_t n = 0;
   for (const auto& buf : bufs_) {
-    std::lock_guard<std::mutex> block(buf->mutex);
+    LockGuard block(buf->mutex);
     n += buf->events.size();
   }
   return n;
 }
 
 void TraceSession::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const auto& buf : bufs_) {
-    std::lock_guard<std::mutex> block(buf->mutex);
+    LockGuard block(buf->mutex);
     for (const TraceEvent& e : buf->events) {
       if (!first) os << ",";
       first = false;
@@ -115,7 +117,8 @@ void TraceSession::write_json(const std::string& path) const {
 
 TraceSession& TraceSession::global() {
   // Leaked on purpose: spans may close during static teardown.
-  static TraceSession* g = new TraceSession();
+  static TraceSession* g =
+      new TraceSession();  // NOLINT(trkx-naked-new): leaked singleton
   return *g;
 }
 
@@ -150,6 +153,8 @@ struct EnvAutoCapture {
       if (!metrics_path.empty())
         MetricsRegistry::global().write_json(metrics_path);
     } catch (const std::exception& e) {
+      // Last-resort report during static teardown; the log sink may
+      // already be closed. NOLINT(trkx-io)
       std::fprintf(stderr, "trkx: observability dump failed: %s\n", e.what());
     }
   }

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 // Compile-time gate for span tracing. The build sets TRKX_TRACING=0 (CMake
 // option -DTRKX_TRACING=OFF) to compile every TRKX_TRACE_SPAN out entirely;
@@ -69,11 +71,13 @@ class TraceSession {
 
  private:
   struct ThreadBuf;
-  ThreadBuf& local_buf();
+  ThreadBuf& local_buf() TRKX_EXCLUDES(mutex_);
   std::atomic<bool> enabled_{false};
-  std::uint64_t epoch_ns_;  ///< steady_clock origin of ts 0
-  mutable std::mutex mutex_;  ///< guards bufs_ registration list
-  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+  /// steady_clock origin of ts 0. Atomic: clear() rewrites the epoch while
+  /// recording threads may be reading it through now_ns().
+  std::atomic<std::uint64_t> epoch_ns_;
+  mutable Mutex mutex_;     ///< guards the bufs_ registration list
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_ TRKX_GUARDED_BY(mutex_);
 };
 
 /// Shorthand for TraceSession::global().

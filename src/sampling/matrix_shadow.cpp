@@ -129,8 +129,12 @@ std::vector<std::vector<std::uint32_t>> MatrixShadowSampler::run_levels(
       row_ptr[r + 1] = col.size();
     }
     std::vector<float> val(col.size(), 1.0f);
-    last_frontier_ = CsrMatrix::from_csr(num_roots, n, std::move(row_ptr),
-                                         std::move(col), std::move(val));
+    // Built outside the lock; only the cache store is serialised against
+    // other prefetch workers sampling through the same sampler.
+    CsrMatrix frontier = CsrMatrix::from_csr(num_roots, n, std::move(row_ptr),
+                                             std::move(col), std::move(val));
+    LockGuard lock(frontier_mutex_);
+    last_frontier_ = std::move(frontier);
   }
   return visited;
 }

@@ -2,6 +2,7 @@
 
 #include "sampling/shadow.hpp"
 #include "sparse/csr.hpp"
+#include "util/annotations.hpp"
 #include "util/timer.hpp"
 
 namespace trkx {
@@ -52,7 +53,13 @@ class MatrixShadowSampler {
 
   /// The stacked frontier matrix F (#roots × n) from the most recent call
   /// — row i holds every vertex root i's walk visited. Exposed for tests.
-  const CsrMatrix& last_frontier() const { return last_frontier_; }
+  /// Returned by value: concurrent sample_bulk() calls (prefetch workers
+  /// share one sampler) overwrite the cache under frontier_mutex_, so a
+  /// reference would be a torn read.
+  CsrMatrix last_frontier() const {
+    LockGuard lock(frontier_mutex_);
+    return last_frontier_;
+  }
 
   const ShadowConfig& config() const { return config_; }
 
@@ -72,7 +79,8 @@ class MatrixShadowSampler {
   CsrMatrix sym_adj_;  ///< walk graph
   CsrMatrix dir_adj_;  ///< directed adjacency for component extraction
   ShadowConfig config_;
-  mutable CsrMatrix last_frontier_;
+  mutable Mutex frontier_mutex_;
+  mutable CsrMatrix last_frontier_ TRKX_GUARDED_BY(frontier_mutex_);
 };
 
 }  // namespace trkx

@@ -1,9 +1,31 @@
 #include "tensor/pool.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
-#include <mutex>
 #include <new>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+// ASan manual poisoning: blocks parked on a free list are poisoned so a
+// use-after-release through the pool faults immediately instead of being
+// masked by recycling; acquire() unpoisons before handing the block out.
+// This is the TRKX_SANITIZE=address interlock — the pool stays enabled
+// under ASan and stays bug-detecting.
+#if defined(__SANITIZE_ADDRESS__)
+#define TRKX_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TRKX_POOL_ASAN 1
+#endif
+#endif
+#ifndef TRKX_POOL_ASAN
+#define TRKX_POOL_ASAN 0
+#endif
+#if TRKX_POOL_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
 
 namespace trkx {
 namespace {
@@ -31,17 +53,35 @@ std::size_t bucket_bytes(std::size_t idx) { return kMinBucketBytes << idx; }
 
 struct ThreadCache;
 
+void poison_block(void* p, std::size_t bytes) {
+#if TRKX_POOL_ASAN
+  __asan_poison_memory_region(p, bytes);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+void unpoison_block(void* p, std::size_t bytes) {
+#if TRKX_POOL_ASAN
+  __asan_unpoison_memory_region(p, bytes);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
 /// Leaked process-wide registry of live thread caches plus the folded
 /// counters of exited threads; stats() merges both. Leaked on purpose so
 /// thread-exit destructors can always reach it.
 struct Registry {
-  std::mutex mutex;
-  std::vector<ThreadCache*> caches;
-  TensorPool::Stats retired;
+  Mutex mutex;
+  std::vector<ThreadCache*> caches TRKX_GUARDED_BY(mutex);
+  TensorPool::Stats retired TRKX_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
-  static Registry* r = new Registry;
+  static Registry* r = new Registry;  // NOLINT(trkx-naked-new): leaked singleton
   return *r;
 }
 
@@ -74,14 +114,14 @@ struct ThreadCache {
 
   ThreadCache() {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    LockGuard lock(r.mutex);
     r.caches.push_back(this);
   }
 
   ~ThreadCache() {
     drop_blocks();
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    LockGuard lock(r.mutex);
     r.retired.hits += hits.load(std::memory_order_relaxed);
     r.retired.misses += misses.load(std::memory_order_relaxed);
     r.retired.returns += returns.load(std::memory_order_relaxed);
@@ -95,9 +135,14 @@ struct ThreadCache {
   }
 
   void drop_blocks() {
-    for (auto& list : free_lists) {
-      for (void* p : list) ::operator delete(p);
-      list.clear();
+    for (std::size_t idx = 0; idx < kNumBuckets; ++idx) {
+      for (void* p : free_lists[idx]) {
+        // Cached blocks are poisoned; unpoison before returning them to
+        // the system allocator so ASan's free() hook sees clean memory.
+        unpoison_block(p, bucket_bytes(idx));
+        ::operator delete(p);
+      }
+      free_lists[idx].clear();
     }
     bytes_cached = 0;
     bytes_cached_pub.store(0, std::memory_order_relaxed);
@@ -125,6 +170,7 @@ void* TensorPool::acquire(std::size_t bytes) {
     if (!list.empty()) {
       void* p = list.back();
       list.pop_back();
+      unpoison_block(p, alloc_bytes);
       cache.bytes_cached -= alloc_bytes;
       cache.bytes_cached_pub.store(cache.bytes_cached,
                                    std::memory_order_relaxed);
@@ -144,6 +190,7 @@ void TensorPool::release(void* p, std::size_t bytes) {
     const std::size_t cap = bucket_bytes(idx);
     if (cache.bytes_cached + cap <= max_cached_bytes()) {
       cache.free_lists[idx].push_back(p);
+      poison_block(p, cap);
       cache.bytes_cached += cap;
       cache.bytes_cached_pub.store(cache.bytes_cached,
                                    std::memory_order_relaxed);
@@ -165,7 +212,7 @@ void TensorPool::set_enabled(bool on) {
 
 TensorPool::Stats TensorPool::stats() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  LockGuard lock(r.mutex);
   Stats s = r.retired;
   for (const ThreadCache* c : r.caches) {
     s.hits += c->hits.load(std::memory_order_relaxed);
@@ -179,7 +226,7 @@ TensorPool::Stats TensorPool::stats() {
 
 void TensorPool::reset_stats() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  LockGuard lock(r.mutex);
   r.retired = Stats{};
   for (ThreadCache* c : r.caches) {
     c->hits.store(0, std::memory_order_relaxed);

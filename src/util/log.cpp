@@ -3,8 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/thread_id.hpp"
 
@@ -12,14 +12,15 @@ namespace trkx {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+Mutex g_mutex;
 
-// Guarded by g_mutex. g_sink points at stderr when null; g_owned is the
-// FILE opened by set_log_file (closed when replaced).
-std::FILE* g_sink = nullptr;
-std::FILE* g_owned = nullptr;
+// g_sink points at stderr when null; g_owned is the FILE opened by
+// set_log_file (closed when replaced).
+std::FILE* g_sink TRKX_GUARDED_BY(g_mutex) = nullptr;
+std::FILE* g_owned TRKX_GUARDED_BY(g_mutex) = nullptr;
 
-void swap_sink_locked(std::FILE* sink, std::FILE* owned) {
+void swap_sink_locked(std::FILE* sink, std::FILE* owned)
+    TRKX_REQUIRES(g_mutex) {
   if (g_owned) std::fclose(g_owned);
   g_sink = sink;
   g_owned = owned;
@@ -40,14 +41,14 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void set_log_sink(std::FILE* sink) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  LockGuard lock(g_mutex);
   swap_sink_locked(sink, nullptr);
 }
 
 void set_log_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   TRKX_CHECK_MSG(f != nullptr, "set_log_file: cannot open " << path);
-  std::lock_guard<std::mutex> lock(g_mutex);
+  LockGuard lock(g_mutex);
   swap_sink_locked(f, f);
 }
 
@@ -58,7 +59,7 @@ void log_line(LogLevel level, const std::string& message) {
   const double t =
       std::chrono::duration<double>(clock::now() - start).count();
   const int tid = this_thread_id();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  LockGuard lock(g_mutex);
   std::FILE* out = g_sink ? g_sink : stderr;
   std::fprintf(out, "[%9.3f] [%s] [t%02d] %s\n", t, level_tag(level), tid,
                message.c_str());

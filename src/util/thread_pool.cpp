@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace trkx {
@@ -14,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -25,7 +27,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     TRKX_CHECK_MSG(!stop_, "submit() on stopped ThreadPool");
     tasks_.push(std::move(packaged));
   }
@@ -47,8 +49,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      // Explicit wait loop (not the predicate overload): the guarded reads
+      // stay in this scope, where the analysis knows mutex_ is held.
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -1,13 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace trkx {
 
@@ -23,7 +23,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; returns a future for its completion.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) TRKX_EXCLUDES(mutex_);
 
   /// Run fn(i) for i in [0, count) across the pool and wait for all.
   void parallel_for(std::size_t count,
@@ -32,13 +32,13 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() TRKX_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< written only in ctor/dtor
+  Mutex mutex_;
+  std::queue<std::packaged_task<void()>> tasks_ TRKX_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ TRKX_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace trkx

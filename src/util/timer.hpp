@@ -2,8 +2,9 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/annotations.hpp"
 
 namespace trkx {
 
@@ -40,40 +41,40 @@ class PhaseTimers {
   PhaseTimers& operator=(const PhaseTimers& other) {
     if (this != &other) {
       auto copy = other.buckets();
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       buckets_ = std::move(copy);
     }
     return *this;
   }
 
   void add(const std::string& phase, double seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     buckets_[phase] += seconds;
   }
   double get(const std::string& phase) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = buckets_.find(phase);
     return it == buckets_.end() ? 0.0 : it->second;
   }
   void clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     buckets_.clear();
   }
   /// Snapshot of the buckets (by value: the map may change concurrently).
   std::map<std::string, double> buckets() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return buckets_;
   }
   /// Merge another timer set into this one (summing buckets).
   void merge(const PhaseTimers& other) {
     auto theirs = other.buckets();
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     for (const auto& [k, v] : theirs) buckets_[k] += v;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, double> buckets_;
+  mutable Mutex mutex_;
+  std::map<std::string, double> buckets_ TRKX_GUARDED_BY(mutex_);
 };
 
 /// RAII helper: adds elapsed time into a PhaseTimers bucket on destruction.

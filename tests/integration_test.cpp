@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "detector/presets.hpp"
 #include "pipeline/gnn_train.hpp"
@@ -14,14 +15,11 @@ class IntegrationFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     DatasetSpec spec = ex3_spec(0.08);  // ≈ 105 particles/event
-    dataset_ = new Dataset(generate_dataset("ex3-int", spec.detector, 4, 2, 1,
-                                            12345));
+    dataset_ = std::make_unique<Dataset>(
+        generate_dataset("ex3-int", spec.detector, 4, 2, 1, 12345));
   }
-  static void TearDownTestSuite() {
-    delete dataset_;
-    dataset_ = nullptr;
-  }
-  static Dataset* dataset_;
+  static void TearDownTestSuite() { dataset_.reset(); }
+  static std::unique_ptr<Dataset> dataset_;
 
   static IgnnConfig gnn_config() {
     IgnnConfig cfg;
@@ -43,7 +41,7 @@ class IntegrationFixture : public ::testing::Test {
   }
 };
 
-Dataset* IntegrationFixture::dataset_ = nullptr;
+std::unique_ptr<Dataset> IntegrationFixture::dataset_;
 
 TEST_F(IntegrationFixture, DatasetHasExpectedShape) {
   EXPECT_EQ(dataset_->train.size(), 4u);

@@ -1,0 +1,348 @@
+// Contended-path stress tests, labelled tsan-stress in CMake so the TSan
+// leg of the sanitizer matrix (scripts/check_static.sh --tsan) runs them
+// under -fsanitize=thread. Each test drives a shared-state component from
+// several threads at once: these are the schedules where a missing
+// happens-before edge in PrefetchQueue, TensorPool, the obs registry, or
+// the DDP gradient sync would surface as a TSan report.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/communicator.hpp"
+#include "dist/gradient_sync.hpp"
+#include "graph/generators.hpp"
+#include "nn/parameter.hpp"
+#include "sampling/matrix_shadow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/pool.hpp"
+#include "util/annotations.hpp"
+#include "util/log.hpp"
+#include "util/prefetch.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace trkx {
+namespace {
+
+// Keep schedules contended but wall-clock cheap: TSan slows execution
+// 5-15x and the CI box may have a single core.
+#if defined(__SANITIZE_THREAD__)
+constexpr int kIters = 200;
+#else
+constexpr int kIters = 1000;
+#endif
+
+// ---------- PrefetchQueue ----------
+
+TEST(PrefetchStressTest, ConsumerAbandonsMidSequenceRepeatedly) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<int> live_producers{0};
+    std::atomic<int> produced{0};
+    auto produce = [&](std::size_t i) {
+      ++live_producers;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      ++produced;
+      --live_producers;
+      return static_cast<int>(i) * 3;
+    };
+    {
+      PrefetchQueue<int> queue(&pool, 4, 64, produce);
+      // Consume a prefix only; the destructor must drain every in-flight
+      // producer before the callback (and `produced`) go out of scope.
+      for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(queue.get(i), static_cast<int>(i) * 3);
+    }
+    EXPECT_EQ(live_producers.load(), 0);
+    EXPECT_GE(produced.load(), 8);
+  }
+}
+
+TEST(PrefetchStressTest, PooledBuffersMigrateProducerToConsumer) {
+  ThreadPool pool(4);
+  const std::size_t n = 96;
+  // Producers allocate through TensorPool on pool threads; the consumer
+  // frees on the main thread — the cross-thread free-list migration path.
+  auto produce = [](std::size_t i) {
+    std::vector<float, PoolAllocator<float>> v(256 + i);
+    for (std::size_t j = 0; j < v.size(); ++j)
+      v[j] = static_cast<float>(i + j);
+    return v;
+  };
+  PrefetchQueue<std::vector<float, PoolAllocator<float>>> queue(&pool, 6, n,
+                                                                produce);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto v = queue.get(i);
+    ASSERT_EQ(v.size(), 256 + i);
+    EXPECT_FLOAT_EQ(v[i % v.size()],
+                    static_cast<float>(i + i % v.size()));
+  }
+}
+
+// ---------- TensorPool ----------
+
+TEST(TensorPoolStressTest, AcquireReleaseChurnAcrossThreads) {
+  const int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failed] {
+      const std::size_t sizes[] = {64, 300, 1024, 5000, 70000};
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t bytes =
+            sizes[static_cast<std::size_t>(i + t) % 5];
+        void* p = TensorPool::acquire(bytes);
+        if (p == nullptr) {
+          failed = true;
+          return;
+        }
+        // Touch first/last byte: poisoned or foreign memory traps here.
+        auto* bp = static_cast<unsigned char*>(p);
+        bp[0] = static_cast<unsigned char>(t);
+        bp[bytes - 1] = static_cast<unsigned char>(i);
+        if (bp[0] != static_cast<unsigned char>(t)) failed = true;
+        TensorPool::release(p, bytes);
+      }
+      TensorPool::clear_thread_cache();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(TensorPoolStressTest, StatsReadersRaceChurningWriters) {
+  std::atomic<bool> stop{false};
+  std::thread reader([&stop] {
+    while (!stop.load()) {
+      TensorPool::Stats s = TensorPool::stats();
+      // hits/misses are monotone per thread; the merged view must never
+      // go "negative" (they are unsigned — just consume the values).
+      (void)s.hit_rate();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        void* p = TensorPool::acquire(512);
+        TensorPool::release(p, 512);
+      }
+      TensorPool::clear_thread_cache();
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop = true;
+  reader.join();
+  TensorPool::reset_stats();
+  TensorPool::Stats s = TensorPool::stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+}
+
+// ---------- Metrics registry ----------
+
+TEST(MetricsStressTest, ConcurrentWritersAndExporters) {
+  MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&reg, t] {
+      Counter& c = reg.counter("stress.count");
+      Gauge& g = reg.gauge("stress.gauge");
+      Histogram& h = reg.histogram("stress.hist");
+      for (int i = 0; i < kIters; ++i) {
+        c.add(1);
+        g.set(static_cast<double>(t));
+        h.observe(1e-4 * (i + 1));
+        // Registry lookups race creation of fresh names too.
+        reg.counter("stress.count." + std::to_string(i % 7)).add(1);
+      }
+    });
+  }
+  std::thread exporter([&reg, &stop] {
+    while (!stop.load()) {
+      std::ostringstream os;
+      reg.write_json(os);
+      std::ostringstream cs;
+      reg.write_csv(cs);
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop = true;
+  exporter.join();
+  EXPECT_EQ(reg.counter("stress.count").value(),
+            static_cast<std::uint64_t>(4 * kIters));
+  Histogram::Snapshot snap = reg.histogram("stress.hist").snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(4 * kIters));
+}
+
+// ---------- Trace session ----------
+
+TEST(TraceStressTest, RecordersRaceExportAndClear) {
+  TraceSession session;
+  session.start();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 3; ++t) {
+    recorders.emplace_back([&session] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t t0 = session.now_ns();
+        session.record("stress_span", "stress", t0, session.now_ns());
+      }
+    });
+  }
+  std::thread exporter([&session, &stop] {
+    while (!stop.load()) {
+      std::ostringstream os;
+      session.write_json(os);
+      (void)session.event_count();
+    }
+  });
+  std::thread clearer([&session, &stop] {
+    while (!stop.load()) {
+      session.clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& r : recorders) r.join();
+  stop = true;
+  exporter.join();
+  clearer.join();
+  session.stop();
+}
+
+// ---------- PhaseTimers ----------
+
+TEST(PhaseTimersStressTest, ConcurrentAddAndMerge) {
+  PhaseTimers total;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&total] {
+      PhaseTimers local;
+      for (int i = 0; i < kIters; ++i) {
+        local.add("sample", 0.001);
+        total.add("direct", 0.001);  // contended path
+      }
+      total.merge(local);  // merge path
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_NEAR(total.get("sample"), 4 * kIters * 0.001, 1e-6 * kIters);
+  EXPECT_NEAR(total.get("direct"), 4 * kIters * 0.001, 1e-6 * kIters);
+}
+
+// ---------- Log sink ----------
+
+TEST(LogStressTest, ConcurrentLinesAndSinkSwaps) {
+  const std::string path =
+      ::testing::TempDir() + "/trkx_log_stress.txt";
+  set_log_file(path);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kIters / 10; ++i)
+        TRKX_INFO << "stress t" << t << " i" << i;
+    });
+  }
+  // Swap the sink while writers are live (file -> stderr default -> file).
+  set_log_sink(nullptr);
+  set_log_file(path);
+  for (auto& th : threads) th.join();
+  set_log_sink(nullptr);
+  std::remove(path.c_str());
+}
+
+// ---------- 2-rank DDP gradient sync ----------
+
+TEST(DistStressTest, TwoRankGradientSyncBothStrategies) {
+  for (SyncStrategy strategy :
+       {SyncStrategy::kPerTensor, SyncStrategy::kCoalesced}) {
+    DistRuntime runtime(2);
+    runtime.run([strategy](Communicator& comm) {
+      ParameterStore store;
+      Parameter& w1 = store.create("w1", 8, 8);
+      Parameter& w2 = store.create("w2", 3, 5);
+      for (int iter = 0; iter < 50; ++iter) {
+        const float base =
+            static_cast<float>(comm.rank() + 1) * (iter + 1);
+        for (std::size_t i = 0; i < w1.grad.size(); ++i)
+          w1.grad.data()[i] = base;
+        for (std::size_t i = 0; i < w2.grad.size(); ++i)
+          w2.grad.data()[i] = -base;
+        synchronize_gradients(comm, store, strategy);
+        // Mean over ranks 1 and 2 of base = 1.5 * (iter+1).
+        const float expect = 1.5f * (iter + 1);
+        ASSERT_FLOAT_EQ(w1.grad.data()[0], expect);
+        ASSERT_FLOAT_EQ(w2.grad.data()[0], -expect);
+      }
+    });
+  }
+}
+
+TEST(DistStressTest, ConcurrentCollectivesInterleaveCleanly) {
+  DistRuntime runtime(2);
+  runtime.run([](Communicator& comm) {
+    for (int iter = 0; iter < 100; ++iter) {
+      std::vector<float> buf(64, static_cast<float>(comm.rank() + 1));
+      comm.all_reduce_sum(buf);
+      ASSERT_FLOAT_EQ(buf[0], 3.0f);  // 1 + 2
+      const double total = comm.all_reduce_scalar(1.0);
+      ASSERT_DOUBLE_EQ(total, 2.0);
+      std::vector<float> local(
+          static_cast<std::size_t>(comm.rank()) + 1,
+          static_cast<float>(comm.rank()));
+      std::vector<float> gathered = comm.all_gather(local);
+      ASSERT_EQ(gathered.size(), 3u);  // 1 + 2 elements
+    }
+  });
+}
+
+// ---------- MatrixShadowSampler ----------
+
+// Regression for a race TSan caught in the pipelined-determinism tests:
+// prefetch workers share one sampler, and every sample_bulk() call stores
+// the last_frontier_ cache through a const method. The concurrent
+// CsrMatrix move-assignments tore until the cache went behind
+// frontier_mutex_; this drives the same schedule directly.
+TEST(ShadowSamplerStressTest, SharedSamplerConcurrentBulkSampling) {
+  Rng graph_rng(99);
+  const Graph g = erdos_renyi(64, 0.12, graph_rng);
+  const ShadowConfig cfg{.depth = 2, .fanout = 3};
+  const MatrixShadowSampler sampler(g, cfg);
+  constexpr int kThreads = 4;
+  const int rounds = kIters / 20;  // sampling dwarfs the other loop bodies
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sampler, &total, rounds, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < rounds; ++i)
+        total += sampler.sample_bulk({{0, 1, 2}, {3, 4}}, rng).size();
+    });
+  }
+  // Reader races the writers through the locked accessor; the frontier is
+  // either empty (no call finished yet) or stacked over the 5 roots.
+  std::thread reader([&sampler, rounds] {
+    for (int i = 0; i < rounds; ++i) {
+      const CsrMatrix f = sampler.last_frontier();
+      EXPECT_TRUE(f.rows() == 0 || f.rows() == 5u);
+    }
+  });
+  for (auto& w : workers) w.join();
+  reader.join();
+  EXPECT_EQ(total.load(), static_cast<std::size_t>(kThreads) * rounds * 2);
+}
+
+}  // namespace
+}  // namespace trkx
