@@ -1,0 +1,11 @@
+"""trkx-analyze: multi-pass static analysis for the trkx source tree.
+
+Passes (each a module with ``RULES`` and ``run(tree) -> [Finding]``):
+
+    omp_sharing     OpenMP data-sharing clause completeness
+    layering        #include DAG layer order + cycle detection
+    numeric_safety  unguarded division, unclamped exp/log, narrowing casts
+    conventions     the original project lint rules (RNG, IO, new, mutex)
+
+Run ``python3 -m analyze`` from scripts/ or use scripts/trkx-analyze.
+"""

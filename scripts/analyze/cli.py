@@ -1,0 +1,98 @@
+"""trkx-analyze CLI: run the analysis passes over the repo and report
+findings as ``file:line: [rule] message`` (exit 1 when any survive).
+
+Usage:
+    trkx-analyze [--root DIR] [--passes a,b,...] [--list-rules]
+                 [--check-headers] [--compiler CXX]
+
+Passes and their scopes:
+
+    omp-sharing     src/            OpenMP data-sharing clauses
+    layering        src/            include DAG layer order + cycles
+    numeric-safety  src/            divisions, exp/log, narrowing casts
+    conventions     src/ + tests/   the original project-lint rules
+
+Suppression: ``NOLINT(<rule>): reason`` on the offending line or the
+line directly above it; bare ``NOLINT`` blankets the line.
+"""
+
+import argparse
+import os
+import sys
+
+from . import conventions, layering, numeric_safety, omp_sharing
+from .common import SourceTree
+
+# pass name -> (module, subdirs it runs over)
+PASSES = {
+    "omp-sharing": (omp_sharing, ("src",)),
+    "layering": (layering, ("src",)),
+    "numeric-safety": (numeric_safety, ("src",)),
+    "conventions": (conventions, ("src", "tests")),
+}
+
+
+def default_root():
+    """scripts/analyze/cli.py -> repo root two levels up from scripts/."""
+    return os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="trkx-analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the tree containing "
+                             "this script)")
+    parser.add_argument("--passes", default=",".join(PASSES),
+                        help="comma-separated pass names "
+                             f"(default: all = {','.join(PASSES)})")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule with its description")
+    parser.add_argument("--check-headers", action="store_true",
+                        help="also compile every src/ header standalone "
+                             "(conventions pass)")
+    parser.add_argument("--compiler",
+                        default=os.environ.get("CXX", "c++"),
+                        help="compiler for --check-headers")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, (mod, _) in PASSES.items():
+            for rule, desc in mod.RULES.items():
+                print(f"{name}/{rule}: {desc}")
+        return 0
+
+    names = [p.strip() for p in args.passes.split(",") if p.strip()]
+    unknown = [p for p in names if p not in PASSES]
+    if unknown:
+        print(f"trkx-analyze: unknown pass(es): {', '.join(unknown)} "
+              f"(known: {', '.join(PASSES)})", file=sys.stderr)
+        return 2
+
+    root = args.root or default_root()
+    trees = {}
+    findings = []
+    n_files = 0
+    for name in names:
+        mod, subdirs = PASSES[name]
+        if subdirs not in trees:
+            trees[subdirs] = SourceTree(root, subdirs)
+        tree = trees[subdirs]
+        findings.extend(mod.run(tree))
+    if args.check_headers and "conventions" in names:
+        conventions.check_headers(root, args.compiler, findings)
+    for tree in trees.values():
+        n_files = max(n_files, sum(1 for _ in tree.rel_paths()))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(str(f), file=sys.stderr)
+    if findings:
+        print(f"trkx-analyze: {len(findings)} finding(s) "
+              f"[{', '.join(names)}] over {n_files} files",
+              file=sys.stderr)
+        return 1
+    print(f"trkx-analyze: OK [{', '.join(names)}] ({n_files} files)")
+    return 0

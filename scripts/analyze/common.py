@@ -1,0 +1,150 @@
+"""Shared infrastructure for the trkx-analyze passes.
+
+A *pass* is a module exposing
+
+    RULES: dict[str, str]            rule-name -> one-line description
+    run(tree: SourceTree) -> list[Finding]
+
+Findings print as ``file:line: [rule] message`` — the same shape the
+project lint has always used — and are suppressed site-by-site with the
+PR-3 convention: a ``NOLINT(<rule>): reason`` comment on the offending
+line or the line directly above it. A bare ``NOLINT`` (no rule) is a
+blanket suppression for the line.
+"""
+
+import os
+import re
+from dataclasses import dataclass
+
+IDENT = re.compile(r"[A-Za-z_]\w*(?:::~?[A-Za-z_]\w*)*")
+
+# C++ keywords plus tokens the passes must never mistake for variables.
+KEYWORDS = frozenset("""
+    alignas alignof and and_eq asm auto bitand bitor bool break case catch
+    char char8_t char16_t char32_t class co_await co_return co_yield compl
+    concept const consteval constexpr constinit const_cast continue decltype
+    default delete do double dynamic_cast else enum explicit export extern
+    false float for friend goto if inline int long mutable namespace new
+    noexcept not not_eq nullptr operator or or_eq private protected public
+    register reinterpret_cast requires return short signed sizeof static
+    static_assert static_cast struct switch template this thread_local throw
+    true try typedef typeid typename union unsigned using virtual void
+    volatile wchar_t while xor xor_eq
+    size_t uint8_t uint16_t uint32_t uint64_t int8_t int16_t int32_t int64_t
+    ptrdiff_t uintptr_t intptr_t
+""".split())
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str       # repo-relative, '/'-separated
+    line: int       # 1-based
+    rule: str
+    message: str
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """One source file with raw lines and comment/string-stripped lines.
+
+    ``code[i]`` is line i with block comments, line comments, and
+    string/char literal *contents* blanked, so regex rules never fire
+    inside text. ``raw[i]`` keeps the original line (NOLINT lives in
+    comments, so suppression checks read raw).
+    """
+
+    def __init__(self, rel, text):
+        self.rel = rel.replace(os.sep, "/")
+        self.raw = text.splitlines()
+        self.code = _strip_comments_and_strings(self.raw)
+
+    def has_nolint(self, idx, rule):
+        """NOLINT(<rule>) — or bare NOLINT — on line idx or the line above."""
+        for line in (self.raw[idx], self.raw[idx - 1] if idx > 0 else ""):
+            if "NOLINT" in line and rule in line:
+                return True
+            if re.search(r"NOLINT(?!\()", line):
+                return True
+        return False
+
+
+def _strip_comments_and_strings(lines):
+    out = []
+    in_block = False
+    for raw in lines:
+        line = raw
+        if in_block:
+            if "*/" in line:
+                pre = " " * (line.index("*/") + 2)
+                line = pre + line.split("*/", 1)[1]
+                in_block = False
+            else:
+                out.append("")
+                continue
+        # Blank string/char literal contents first so // inside a string
+        # is not taken for a comment.
+        line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+        line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+        if "/*" in line:
+            head, tail = line.split("/*", 1)
+            if "*/" in tail:
+                line = head + " " * (len(tail.split("*/", 1)[0]) + 4) + \
+                    tail.split("*/", 1)[1]
+            else:
+                line = head
+                in_block = True
+        line = line.split("//", 1)[0]
+        out.append(line)
+    return out
+
+
+class SourceTree:
+    """Lazy loader for the repo's C++ sources under the given subdirs."""
+
+    def __init__(self, root, subdirs=("src",), exts=(".hpp", ".cpp")):
+        self.root = root
+        self.subdirs = tuple(subdirs)
+        self.exts = frozenset(exts)
+        self._cache = {}
+
+    def rel_paths(self):
+        for sub in self.subdirs:
+            base = os.path.join(self.root, sub)
+            for dirpath, _, files in os.walk(base):
+                for name in sorted(files):
+                    if os.path.splitext(name)[1] in self.exts:
+                        yield os.path.relpath(
+                            os.path.join(dirpath, name), self.root
+                        ).replace(os.sep, "/")
+
+    def file(self, rel):
+        if rel not in self._cache:
+            with open(os.path.join(self.root, rel), encoding="utf-8") as f:
+                self._cache[rel] = SourceFile(rel, f.read())
+        return self._cache[rel]
+
+    def files(self):
+        for rel in self.rel_paths():
+            yield self.file(rel)
+
+
+def identifiers(text):
+    """All identifier tokens in text, qualified names kept whole
+    (``std::max`` is one token)."""
+    return IDENT.findall(text)
+
+
+def root_identifiers(expr):
+    """Plain variable-looking identifiers in an expression: drops
+    keywords, namespace-qualified names, ALL_CAPS macros, and kCamel
+    constants."""
+    out = []
+    for tok in identifiers(expr):
+        if "::" in tok or tok in KEYWORDS:
+            continue
+        if tok.isupper() or re.fullmatch(r"k[A-Z]\w*", tok):
+            continue
+        out.append(tok)
+    return out

@@ -1,0 +1,137 @@
+"""conventions pass: the original project-lint invariants, folded into
+the analyzer as its fourth pass.  ``scripts/lint.py`` (and the
+``project_lint`` ctest) now delegate here, so every existing NOLINT
+suppression and call site keeps working unchanged.
+
+Rules:
+
+    trkx-raw-rng      no std::mt19937 / std::default_random_engine /
+                      rand() outside src/util/rng.* — all randomness flows
+                      through trkx::Rng so runs stay reproducible and the
+                      prefetch pipeline stays bit-identical to serial.
+    trkx-io           no std::cout / std::cerr / printf-family outside
+                      src/util/log.* — diagnostics go through TRKX_LOG.
+    trkx-naked-new    no naked `new` — ownership goes through containers
+                      or std::make_unique/make_shared.
+    trkx-omp-critical every `#pragma omp critical` needs an adjacent
+                      justifying comment.
+    trkx-std-mutex    no raw std::mutex/lock types in src/ outside
+                      util/annotations.hpp — use annotated trkx::Mutex.
+    trkx-using-std    no `using namespace std;`.
+"""
+
+import os
+import re
+import subprocess
+import tempfile
+
+from .common import Finding
+
+RULES = {
+    "trkx-raw-rng": "raw std RNG outside util/rng (use trkx::Rng)",
+    "trkx-io": "direct stdout/stderr outside util/log (use TRKX_LOG)",
+    "trkx-naked-new": "naked new (use containers or make_unique)",
+    "trkx-omp-critical": "omp critical without a justifying comment",
+    "trkx-std-mutex": "raw std mutex type (use annotated trkx::Mutex)",
+    "trkx-using-std": "using namespace std",
+}
+
+RAW_RNG = re.compile(
+    r"std::mt19937|std::default_random_engine|std::minstd_rand|"
+    r"(?<![\w.:])s?rand\s*\("
+)
+DIRECT_IO = re.compile(
+    r"std::cout|std::cerr|(?<![\w:])(?:printf|fprintf|puts|fputs)\s*\("
+)
+NAKED_NEW = re.compile(r"(?<![\w:.])new\s+[A-Za-z_(]")
+OMP_CRITICAL = re.compile(r"#\s*pragma\s+omp\s.*\bcritical\b")
+STD_MUTEX = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|lock_guard|unique_lock|"
+    r"scoped_lock|condition_variable)\b"
+)
+USING_STD = re.compile(r"\busing\s+namespace\s+std\b")
+COMMENT = re.compile(r"//|/\*")
+
+PATTERN_RULES = [
+    ("trkx-raw-rng", RAW_RNG),
+    ("trkx-io", DIRECT_IO),
+    ("trkx-naked-new", NAKED_NEW),
+    ("trkx-std-mutex", STD_MUTEX),
+    ("trkx-using-std", USING_STD),
+]
+
+
+def is_exempt(rel, rule):
+    rel = rel.replace(os.sep, "/")
+    if rule == "trkx-raw-rng":
+        return rel.startswith("src/util/rng")
+    if rule == "trkx-io":
+        return rel.startswith("src/util/log")
+    if rule == "trkx-std-mutex":
+        # The wrapper itself, and tests (which may exercise raw primitives).
+        return rel == "src/util/annotations.hpp" or rel.startswith("tests/")
+    return False
+
+
+def run(tree):
+    findings = []
+    for sf in tree.files():
+        for i, code in enumerate(sf.code):
+            for rule, pattern in PATTERN_RULES:
+                if not pattern.search(code):
+                    continue
+                if is_exempt(sf.rel, rule) or sf.has_nolint(i, rule):
+                    continue
+                findings.append(Finding(sf.rel, i + 1, rule, RULES[rule]))
+            # The critical-justification rule reads raw lines: the
+            # justification *is* a comment.
+            if OMP_CRITICAL.search(sf.raw[i]):
+                prev = sf.raw[i - 1] if i > 0 else ""
+                if not (COMMENT.search(sf.raw[i]) or COMMENT.search(prev)):
+                    if not sf.has_nolint(i, "trkx-omp-critical"):
+                        findings.append(Finding(
+                            sf.rel, i + 1, "trkx-omp-critical",
+                            RULES["trkx-omp-critical"]))
+    return findings
+
+
+def check_headers(root, compiler, findings):
+    """Compile each src/ header standalone (twice, for the include-guard
+    check): missing transitive includes surface here instead of as
+    include-order landmines."""
+    headers = []
+    for dirpath, _, files in os.walk(os.path.join(root, "src")):
+        for name in sorted(files):
+            if name.endswith(".hpp"):
+                headers.append(os.path.relpath(
+                    os.path.join(dirpath, name), root).replace(os.sep, "/"))
+    headers.sort()
+    flags = ["-std=c++20", "-fsyntax-only", "-fopenmp",
+             "-I", os.path.join(root, "src")]
+    failed = 0
+    for rel in headers:
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".cpp", delete=False
+        ) as tu:
+            include = rel.removeprefix("src/")
+            tu.write(f'#include "{include}"\n')
+            tu.write(f'#include "{include}"\n')  # include-guard check
+            tu_path = tu.name
+        try:
+            proc = subprocess.run(
+                [compiler, *flags, tu_path],
+                capture_output=True,
+                text=True,
+                check=False,
+            )
+            if proc.returncode != 0:
+                failed += 1
+                first = proc.stderr.strip().splitlines()
+                detail = first[0] if first else "compile failed"
+                findings.append(Finding(
+                    rel, 1, "trkx-header-standalone",
+                    f"header does not compile standalone: {detail}"))
+        finally:
+            os.unlink(tu_path)
+    print(f"lint: {len(headers) - failed}/{len(headers)} headers "
+          "self-contained")

@@ -1,0 +1,31 @@
+// Seeded conventions (project-lint) violations.
+#include <cstdio>
+#include <mutex>
+#include <random>
+
+namespace trkx {
+
+using namespace std;
+
+void fixture_report(int value) {
+  printf("%d\n", value);
+}
+
+int fixture_draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+int* fixture_alloc() {
+  return new int(7);
+}
+
+std::mutex fixture_lock;
+
+void fixture_critical() {
+#pragma omp critical
+  {
+  }
+}
+
+}  // namespace trkx

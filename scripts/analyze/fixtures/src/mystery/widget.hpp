@@ -1,0 +1,3 @@
+#pragma once
+
+// Seeded layer-unknown violation: "mystery" is absent from the layer map.

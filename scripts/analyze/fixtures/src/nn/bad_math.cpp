@@ -1,0 +1,20 @@
+// Seeded numeric-safety violations.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace trkx {
+
+float fixture_mean(float total, float count) {
+  return total / count;  // seeded trkx-div-guard
+}
+
+float fixture_boltzmann(float energy) {
+  return std::exp(energy);  // seeded trkx-exp-log
+}
+
+std::uint32_t fixture_edge_id(std::size_t base, std::size_t offset) {
+  return static_cast<std::uint32_t>(base + offset);  // seeded trkx-narrow-cast
+}
+
+}  // namespace trkx

@@ -1,0 +1,3 @@
+#pragma once
+
+#include "pipeline/stage.hpp"  // seeded layer-order: obs may include only util

@@ -1,0 +1,3 @@
+#pragma once
+
+// Clean header; the include target for the seeded layer-order violations.

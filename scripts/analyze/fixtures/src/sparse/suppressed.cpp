@@ -1,0 +1,20 @@
+// Seeded violations suppressed with NOLINT(<rule>): reason — this file
+// must contribute ZERO findings; it verifies suppression is honoured.
+#include <cstddef>
+#include <cstdio>
+
+namespace trkx {
+
+void fixture_suppressed(float* data, std::size_t n, float inv_scale) {
+  // NOLINT(trkx-io): fixture verifies NOLINT suppression is honoured
+  printf("n=%zu\n", n);
+#pragma omp parallel for schedule(static)  // NOLINT(omp-default-none): fixture
+  for (std::size_t i = 0; i < n; ++i) data[i] *= inv_scale;
+}
+
+float fixture_ratio(float num, float den) {
+  // NOLINT(trkx-div-guard): fixture — caller guarantees den != 0
+  return num / den;
+}
+
+}  // namespace trkx

@@ -1,0 +1,3 @@
+#pragma once
+
+#include "tensor/cycle_b.hpp"  // seeded layer-cycle (with cycle_b.hpp)

@@ -1,0 +1,3 @@
+#pragma once
+
+#include "tensor/cycle_a.hpp"  // seeded layer-cycle (with cycle_a.hpp)

@@ -1,0 +1,178 @@
+"""layering pass: enforce the src/ module layer order over the #include
+DAG.
+
+The architecture stacks (DESIGN.md §6f):
+
+    layer 0   util
+    layer 1   tensor
+    layer 2   sparse
+    layer 3   graph, autograd
+    layer 4   detector, nn
+    layer 5   io, gnn, sampling
+    layer 6   dist
+    layer 7   pipeline
+
+plus ``obs``, the observability spine: importable from any layer, itself
+allowed to include only ``util``. An include from module A to module B is
+legal iff B sits on a strictly lower layer than A (or B is obs/A's own
+module). Same-layer cross-module includes (graph <-> autograd,
+gnn <-> sampling, ...) are deliberately illegal: siblings stay
+independent.
+
+Rules:
+
+    layer-order     include edge points sideways or upward in the stack
+    layer-cycle     the file-level include graph has a cycle
+    layer-unknown   a src/ module missing from the layer map (the map
+                    must grow with the tree, consciously)
+"""
+
+import os
+import re
+
+from .common import Finding
+
+RULES = {
+    "layer-order": "include edge violates the module layer order",
+    "layer-cycle": "include cycle between src/ files",
+    "layer-unknown": "src/ module not present in the layer map",
+}
+
+LAYERS = {
+    "util": 0,
+    "tensor": 1,
+    "sparse": 2,
+    "graph": 3,
+    "autograd": 3,
+    "detector": 4,
+    "nn": 4,
+    "io": 5,
+    "gnn": 5,
+    "sampling": 5,
+    "dist": 6,
+    "pipeline": 7,
+}
+# The observability spine: anyone may include it; it may include only util.
+OBS = "obs"
+OBS_MAY_INCLUDE = {"util"}
+
+INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def module_of(rel):
+    """src/tensor/ops.hpp -> tensor; include "tensor/ops.hpp" -> tensor."""
+    parts = rel.split("/")
+    if parts[0] == "src":
+        parts = parts[1:]
+    return parts[0] if len(parts) > 1 else None
+
+
+def _include_edges(tree):
+    """[(from_rel, line_idx, include_target_rel)] with targets normalised
+    to src/-relative paths; silently skips system/header includes that do
+    not resolve inside src/."""
+    known = set(tree.rel_paths())
+    edges = []
+    for sf in tree.files():
+        if not sf.rel.startswith("src/"):
+            continue
+        for i, raw in enumerate(sf.raw):
+            # Include targets are string literals, which the stripped view
+            # blanks — read raw, but require the stripped line to still be
+            # a preprocessor line so commented-out includes don't count.
+            m = INCLUDE.match(raw)
+            if not m or not sf.code[i].lstrip().startswith("#"):
+                continue
+            target = "src/" + m.group(1)
+            if target in known:
+                edges.append((sf.rel, i, target))
+    return edges
+
+
+def _cycles(adj):
+    """Detect cycles with iterative DFS; returns one representative path
+    per cycle found (deduplicated by vertex set)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {v: WHITE for v in adj}
+    found = []
+    seen_sets = set()
+    for start in sorted(adj):
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(sorted(adj[start])))]
+        path = [start]
+        color[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in color:
+                    continue
+                if color[nxt] == GREY:
+                    cyc = tuple(path[path.index(nxt):] + [nxt])
+                    key = frozenset(cyc)
+                    if key not in seen_sets:
+                        seen_sets.add(key)
+                        found.append(cyc)
+                elif color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    path.append(nxt)
+                    stack.append((nxt, iter(sorted(adj[nxt]))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return found
+
+
+def run(tree):
+    findings = []
+    edges = _include_edges(tree)
+
+    # Unknown modules: every directory under src/ must be placed.
+    seen_modules = {module_of(rel) for rel in tree.rel_paths()
+                    if rel.startswith("src/")}
+    seen_modules.discard(None)
+    for mod in sorted(seen_modules):
+        if mod != OBS and mod not in LAYERS:
+            findings.append(Finding(
+                f"src/{mod}", 1, "layer-unknown",
+                f"module '{mod}' is not in the layer map — add it to "
+                "scripts/analyze/layering.py (and DESIGN.md §6f)"))
+
+    for src_rel, line_idx, dst_rel in edges:
+        a, b = module_of(src_rel), module_of(dst_rel)
+        if a == b or a is None or b is None:
+            continue
+        sf = tree.file(src_rel)
+        if b == OBS:
+            continue  # obs is importable from everywhere
+        if a == OBS:
+            if b not in OBS_MAY_INCLUDE:
+                if not sf.has_nolint(line_idx, "layer-order"):
+                    findings.append(Finding(
+                        src_rel, line_idx + 1, "layer-order",
+                        f"obs may include only util, not '{b}'"))
+            continue
+        if a not in LAYERS or b not in LAYERS:
+            continue  # already reported as layer-unknown
+        if LAYERS[b] >= LAYERS[a]:
+            if not sf.has_nolint(line_idx, "layer-order"):
+                findings.append(Finding(
+                    src_rel, line_idx + 1, "layer-order",
+                    f"'{a}' (layer {LAYERS[a]}) must not include '{b}' "
+                    f"(layer {LAYERS[b]}): the order is util -> tensor -> "
+                    "sparse -> graph/autograd -> detector/nn -> "
+                    "io/gnn/sampling -> dist -> pipeline"))
+
+    adj = {}
+    for src_rel, _, dst_rel in edges:
+        adj.setdefault(src_rel, set()).add(dst_rel)
+        adj.setdefault(dst_rel, set())
+    for cyc in _cycles(adj):
+        findings.append(Finding(
+            cyc[0], 1, "layer-cycle",
+            "include cycle: " + " -> ".join(cyc)))
+    return findings

@@ -1,0 +1,273 @@
+"""numeric-safety pass: the float hazards that corrupt minibatch numerics
+silently — division by a possibly-zero degree, exp/log of an unclamped
+argument, and size_t -> uint32 truncation past 4Gi vertices.
+
+Rules:
+
+    trkx-div-guard    division whose divisor is neither a constant nor
+                      provably nonzero at the site: no epsilon floor
+                      (``x + 1e-12``, ``std::max(d, eps)``), no same-line
+                      zero-test ternary, and no TRKX_CHECK / if-guard on
+                      the divisor within the preceding window.
+    trkx-exp-log      std::exp / std::log whose argument carries no
+                      clamp (fabs/min/max/clamp), no same-line sign
+                      test, and no guard on the argument nearby —
+                      exp overflows float past ~88, log(0) is -inf.
+    trkx-narrow-cast  static_cast<std::uint32_t>(computed expression)
+                      with no TRKX_CHECK mentioning the operand nearby.
+                      Casts of plain identifiers are accepted: graph
+                      vertex ids are uint32 by construction; it is the
+                      *arithmetic* results that outgrow the type.
+
+Justified sites use ``NOLINT(<rule>): reason`` (PR-3 convention). The
+guard window is ``GUARD_WINDOW`` lines — a deliberate approximation; a
+guard further away than that wants the NOLINT + reason anyway, so a
+reviewer can see the justification next to the hazard.
+"""
+
+import re
+
+from .common import KEYWORDS, Finding, identifiers, root_identifiers
+
+RULES = {
+    "trkx-div-guard": "division by a value not provably nonzero "
+                      "(guard it, floor it with an epsilon, or NOLINT "
+                      "with a reason)",
+    "trkx-exp-log": "exp/log of an unclamped argument",
+    "trkx-narrow-cast": "size_t->uint32 narrowing of a computed value "
+                        "outside a TRKX_CHECKed bound",
+}
+
+GUARD_WINDOW = 12
+
+NUMBER = re.compile(r"^\s*[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?[fFuUlL]*\s*$")
+CLAMP = re.compile(r"\b(fabs|abs|labs|max|min|clamp)\s*\(|\bsizeof\b")
+EPSILON_ID = re.compile(r"\b\w*(eps|epsilon)\w*\b", re.IGNORECASE)
+COMPARISON = re.compile(r"==|!=|<=|>=|(?<![<>])[<>](?![<>=])|\.empty\s*\(")
+CAST32 = re.compile(r"static_cast<\s*std::uint32_t\s*>\s*\(")
+EXPLOG = re.compile(r"(?:\bstd::|(?<![\w:.]))(exp|log)\s*\(")
+
+
+def _balanced(text, start):
+    """text[start] == '(' -> contents up to the matching ')', or None."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1:i]
+    return None
+
+
+def _operand_after(text, pos):
+    """The first primary expression starting at text[pos:] — a literal, a
+    parenthesised expression, or an id/call/subscript/member chain."""
+    i = pos
+    n = len(text)
+    while i < n and text[i].isspace():
+        i += 1
+    if i >= n:
+        return ""
+    start = i
+    m = re.match(r"[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?[fFuUlL]*", text[i:])
+    if m:
+        return text[start:start + m.end()]
+    if text[i] == "(":
+        inner = _balanced(text, i)
+        return "(" + (inner or "") + ")"
+    while i < n:
+        m = re.match(r"(?:static_cast|dynamic_cast|const_cast)\s*<[^<>]*"
+                     r"(?:<[^<>]*>)?[^<>]*>", text[i:])
+        if m:
+            i += m.end()
+            continue
+        m = re.match(r"[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*", text[i:])
+        if m:
+            i += m.end()
+        elif text[i] == "(":
+            inner = _balanced(text, i)
+            if inner is None:
+                break
+            i += len(inner) + 2
+        elif text[i] == "[":
+            depth = 0
+            j = i
+            while j < n:
+                depth += {"[": 1, "]": -1}.get(text[j], 0)
+                j += 1
+                if depth == 0:
+                    break
+            i = j
+        elif text[i] == "." and i + 1 < n and (text[i + 1].isalpha()
+                                               or text[i + 1] == "_"):
+            i += 1
+        elif text[i:i + 2] == "->":
+            i += 2
+        else:
+            break
+    return text[start:i]
+
+
+def _has_nonzero_literal(expr):
+    return re.search(r"\b0*[1-9]\d*\.?\d*|\b0?\.\d*[1-9]|\d[eE][+-]?\d", expr)
+
+
+def _divisor_is_safe(expr):
+    if NUMBER.match(expr):
+        return not re.fullmatch(r"\s*[+-]?0*\.?0*[fFuUlL]*\s*", expr)
+    if CLAMP.search(expr):
+        return True
+    if EPSILON_ID.search(expr):
+        return True
+    # (x + <positive literal>): epsilon-floor / off-by-one headroom idiom.
+    if "+" in expr and _has_nonzero_literal(expr):
+        return True
+    # Every identifier is an ALL_CAPS macro or kCamel constant (M_PI,
+    # kTile, ...): a named compile-time constant, not runtime data.
+    if not root_identifiers(expr):
+        named = [t for t in identifiers(expr)
+                 if t not in ("static_cast", "std") and t not in KEYWORDS]
+        if named and all(t.isupper() or re.fullmatch(r"k[A-Z]\w*", t)
+                         for t in named):
+            return True
+    return False
+
+
+def _guarded_nearby(sf, idx, ids, *, window=GUARD_WINDOW):
+    """A TRKX_CHECK / comparison-if / max-floor mentioning one of `ids`
+    within `window` lines above (function-boundary approximation)."""
+    if not ids:
+        return False
+    pat = re.compile(r"\b(" + "|".join(re.escape(i) for i in ids) + r")\b")
+    for j in range(idx, max(-1, idx - window - 1), -1):
+        line = sf.code[j]
+        if not pat.search(line):
+            continue
+        if "TRKX_CHECK" in line or "assert" in line:
+            return True
+        if re.search(r"\b(if|while)\s*\(", line) and COMPARISON.search(line):
+            return True
+        if re.search(r"=\s*std::(max|min|clamp)\s*\(", line):
+            return True
+        if re.search(r"\?\s*", line) and COMPARISON.search(line) \
+                and j != idx:
+            return True
+    return False
+
+
+def _same_line_ternary_guard(code, pos, ids):
+    """`cond ? a : b` where cond (before pos) compares one of ids."""
+    head = code[:pos]
+    q = head.rfind("?")
+    if q < 0:
+        return False
+    cond = head[:q]
+    if not COMPARISON.search(cond):
+        return False
+    pat = re.compile(r"\b(" + "|".join(re.escape(i) for i in ids) + r")\b")
+    return bool(pat.search(cond)) if ids else False
+
+
+def _check_divisions(sf, findings):
+    for idx, code in enumerate(sf.code):
+        if code.lstrip().startswith("#"):
+            continue
+        for m in re.finditer(r"/=?", code):
+            if m.group(0) == "/=":
+                divisor = _operand_after(code, m.end())
+            else:
+                prev = code[:m.start()].rstrip()
+                if prev.endswith(("*", "/")) or not prev:
+                    continue  # part of a comment remnant or operator
+                divisor = _operand_after(code, m.end())
+            if not divisor.strip():
+                continue
+            if _divisor_is_safe(divisor):
+                continue
+            ids = root_identifiers(divisor)
+            if not ids:
+                # No plain identifiers: member/constant divisor — treat
+                # qualified/member names as the id set for guard lookup.
+                ids = re.findall(r"[A-Za-z_]\w*", divisor)
+                ids = [i for i in ids if i not in ("static_cast", "std",
+                                                   "float", "double", "int",
+                                                   "size_t")]
+            if _same_line_ternary_guard(code, m.start(), ids):
+                continue
+            if _guarded_nearby(sf, idx, ids):
+                continue
+            if sf.has_nolint(idx, "trkx-div-guard"):
+                continue
+            findings.append(Finding(
+                sf.rel, idx + 1, "trkx-div-guard",
+                f"divisor '{divisor.strip()}' is not provably nonzero "
+                "here — guard it, floor it with an epsilon, or NOLINT "
+                "with the invariant"))
+
+
+def _check_explog(sf, findings):
+    for idx, code in enumerate(sf.code):
+        for m in EXPLOG.finditer(code):
+            paren = code.find("(", m.end() - 1)
+            arg = _balanced(code, paren)
+            if arg is None:
+                arg = code[paren + 1:]
+            if NUMBER.match(arg or ""):
+                continue
+            if CLAMP.search(arg or ""):
+                continue
+            ids = root_identifiers(arg or "")
+            if _same_line_ternary_guard(code, m.start(), ids):
+                continue
+            if _guarded_nearby(sf, idx, ids):
+                continue
+            if sf.has_nolint(idx, "trkx-exp-log"):
+                continue
+            fn = m.group(1)
+            findings.append(Finding(
+                sf.rel, idx + 1, "trkx-exp-log",
+                f"{fn}({arg.strip() if arg else '...'}) has no clamp on "
+                "its argument — float exp overflows past ~88, log(0) is "
+                "-inf; clamp or guard the input"))
+
+
+def _check_narrowing(sf, findings):
+    for idx, code in enumerate(sf.code):
+        for m in CAST32.finditer(code):
+            paren = code.find("(", m.end() - 1)
+            arg = _balanced(sf_text_from(sf, idx, paren), 0)
+            if arg is None:
+                continue
+            computed = bool(re.search(r"[+\-*/%]|\w\s*\(", arg))
+            if not computed:
+                continue
+            ids = root_identifiers(arg)
+            if _guarded_nearby(sf, idx, ids, window=8):
+                continue
+            if sf.has_nolint(idx, "trkx-narrow-cast"):
+                continue
+            findings.append(Finding(
+                sf.rel, idx + 1, "trkx-narrow-cast",
+                f"static_cast<std::uint32_t>({arg.strip()}) narrows a "
+                "computed value — TRKX_CHECK the bound or NOLINT with "
+                "the invariant"))
+
+
+def sf_text_from(sf, idx, col):
+    """Line idx from column col, plus following lines joined — lets a
+    cast's argument span a line break."""
+    parts = [sf.code[idx][col:]]
+    for j in range(idx + 1, min(idx + 4, len(sf.code))):
+        parts.append(sf.code[j])
+    return "\n".join(parts)
+
+
+def run(tree):
+    findings = []
+    for sf in tree.files():
+        _check_divisions(sf, findings)
+        _check_explog(sf, findings)
+        _check_narrowing(sf, findings)
+    return findings

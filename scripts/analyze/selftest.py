@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Self-test for trkx-analyze: run every pass over the seeded-violation
+fixture tree (scripts/analyze/fixtures/) and compare the findings against
+the golden list (fixtures/expected.txt).
+
+Two failure modes are caught:
+
+  * a pass stops detecting a seeded violation (regression in detection),
+  * a pass starts reporting something new on the fixtures (false positive
+    drift — the fixtures double as a "no noise" corpus via the NOLINT
+    suppression file, which must contribute zero findings).
+
+The golden list must also exercise every rule every pass declares, so a
+new rule cannot land without a fixture proving it fires.
+
+Exit status: 0 on exact match, 1 otherwise (one diff line per mismatch).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from analyze import conventions, layering, numeric_safety, omp_sharing
+from analyze.common import SourceTree
+
+PASSES = (omp_sharing, layering, numeric_safety, conventions)
+
+
+def load_expected(path):
+    expected = set()
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            # "<path>:<line>: <rule>"
+            loc, rule = line.rsplit(": ", 1)
+            rel, lineno = loc.rsplit(":", 1)
+            expected.add((rel, int(lineno), rule))
+    return expected
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    fixtures = os.path.join(here, "fixtures")
+    expected = load_expected(os.path.join(fixtures, "expected.txt"))
+
+    tree = SourceTree(fixtures, ("src",))
+    actual = set()
+    for mod in PASSES:
+        for f in mod.run(tree):
+            actual.add((f.path, f.line, f.rule))
+
+    ok = True
+    for rel, lineno, rule in sorted(expected - actual):
+        print(f"MISSED (seeded but not detected): {rel}:{lineno}: {rule}")
+        ok = False
+    for rel, lineno, rule in sorted(actual - expected):
+        print(f"UNEXPECTED (not in golden list): {rel}:{lineno}: {rule}")
+        ok = False
+
+    # Every declared rule must be exercised by at least one seeded finding.
+    declared = set()
+    for mod in PASSES:
+        declared.update(mod.RULES)
+    exercised = {rule for _, _, rule in expected}
+    for rule in sorted(declared - exercised):
+        print(f"UNCOVERED (rule has no seeded fixture): {rule}")
+        ok = False
+
+    if ok:
+        print(f"analyze-selftest: OK ({len(expected)} seeded findings, "
+              f"{len(declared)} rules exercised)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,13 +5,17 @@ Usage:
     check_ci_summary.py SUMMARY.json [--require-configs a,b]
                         [--require-overall pass]
 
-Expected shape:
+Expected shape (schema v2):
 
-    {"schema": "trkx-ci-summary-v1",
+    {"schema": "trkx-ci-summary-v2",
      "jobs": <int>,
      "configs": [{"name": "<config>", "status": "pass"|"fail",
-                  "seconds": <number>, "detail": "<string>"}, ...],
+                  "seconds": <number>, "detail": "<string>",
+                  "findings": <non-negative int, optional>}, ...],
      "overall": "pass"|"fail"}
+
+v2 adds the optional per-config "findings" count (the static-analysis
+legs report how many analyzer findings they saw; 0 on a clean tree).
 
 Mirrors scripts/check_bench_json.py: schema violations are listed one per
 line and the exit code gates CI. --require-configs pins which matrix legs
@@ -23,7 +27,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "trkx-ci-summary-v1"
+SCHEMA = "trkx-ci-summary-v2"
 
 
 def main() -> int:
@@ -85,6 +89,16 @@ def main() -> int:
             errors.append(f'{where}: "seconds" must be a number')
         if not isinstance(c.get("detail"), str):
             errors.append(f'{where}: "detail" must be a string')
+        findings = c.get("findings")
+        if findings is not None and (
+            not isinstance(findings, int)
+            or isinstance(findings, bool)
+            or findings < 0
+        ):
+            errors.append(
+                f'{where}: "findings" must be a non-negative integer '
+                "when present"
+            )
 
     overall = doc.get("overall")
     if overall not in ("pass", "fail"):

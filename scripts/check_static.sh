@@ -3,6 +3,8 @@
 #
 # Runs, in order (skip/select with flags):
 #   lint        scripts/lint.py + standalone-header compile check
+#   analyze     trkx-analyze: fixture selftest + all four passes
+#               (omp-sharing, layering, numeric-safety, conventions)
 #   tidy        clang-tidy over src/ (skipped with a note if not installed)
 #   tsa         Clang -Wthread-safety -Werror build (skipped without clang)
 #   asan        ASan+UBSan build, full test suite (minus perf-smoke)
@@ -10,7 +12,7 @@
 #
 # Usage:
 #   scripts/check_static.sh            # everything applicable
-#   scripts/check_static.sh --lint --asan
+#   scripts/check_static.sh --lint --analyze --asan
 #   TRKX_JOBS=8 scripts/check_static.sh --tsan
 #
 # Build trees go under build-check/<leg> so they never disturb ./build.
@@ -21,19 +23,21 @@ cd "$(dirname "$0")/.."
 
 JOBS="${TRKX_JOBS:-$(nproc)}"
 SUPP="$PWD/scripts/sanitizers"
-RUN_LINT=0 RUN_TIDY=0 RUN_TSA=0 RUN_ASAN=0 RUN_TSAN=0
+RUN_LINT=0 RUN_ANALYZE=0 RUN_TIDY=0 RUN_TSA=0 RUN_ASAN=0 RUN_TSAN=0
 if [ "$#" -eq 0 ]; then
-  RUN_LINT=1 RUN_TIDY=1 RUN_TSA=1 RUN_ASAN=1 RUN_TSAN=1
+  RUN_LINT=1 RUN_ANALYZE=1 RUN_TIDY=1 RUN_TSA=1 RUN_ASAN=1 RUN_TSAN=1
 fi
 for arg in "$@"; do
   case "$arg" in
     --lint) RUN_LINT=1 ;;
+    --analyze) RUN_ANALYZE=1 ;;
     --tidy) RUN_TIDY=1 ;;
     --tsa) RUN_TSA=1 ;;
     --asan) RUN_ASAN=1 ;;
     --tsan) RUN_TSAN=1 ;;
-    --all) RUN_LINT=1 RUN_TIDY=1 RUN_TSA=1 RUN_ASAN=1 RUN_TSAN=1 ;;
-    *) echo "usage: $0 [--lint] [--tidy] [--tsa] [--asan] [--tsan] [--all]" >&2
+    --all) RUN_LINT=1 RUN_ANALYZE=1 RUN_TIDY=1 RUN_TSA=1 RUN_ASAN=1 RUN_TSAN=1 ;;
+    *) echo "usage: $0 [--lint] [--analyze] [--tidy] [--tsa] [--asan]" \
+            "[--tsan] [--all]" >&2
        exit 2 ;;
   esac
 done
@@ -71,6 +75,12 @@ if [ "$RUN_LINT" -eq 1 ]; then
   note "lint (scripts/lint.py + standalone headers)"
   python3 scripts/lint.py --check-headers --compiler "${CXX:-c++}" ||
     fail "lint"
+fi
+
+if [ "$RUN_ANALYZE" -eq 1 ]; then
+  note "trkx-analyze (selftest + omp-sharing/layering/numeric-safety/conventions)"
+  python3 scripts/analyze/selftest.py || fail "analyze-selftest"
+  python3 scripts/trkx-analyze --root . || fail "trkx-analyze"
 fi
 
 if [ "$RUN_TIDY" -eq 1 ]; then

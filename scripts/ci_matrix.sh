@@ -6,6 +6,8 @@
 #   release      RelWithDebInfo build + full ctest suite (tier-1 gate)
 #   asan-ubsan   TRKX_SANITIZE=address;undefined, suite minus perf-smoke
 #   tsan-stress  TRKX_SANITIZE=thread, tsan-stress labelled tests
+#   analyze      trkx-analyze (fixture selftest + all passes over the
+#                real tree); the summary carries its findings count
 #   lint-tidy    scripts/lint.py (+ headers) and clang-tidy if installed
 #
 # Usage:
@@ -39,10 +41,11 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$SUPP/ubsa
 export TSAN_OPTIONS="halt_on_error=1:suppressions=$SUPP/tsan.supp"
 
 mkdir -p build-ci
-NAMES=() STATUSES=() SECONDS_LIST=() DETAILS=()
+NAMES=() STATUSES=() SECONDS_LIST=() DETAILS=() FINDINGS_LIST=()
 
-record() {  # record <name> <status> <seconds> <detail>
+record() {  # record <name> <status> <seconds> <detail> [findings]
   NAMES+=("$1"); STATUSES+=("$2"); SECONDS_LIST+=("$3"); DETAILS+=("$4")
+  FINDINGS_LIST+=("${5:-}")
   printf '[ci-matrix] %-12s %-5s (%ss) %s\n' "$1" "$2" "$3" "$4"
 }
 
@@ -93,6 +96,18 @@ if wants tsan-stress; then
     -DTRKX_BUILD_BENCHES=OFF -DTRKX_BUILD_EXAMPLES=OFF
 fi
 
+if wants analyze; then
+  t0=$(date +%s)
+  analyze_log=build-ci/analyze.log
+  status=pass
+  python3 scripts/analyze/selftest.py > "$analyze_log" 2>&1 || status=fail
+  python3 scripts/trkx-analyze --root . >> "$analyze_log" 2>&1 || status=fail
+  # Findings print one per line as "path:line: [rule] message".
+  findings=$(grep -c ': \[[a-z-]*\] ' "$analyze_log" || true)
+  record analyze "$status" "$(( $(date +%s) - t0 ))" "$analyze_log" \
+    "$findings"
+fi
+
 if wants lint-tidy; then
   t0=$(date +%s)
   lint_log=build-ci/lint.log
@@ -116,14 +131,17 @@ fi
 # ---- summary JSON ----
 FAILED=0
 {
-  printf '{\n  "schema": "trkx-ci-summary-v1",\n'
+  printf '{\n  "schema": "trkx-ci-summary-v2",\n'
   printf '  "jobs": %s,\n' "$JOBS"
   printf '  "configs": [\n'
   for i in "${!NAMES[@]}"; do
     [ "${STATUSES[$i]}" = fail ] && FAILED=$((FAILED + 1))
-    printf '    {"name": "%s", "status": "%s", "seconds": %s, "detail": "%s"}%s\n' \
+    extra=""
+    [ -n "${FINDINGS_LIST[$i]}" ] && extra=", \"findings\": ${FINDINGS_LIST[$i]}"
+    printf '    {"name": "%s", "status": "%s", "seconds": %s, "detail": "%s"%s}%s\n' \
       "${NAMES[$i]}" "${STATUSES[$i]}" "${SECONDS_LIST[$i]}" \
-      "${DETAILS[$i]}" "$([ "$i" -lt $(( ${#NAMES[@]} - 1 )) ] && echo ,)"
+      "${DETAILS[$i]}" "$extra" \
+      "$([ "$i" -lt $(( ${#NAMES[@]} - 1 )) ] && echo ,)"
   done
   printf '  ],\n'
   if [ "$FAILED" -eq 0 ]; then

@@ -1,183 +1,21 @@
 #!/usr/bin/env python3
-"""Project lint: enforce trkx repo invariants over src/ (and tests/).
+"""Project lint: the trkx convention rules over src/ and tests/.
 
-Usage:
-    lint.py [--root DIR] [--check-headers] [--compiler CXX] [--list-rules]
-
-Rules (suppress a finding by putting NOLINT(<rule>) in a comment on the
-offending line or the line directly above it):
-
-    trkx-raw-rng      no std::mt19937 / std::default_random_engine /
-                      rand() outside src/util/rng.* — all randomness flows
-                      through trkx::Rng so runs stay reproducible and the
-                      prefetch pipeline stays bit-identical to serial.
-    trkx-io           no std::cout / std::cerr / printf-family outside
-                      src/util/log.* — diagnostics go through TRKX_LOG so
-                      every line carries a timestamp + thread id and obeys
-                      the per-rank sink. (bench/ and examples/ are exempt:
-                      their stdout IS the artifact.)
-    trkx-naked-new    no naked `new` — ownership goes through containers
-                      or std::make_unique/make_shared. Intentional leaks
-                      (obs singletons) and friend-ctor factories carry
-                      NOLINT with a reason.
-    trkx-omp-critical every `#pragma omp critical` needs an adjacent
-                      comment justifying the serialisation — criticals in
-                      bulk-sampling kernels are exactly what the paper's
-                      scaling fight is against.
-    trkx-std-mutex    no raw std::mutex/std::lock_guard/std::unique_lock
-                      in src/ outside util/annotations.hpp — use the
-                      annotated trkx::Mutex/LockGuard/UniqueLock so Clang
-                      thread-safety analysis sees every lock site.
-    trkx-using-std    no `using namespace std;`.
-
---check-headers additionally compiles every header under src/ standalone
-(one synthetic TU per header) to prove self-containment. Exits 0 when
-clean, 1 with one "file:line: [rule] message" per finding otherwise.
+Since PR 4 this is a thin wrapper over the analyzer's ``conventions``
+pass (scripts/analyze/conventions.py) — the rules, the NOLINT
+convention, the CLI, and the ``project_lint`` ctest name are unchanged;
+only the implementation moved. Run ``trkx-analyze --list-rules`` for
+the full rule catalogue across all passes.
 """
 
 import argparse
 import os
-import re
-import subprocess
 import sys
-import tempfile
 
-RULES = {
-    "trkx-raw-rng": "raw std RNG outside util/rng (use trkx::Rng)",
-    "trkx-io": "direct stdout/stderr outside util/log (use TRKX_LOG)",
-    "trkx-naked-new": "naked new (use containers or make_unique)",
-    "trkx-omp-critical": "omp critical without a justifying comment",
-    "trkx-std-mutex": "raw std mutex type (use annotated trkx::Mutex)",
-    "trkx-using-std": "using namespace std",
-}
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-RAW_RNG = re.compile(
-    r"std::mt19937|std::default_random_engine|std::minstd_rand|"
-    r"(?<![\w.:])s?rand\s*\("
-)
-DIRECT_IO = re.compile(
-    r"std::cout|std::cerr|(?<![\w:])(?:printf|fprintf|puts|fputs)\s*\("
-)
-NAKED_NEW = re.compile(r"(?<![\w:.])new\s+[A-Za-z_(]")
-OMP_CRITICAL = re.compile(r"#\s*pragma\s+omp\s.*\bcritical\b")
-STD_MUTEX = re.compile(
-    r"std::(?:mutex|shared_mutex|recursive_mutex|lock_guard|unique_lock|"
-    r"scoped_lock|condition_variable)\b"
-)
-USING_STD = re.compile(r"\busing\s+namespace\s+std\b")
-COMMENT = re.compile(r"//|/\*")
-
-
-def is_exempt(rel, rule):
-    rel = rel.replace(os.sep, "/")
-    if rule == "trkx-raw-rng":
-        return rel.startswith("src/util/rng")
-    if rule == "trkx-io":
-        return rel.startswith("src/util/log")
-    if rule == "trkx-std-mutex":
-        # The wrapper itself, and tests (which may exercise raw primitives).
-        return rel == "src/util/annotations.hpp" or rel.startswith("tests/")
-    return False
-
-
-def has_nolint(lines, idx, rule):
-    for line in (lines[idx], lines[idx - 1] if idx > 0 else ""):
-        if "NOLINT" in line and rule in line:
-            return True
-        if re.search(r"NOLINT(?!\()", line):  # bare NOLINT: blanket
-            return True
-    return False
-
-
-def strip_strings(line):
-    """Blank out string/char literals so rules don't fire inside them."""
-    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
-
-
-def lint_file(root, rel, findings):
-    path = os.path.join(root, rel)
-    with open(path, encoding="utf-8") as f:
-        lines = f.read().splitlines()
-    in_block_comment = False
-    for i, raw in enumerate(lines):
-        line = raw
-        if in_block_comment:
-            if "*/" in line:
-                line = line.split("*/", 1)[1]
-                in_block_comment = False
-            else:
-                continue
-        if "/*" in line and "*/" not in line.split("/*", 1)[1]:
-            in_block_comment = True
-        code = strip_strings(line.split("//", 1)[0])
-        checks = [
-            ("trkx-raw-rng", RAW_RNG),
-            ("trkx-io", DIRECT_IO),
-            ("trkx-naked-new", NAKED_NEW),
-            ("trkx-std-mutex", STD_MUTEX),
-            ("trkx-using-std", USING_STD),
-        ]
-        for rule, pattern in checks:
-            if not pattern.search(code):
-                continue
-            if is_exempt(rel, rule) or has_nolint(lines, i, rule):
-                continue
-            findings.append((rel, i + 1, rule, RULES[rule]))
-        if OMP_CRITICAL.search(line):
-            prev = lines[i - 1] if i > 0 else ""
-            if not (COMMENT.search(line) or COMMENT.search(prev)):
-                if not has_nolint(lines, i, "trkx-omp-critical"):
-                    findings.append(
-                        (rel, i + 1, "trkx-omp-critical",
-                         RULES["trkx-omp-critical"])
-                    )
-
-
-def iter_sources(root, subdirs, exts):
-    for sub in subdirs:
-        base = os.path.join(root, sub)
-        for dirpath, _, files in os.walk(base):
-            for name in sorted(files):
-                if os.path.splitext(name)[1] in exts:
-                    yield os.path.relpath(
-                        os.path.join(dirpath, name), root
-                    )
-
-
-def check_headers(root, compiler, findings):
-    """Compile each src/ header standalone: missing transitive includes
-    surface as failures here instead of as include-order landmines."""
-    headers = sorted(iter_sources(root, ["src"], {".hpp"}))
-    flags = ["-std=c++20", "-fsyntax-only", "-fopenmp",
-             "-I", os.path.join(root, "src")]
-    failed = 0
-    for rel in headers:
-        with tempfile.NamedTemporaryFile(
-            "w", suffix=".cpp", delete=False
-        ) as tu:
-            include = rel.replace(os.sep, "/").removeprefix("src/")
-            tu.write(f'#include "{include}"\n')
-            tu.write(f'#include "{include}"\n')  # include-guard check
-            tu_path = tu.name
-        try:
-            proc = subprocess.run(
-                [compiler, *flags, tu_path],
-                capture_output=True,
-                text=True,
-                check=False,
-            )
-            if proc.returncode != 0:
-                failed += 1
-                first = proc.stderr.strip().splitlines()
-                detail = first[0] if first else "compile failed"
-                findings.append(
-                    (rel, 1, "trkx-header-standalone",
-                     f"header does not compile standalone: {detail}")
-                )
-        finally:
-            os.unlink(tu_path)
-    print(f"lint: {len(headers) - failed}/{len(headers)} headers "
-          "self-contained")
+from analyze import conventions  # noqa: E402
+from analyze.common import SourceTree  # noqa: E402
 
 
 def main():
@@ -193,29 +31,26 @@ def main():
     args = parser.parse_args()
 
     if args.list_rules:
-        for rule, desc in RULES.items():
+        for rule, desc in conventions.RULES.items():
             print(f"{rule}: {desc}")
         return 0
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))
     )
-    findings = []
-    sources = list(
-        iter_sources(root, ["src", "tests"], {".hpp", ".cpp"})
-    )
-    for rel in sources:
-        lint_file(root, rel, findings)
+    tree = SourceTree(root, ("src", "tests"))
+    findings = conventions.run(tree)
     if args.check_headers:
-        check_headers(root, args.compiler, findings)
+        conventions.check_headers(root, args.compiler, findings)
 
-    for rel, line, rule, msg in findings:
-        print(f"{rel}:{line}: [{rule}] {msg}", file=sys.stderr)
+    n_files = sum(1 for _ in tree.rel_paths())
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(str(f), file=sys.stderr)
     if findings:
         print(f"lint: {len(findings)} finding(s) over "
-              f"{len(sources)} files", file=sys.stderr)
+              f"{n_files} files", file=sys.stderr)
         return 1
-    print(f"lint: OK ({len(sources)} files)")
+    print(f"lint: OK ({n_files} files)")
     return 0
 
 

@@ -3,8 +3,10 @@
 #include <memory>
 
 #include <cmath>
+#include <cstring>
 
 #include "sparse/spgemm.hpp"
+#include "util/numerics.hpp"
 
 namespace trkx {
 
@@ -26,17 +28,30 @@ bool Var::requires_grad() const {
 }
 
 Var Tape::leaf(Matrix value, bool requires_grad) {
-  return emit(std::move(value), requires_grad, nullptr);
+  return emit(std::move(value), requires_grad, "leaf", nullptr);
 }
 
-Var Tape::emit(Matrix value, bool requires_grad,
+Var Tape::emit(Matrix value, bool requires_grad, const char* op,
                std::function<void(Node&)> backward) {
-  nodes_.push_back(Node{std::move(value), Matrix{}, requires_grad,
+  // tanh/sigmoid emit with a null backward and attach it afterwards, so the
+  // "is this a computed op" test keys off the op name, not the closure.
+  if (check_numerics_enabled() && std::strcmp(op, "leaf") != 0) {
+    TRKX_CHECK_MSG(all_finite(value),
+                   "TRKX_CHECK_NUMERICS: non-finite value in forward output of '"
+                       << op << "'");
+  }
+  nodes_.push_back(Node{std::move(value), Matrix{}, requires_grad, op,
                         std::move(backward)});
   return Var(this, nodes_.size() - 1);
 }
 
 void Tape::accumulate(Var v, Matrix g) {
+  if (check_numerics_enabled() && current_backward_op_ != nullptr) {
+    TRKX_CHECK_MSG(all_finite(g),
+                   "TRKX_CHECK_NUMERICS: non-finite gradient from backward of '"
+                       << current_backward_op_ << "' flowing into '"
+                       << node(v).op << "'");
+  }
   Node& n = node(v);
   if (!n.requires_grad) return;
   if (n.grad.empty()) {
@@ -56,7 +71,7 @@ Var Tape::matmul(Var a, Var b) {
   Matrix out = trkx::matmul(a.value(), b.value());
   const bool rg = node(a).requires_grad || node(b).requires_grad;
   Tape* t = this;
-  return emit(std::move(out), rg, [t, a, b](Node& n) {
+  return emit(std::move(out), rg, "matmul", [t, a, b](Node& n) {
     if (t->node(a).requires_grad)
       t->accumulate(a, matmul_nt(n.grad, b.value()));
     if (t->node(b).requires_grad)
@@ -72,7 +87,7 @@ Var Tape::linear(Var x, Var w, Var bias) {
   const bool rg = node(x).requires_grad || node(w).requires_grad ||
                   node(bias).requires_grad;
   Tape* t = this;
-  return emit(std::move(out), rg, [t, x, w, bias](Node& n) {
+  return emit(std::move(out), rg, "linear", [t, x, w, bias](Node& n) {
     if (t->node(x).requires_grad)
       t->accumulate(x, matmul_nt(n.grad, w.value()));
     if (t->node(w).requires_grad)
@@ -85,7 +100,7 @@ Var Tape::add(Var a, Var b) {
   Matrix out = trkx::add(a.value(), b.value());
   const bool rg = node(a).requires_grad || node(b).requires_grad;
   Tape* t = this;
-  return emit(std::move(out), rg, [t, a, b](Node& n) {
+  return emit(std::move(out), rg, "add", [t, a, b](Node& n) {
     t->accumulate(a, n.grad);
     t->accumulate(b, n.grad);
   });
@@ -95,7 +110,7 @@ Var Tape::sub(Var a, Var b) {
   Matrix out = trkx::sub(a.value(), b.value());
   const bool rg = node(a).requires_grad || node(b).requires_grad;
   Tape* t = this;
-  return emit(std::move(out), rg, [t, a, b](Node& n) {
+  return emit(std::move(out), rg, "sub", [t, a, b](Node& n) {
     t->accumulate(a, n.grad);
     t->accumulate(b, trkx::scale(n.grad, -1.0f));
   });
@@ -105,7 +120,7 @@ Var Tape::hadamard(Var a, Var b) {
   Matrix out = trkx::hadamard(a.value(), b.value());
   const bool rg = node(a).requires_grad || node(b).requires_grad;
   Tape* t = this;
-  return emit(std::move(out), rg, [t, a, b](Node& n) {
+  return emit(std::move(out), rg, "hadamard", [t, a, b](Node& n) {
     if (t->node(a).requires_grad)
       t->accumulate(a, trkx::hadamard(n.grad, b.value()));
     if (t->node(b).requires_grad)
@@ -116,7 +131,7 @@ Var Tape::hadamard(Var a, Var b) {
 Var Tape::scale(Var a, float s) {
   Matrix out = trkx::scale(a.value(), s);
   Tape* t = this;
-  return emit(std::move(out), node(a).requires_grad, [t, a, s](Node& n) {
+  return emit(std::move(out), node(a).requires_grad, "scale", [t, a, s](Node& n) {
     t->accumulate(a, trkx::scale(n.grad, s));
   });
 }
@@ -124,7 +139,7 @@ Var Tape::scale(Var a, float s) {
 Var Tape::relu(Var a) {
   Matrix out = apply(a.value(), [](float x) { return x > 0.0f ? x : 0.0f; });
   Tape* t = this;
-  return emit(std::move(out), node(a).requires_grad, [t, a](Node& n) {
+  return emit(std::move(out), node(a).requires_grad, "relu", [t, a](Node& n) {
     t->accumulate(a, apply2(n.grad, a.value(), [](float g, float x) {
                     return x > 0.0f ? g : 0.0f;
                   }));
@@ -134,7 +149,7 @@ Var Tape::relu(Var a) {
 Var Tape::tanh(Var a) {
   Matrix out = apply(a.value(), [](float x) { return std::tanh(x); });
   Tape* t = this;
-  Var v = emit(std::move(out), node(a).requires_grad, nullptr);
+  Var v = emit(std::move(out), node(a).requires_grad, "tanh", nullptr);
   // Backward reads the op's own output (y): d/dx tanh = 1 - y².
   node(v).backward = [t, a, v](Node& n) {
     t->accumulate(a, apply2(n.grad, v.value(), [](float g, float y) {
@@ -150,7 +165,7 @@ Var Tape::sigmoid(Var a) {
                      : std::exp(x) / (1.0f + std::exp(x));
   });
   Tape* t = this;
-  Var v = emit(std::move(out), node(a).requires_grad, nullptr);
+  Var v = emit(std::move(out), node(a).requires_grad, "sigmoid", nullptr);
   node(v).backward = [t, a, v](Node& n) {
     t->accumulate(a, apply2(n.grad, v.value(), [](float g, float y) {
                     return g * y * (1.0f - y);
@@ -195,7 +210,7 @@ Var Tape::layer_norm(Var x, Var gamma, Var beta, float eps) {
   const bool rg = node(x).requires_grad || node(gamma).requires_grad ||
                   node(beta).requires_grad;
   Tape* t = this;
-  return emit(std::move(out), rg,
+  return emit(std::move(out), rg, "layer_norm",
               [t, x, gamma, beta, xhat, inv_std, cols](Node& n) {
     const std::size_t rows = n.grad.rows();
     const float* pg = gamma.value().data();
@@ -209,6 +224,8 @@ Var Tape::layer_norm(Var x, Var gamma, Var beta, float eps) {
     if (t->node(beta).requires_grad) t->accumulate(beta, colwise_sum(n.grad));
     if (t->node(x).requires_grad) {
       Matrix dx(rows, cols);
+      TRKX_CHECK(cols > 0);
+      const float inv_cols = 1.0f / static_cast<float>(cols);
       // Standard layer-norm backward per row:
       // dx = (is/cols) * (cols*dy*g - sum(dy*g) - xhat * sum(dy*g*xhat))
       for (std::size_t i = 0; i < rows; ++i) {
@@ -219,7 +236,6 @@ Var Tape::layer_norm(Var x, Var gamma, Var beta, float eps) {
           sum_dyg_xhat += dyg * (*xhat)(i, j);
         }
         const float is = (*inv_std)[i];
-        const float inv_cols = 1.0f / static_cast<float>(cols);
         for (std::size_t j = 0; j < cols; ++j) {
           const float dyg = n.grad(i, j) * pg[j];
           dx(i, j) = is * (dyg - inv_cols * sum_dyg -
@@ -243,7 +259,7 @@ Var Tape::concat_cols(const std::vector<Var>& blocks) {
   Matrix out = trkx::concat_cols(mats);
   Tape* t = this;
   auto blocks_copy = blocks;
-  return emit(std::move(out), rg, [t, blocks_copy](Node& n) {
+  return emit(std::move(out), rg, "concat_cols", [t, blocks_copy](Node& n) {
     std::size_t off = 0;
     for (Var b : blocks_copy) {
       const std::size_t w = b.value().cols();
@@ -257,7 +273,7 @@ Var Tape::concat_cols(const std::vector<Var>& blocks) {
 Var Tape::slice_cols(Var a, std::size_t start, std::size_t len) {
   Matrix out = trkx::slice_cols(a.value(), start, len);
   Tape* t = this;
-  return emit(std::move(out), node(a).requires_grad,
+  return emit(std::move(out), node(a).requires_grad, "slice_cols",
               [t, a, start, len](Node& n) {
     Matrix g(a.value().rows(), a.value().cols(), 0.0f);
     for (std::size_t i = 0; i < n.grad.rows(); ++i)
@@ -278,7 +294,7 @@ Var Tape::scale_rows(Var rows, Var scalars) {
   }
   const bool rg = node(rows).requires_grad || node(scalars).requires_grad;
   Tape* t = this;
-  return emit(std::move(out), rg, [t, rows, scalars](Node& n) {
+  return emit(std::move(out), rg, "scale_rows", [t, rows, scalars](Node& n) {
     const Matrix& r = rows.value();
     const Matrix& s = scalars.value();
     if (t->node(rows).requires_grad) {
@@ -309,7 +325,7 @@ Var Tape::spmm(const CsrMatrix& a, Var x) {
   Tape* t = this;
   // Backward: dL/dX = Aᵀ · dL/dY. Transposing per backward call is fine —
   // the GCN models cache their normalised adjacency per step anyway.
-  return emit(std::move(out), node(x).requires_grad, [t, x, &a](Node& n) {
+  return emit(std::move(out), node(x).requires_grad, "spmm", [t, x, &a](Node& n) {
     t->accumulate(x, trkx::spmm(a.transpose(), n.grad));
   });
 }
@@ -318,7 +334,7 @@ Var Tape::row_gather(Var x, std::vector<std::uint32_t> index) {
   Matrix out = trkx::row_gather(x.value(), index);
   Tape* t = this;
   auto idx = std::make_shared<std::vector<std::uint32_t>>(std::move(index));
-  return emit(std::move(out), node(x).requires_grad, [t, x, idx](Node& n) {
+  return emit(std::move(out), node(x).requires_grad, "row_gather", [t, x, idx](Node& n) {
     Matrix g(x.value().rows(), x.value().cols(), 0.0f);
     row_scatter_add(g, *idx, n.grad);
     t->accumulate(x, g);
@@ -330,7 +346,7 @@ Var Tape::segment_sum(Var y, std::vector<std::uint32_t> index,
   Matrix out = trkx::segment_sum(y.value(), index, num_segments);
   Tape* t = this;
   auto idx = std::make_shared<std::vector<std::uint32_t>>(std::move(index));
-  return emit(std::move(out), node(y).requires_grad, [t, y, idx](Node& n) {
+  return emit(std::move(out), node(y).requires_grad, "segment_sum", [t, y, idx](Node& n) {
     // Gradient of scatter-add is gather.
     t->accumulate(y, trkx::row_gather(n.grad, *idx));
   });
@@ -371,11 +387,12 @@ Var Tape::bce_with_logits(Var logits, const std::vector<float>& labels,
   Tape* t = this;
   auto lbl = std::make_shared<std::vector<float>>(labels);
   auto wts = std::make_shared<std::vector<float>>(weights);
-  return emit(std::move(out), node(logits).requires_grad,
+  return emit(std::move(out), node(logits).requires_grad, "bce_with_logits",
               [t, logits, lbl, wts, pos_weight, total_weight](Node& n) {
     const Matrix& z = logits.value();
     const std::size_t m = z.rows();
     Matrix g(m, 1);
+    TRKX_CHECK(total_weight > 0.0);  // captured from the checked forward
     const float gscale =
         n.grad(0, 0) / static_cast<float>(total_weight);
     for (std::size_t i = 0; i < m; ++i) {
@@ -419,15 +436,18 @@ Var Tape::contrastive_pair_loss(Var a, Var b,
     }
   }
   Matrix out(1, 1);
+  // NOLINT(trkx-div-guard): n > 0 checked at entry
   out(0, 0) = static_cast<float>(loss / static_cast<double>(n));
 
   const bool rg = node(a).requires_grad || node(b).requires_grad;
   Tape* t = this;
   auto lbl = std::make_shared<std::vector<float>>(labels);
-  return emit(std::move(out), rg, [t, a, b, lbl, dist, margin](Node& nd) {
+  return emit(std::move(out), rg, "contrastive_pair_loss",
+              [t, a, b, lbl, dist, margin](Node& nd) {
     const Matrix& av = a.value();
     const Matrix& bv = b.value();
     const std::size_t n = av.rows(), f = av.cols();
+    TRKX_CHECK(n > 0);  // non-empty batch checked in the forward
     const float gscale = nd.grad(0, 0) / static_cast<float>(n);
     Matrix ga(n, f, 0.0f);
     for (std::size_t i = 0; i < n; ++i) {
@@ -459,7 +479,7 @@ Var Tape::mean_square(Var a) {
   Matrix out(1, 1);
   out(0, 0) = static_cast<float>(s / static_cast<double>(v.size()));
   Tape* t = this;
-  return emit(std::move(out), node(a).requires_grad, [t, a](Node& n) {
+  return emit(std::move(out), node(a).requires_grad, "mean_square", [t, a](Node& n) {
     const float c = 2.0f * n.grad(0, 0) / static_cast<float>(a.value().size());
     t->accumulate(a, trkx::scale(a.value(), c));
   });
@@ -469,7 +489,7 @@ Var Tape::sum(Var a) {
   Matrix out(1, 1);
   out(0, 0) = static_cast<float>(a.value().sum());
   Tape* t = this;
-  return emit(std::move(out), node(a).requires_grad, [t, a](Node& n) {
+  return emit(std::move(out), node(a).requires_grad, "sum", [t, a](Node& n) {
     Matrix g(a.value().rows(), a.value().cols(), n.grad(0, 0));
     t->accumulate(a, g);
   });
@@ -486,8 +506,12 @@ void Tape::backward(Var root) {
   for (std::size_t i = root.index_ + 1; i-- > 0;) {
     Node& n = nodes_[i];
     if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
+    // Track whose closure is running so accumulate() can name the op that
+    // produced a non-finite gradient under TRKX_CHECK_NUMERICS.
+    current_backward_op_ = n.op;
     n.backward(n);
   }
+  current_backward_op_ = nullptr;
 }
 
 }  // namespace trkx

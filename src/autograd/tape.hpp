@@ -119,6 +119,7 @@ class Tape {
     Matrix value;
     Matrix grad;            // lazily sized on first accumulation
     bool requires_grad = false;
+    const char* op = "leaf";  // static op name, for numerics diagnostics
     std::function<void(Node&)> backward;  // reads node.grad, pushes to parents
   };
 
@@ -131,7 +132,10 @@ class Tape {
     return nodes_[v.index_];
   }
 
-  Var emit(Matrix value, bool requires_grad,
+  /// `op` must be a string literal (stored, never copied). Under
+  /// TRKX_CHECK_NUMERICS (util/numerics.hpp) every computed op's output is
+  /// verified finite here, and every gradient contribution in accumulate().
+  Var emit(Matrix value, bool requires_grad, const char* op,
            std::function<void(Node&)> backward);
   /// Accumulate g into the node's grad. Taking g by value lets backward
   /// closures hand over their temporaries: the first contribution to a
@@ -142,6 +146,7 @@ class Tape {
   friend class Var;
   std::deque<Node> nodes_;
   bool backward_done_ = false;
+  const char* current_backward_op_ = nullptr;  // op whose closure is running
 };
 
 }  // namespace trkx

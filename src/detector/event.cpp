@@ -13,6 +13,7 @@ float Hit::eta() const {
   const float rr = r();
   if (rr == 0.0f) return 0.0f;
   const float theta = std::atan2(rr, z);
+  // NOLINT(trkx-exp-log): rr > 0 above, so theta ∈ (0, π) and tan(θ/2) > 0
   return -std::log(std::tan(theta / 2.0f));
 }
 
@@ -37,9 +38,15 @@ float wrap_angle(float d) {
 void build_features(Event& event, std::size_t node_dim, std::size_t edge_dim,
                     const FeatureScales& scales, std::size_t num_layers) {
   TRKX_CHECK(node_dim > 0 && edge_dim > 0);
+  TRKX_CHECK_MSG(scales.r_max > 0.0f && scales.z_max > 0.0f &&
+                     scales.eta_max > 0.0f,
+                 "feature scales must be positive");
   const std::size_t n = event.hits.size();
   const std::size_t m = event.graph.num_edges();
-  const float pi = static_cast<float>(M_PI);
+  const float inv_pi = 1.0f / static_cast<float>(M_PI);
+  const float inv_r_max = 1.0f / scales.r_max;
+  const float inv_z_max = 1.0f / scales.z_max;
+  const float inv_eta_max = 1.0f / scales.eta_max;
 
   event.node_features.resize(n, node_dim);
   for (std::size_t i = 0; i < n; ++i) {
@@ -47,19 +54,19 @@ void build_features(Event& event, std::size_t node_dim, std::size_t edge_dim,
     const float r = h.r(), phi = h.phi(), eta = h.eta();
     // Candidate pool; the first node_dim entries are used.
     const float pool[14] = {
-        r / scales.r_max,
-        phi / pi,
-        h.z / scales.z_max,
-        eta / scales.eta_max,
+        r * inv_r_max,
+        phi * inv_pi,
+        h.z * inv_z_max,
+        eta * inv_eta_max,
         std::cos(phi),
         std::sin(phi),
         static_cast<float>(h.layer) /
             static_cast<float>(num_layers > 1 ? num_layers - 1 : 1),
-        h.x / scales.r_max,
-        h.y / scales.r_max,
+        h.x * inv_r_max,
+        h.y * inv_r_max,
         r > 0.0f ? h.z / r : 0.0f,
         std::tanh(eta),
-        (r / scales.r_max) * (r / scales.r_max),
+        (r * inv_r_max) * (r * inv_r_max),
         std::cos(2.0f * phi),
         std::sin(2.0f * phi),
     };
@@ -79,14 +86,14 @@ void build_features(Event& event, std::size_t node_dim, std::size_t edge_dim,
     const float dR = std::sqrt(deta * deta + dphi * dphi);
     const float mid_r = 0.5f * (a.r() + b.r());
     const float pool[8] = {
-        dr / scales.r_max,
-        dphi / pi,
-        dz / scales.z_max,
-        deta / scales.eta_max,
+        dr * inv_r_max,
+        dphi * inv_pi,
+        dz * inv_z_max,
+        deta * inv_eta_max,
         dR,
-        mid_r / scales.r_max,
+        mid_r * inv_r_max,
         std::fabs(dr) > 1e-3f ? dz / dr : 0.0f,          // slope dz/dr
-        std::fabs(dr) > 1e-3f ? dphi / (dr / scales.r_max) : 0.0f,  // curvature proxy
+        std::fabs(dr) > 1e-3f ? dphi / (dr * inv_r_max) : 0.0f,  // curvature proxy
     };
     TRKX_CHECK_MSG(edge_dim <= 8, "edge_dim > 8 not supported");
     for (std::size_t j = 0; j < edge_dim; ++j)

@@ -102,6 +102,7 @@ void record_hit(const DetectorConfig& cfg, const Crossing& c, Rng& rng,
     }
     hit.layer = c.surface;
     hit.particle = static_cast<std::int32_t>(event.particles.size());
+    TRKX_CHECK(event.hits.size() < 0xffffffffu);  // hit ids are uint32
     truth.hits.push_back(static_cast<std::uint32_t>(event.hits.size()));
     event.hits.push_back(hit);
   }
@@ -155,6 +156,7 @@ void build_candidate_graph(Event& event, const DetectorConfig& cfg) {
   for (const auto& [pair, count] : transitions)
     if (count >= 3 || event.particles.size() < 50) surface_pairs.insert(pair);
 
+  TRKX_CHECK(cfg.b_field > 0.0);
   const double r_min_curv = cfg.pt_min / (0.3 * cfg.b_field) * 1000.0;
   const double two_r = 2.0 * r_min_curv;
 

@@ -37,6 +37,7 @@ std::optional<double> Helix::turning_angle_at_radius(double r) const {
   TRKX_CHECK(r >= 0.0);
   // Transverse distance from the origin after turning angle t is
   // d(t) = 2R·sin(t/2); the first crossing of r is t = 2·asin(r / 2R).
+  // NOLINT(trkx-div-guard): radius_ > 0 is a constructor invariant
   const double arg = r / (2.0 * radius_);
   if (arg > 1.0) return std::nullopt;
   return 2.0 * std::asin(arg);

@@ -25,9 +25,10 @@ struct AllReduceCostModel {
   double seconds(std::size_t bytes, int num_ranks) const {
     if (num_ranks <= 1) return 0.0;
     const double p = static_cast<double>(num_ranks);
-    return 2.0 * (p - 1.0) * alpha_seconds +
-           2.0 * (p - 1.0) / p * static_cast<double>(bytes) /
-               beta_bytes_per_second;
+    const double bytes_d = static_cast<double>(bytes);
+    // NOLINT(trkx-div-guard): p >= 2 after the early return; beta > 0
+    const double bw = (p - 1.0) / p / beta_bytes_per_second * bytes_d;
+    return 2.0 * (p - 1.0) * alpha_seconds + 2.0 * bw;
   }
 };
 

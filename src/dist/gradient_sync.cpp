@@ -2,12 +2,15 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tensor/ops.hpp"
+#include "util/numerics.hpp"
 
 namespace trkx {
 
 void synchronize_gradients(Communicator& comm, ParameterStore& store,
                            SyncStrategy strategy) {
   TRKX_TRACE_SPAN("allreduce", "comms");
+  TRKX_CHECK(comm.size() > 0);
   const float inv_p = 1.0f / static_cast<float>(comm.size());
   std::size_t calls = 0;
   std::size_t bytes = 0;
@@ -29,6 +32,17 @@ void synchronize_gradients(Communicator& comm, ParameterStore& store,
       calls = 1;
       bytes = flat.size() * sizeof(float);
       break;
+    }
+  }
+  // Under TRKX_CHECK_NUMERICS, verify the synced gradients before the
+  // optimizer consumes them: one rank feeding a NaN into the all-reduce
+  // poisons every replica, so name the parameter while the trail is warm.
+  if (check_numerics_enabled()) {
+    for (const auto& p : store.params()) {
+      TRKX_CHECK_MSG(all_finite(p.grad),
+                     "TRKX_CHECK_NUMERICS: non-finite synced gradient for "
+                     "parameter '"
+                         << p.name << "'");
     }
   }
   // Per-strategy counters make the paper's §III-D tradeoff directly

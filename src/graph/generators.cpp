@@ -44,6 +44,7 @@ Graph cycle_graph(std::size_t n) {
 }
 
 Graph grid_graph(std::size_t rows, std::size_t cols) {
+  TRKX_CHECK(cols == 0 || rows <= 0xffffffffu / cols);  // ids fit uint32
   std::vector<Edge> edges;
   auto id = [cols](std::size_t r, std::size_t c) {
     return static_cast<std::uint32_t>(r * cols + c);
@@ -58,6 +59,7 @@ Graph grid_graph(std::size_t rows, std::size_t cols) {
 }
 
 Graph disjoint_cliques(std::size_t count, std::size_t clique_size) {
+  TRKX_CHECK(clique_size == 0 || count <= 0xffffffffu / clique_size);
   std::vector<Edge> edges;
   for (std::size_t k = 0; k < count; ++k) {
     const std::uint32_t base = static_cast<std::uint32_t>(k * clique_size);

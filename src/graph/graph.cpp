@@ -165,6 +165,7 @@ InducedSubgraph disjoint_union(const std::vector<InducedSubgraph>& parts) {
                           p.vertex_map.end());
     out.edge_map.insert(out.edge_map.end(), p.edge_map.begin(),
                         p.edge_map.end());
+    TRKX_CHECK(p.graph.num_vertices() <= 0xffffffffu - vert_off);
     vert_off += static_cast<std::uint32_t>(p.graph.num_vertices());
   }
   out.graph = Graph(n, std::move(edges));

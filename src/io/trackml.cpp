@@ -96,6 +96,7 @@ Event read_trackml_event(const std::string& prefix,
     h.layer = surf.at(std::make_pair(std::stol(row[c_vol]),
                                      std::stol(row[c_lay])));
     h.particle = Hit::kNoise;  // assigned from truth below
+    TRKX_CHECK(event.hits.size() < 0xffffffffu);  // hit ids are uint32
     hit_index[std::stoll(row[c_hit])] =
         static_cast<std::uint32_t>(event.hits.size());
     event.hits.push_back(h);

@@ -93,6 +93,9 @@ void Adam::step() {
   const float b1 = options_.beta1, b2 = options_.beta2;
   const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
   const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  TRKX_CHECK(bias1 > 0.0f && bias2 > 0.0f);  // betas < 1, t_ >= 1
+  const float inv_bias1 = 1.0f / bias1;
+  const float inv_bias2 = 1.0f / bias2;
   std::size_t i = 0;
   for (auto& p : store_->params()) {
     float* w = p.value.data();
@@ -104,8 +107,8 @@ void Adam::step() {
       const float grad = g[j] + options_.weight_decay * w[j];
       m[j] = b1 * m[j] + (1.0f - b1) * grad;
       v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
-      const float mhat = m[j] / bias1;
-      const float vhat = v[j] / bias2;
+      const float mhat = m[j] * inv_bias1;
+      const float vhat = v[j] * inv_bias2;
       w[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
     }
   }

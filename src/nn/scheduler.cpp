@@ -14,6 +14,7 @@ StepDecayLr::StepDecayLr(float base, float factor, std::size_t every)
 }
 
 float StepDecayLr::lr_at(std::size_t step) const {
+  // NOLINT(trkx-div-guard): every_ > 0 enforced in the constructor
   return base_ * std::pow(factor_, static_cast<float>(step / every_));
 }
 

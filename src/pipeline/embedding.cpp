@@ -75,8 +75,10 @@ std::vector<double> EmbeddingModel::train(const std::vector<Event>& events) {
         } else {
           // Random pair; occasionally a true pair slips in, which is
           // harmless label noise at realistic hit counts.
+          // NOLINT(trkx-narrow-cast): index < hits.size(), a uint32 count
           ia.push_back(static_cast<std::uint32_t>(
               rng_.uniform_index(event.hits.size())));
+          // NOLINT(trkx-narrow-cast): index < hits.size(), a uint32 count
           ib.push_back(static_cast<std::uint32_t>(
               rng_.uniform_index(event.hits.size())));
           labels.push_back(0.0f);

@@ -48,6 +48,7 @@ double roc_auc(const ScoredEdges& edges) {
   const double u = pos_rank_sum -
                    static_cast<double>(pos) * (static_cast<double>(pos) + 1.0) /
                        2.0;
+  // NOLINT(trkx-div-guard): pos, neg > 0 after the early return above
   return u / (static_cast<double>(pos) * static_cast<double>(neg));
 }
 

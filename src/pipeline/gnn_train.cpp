@@ -148,6 +148,7 @@ std::vector<std::uint32_t> shard_batch(const std::vector<std::uint32_t>& batch,
   const std::size_t n = batch.size();
   const std::size_t r = static_cast<std::size_t>(rank);
   const std::size_t p = static_cast<std::size_t>(size);
+  TRKX_CHECK(p > 0);
   // Balanced contiguous partition: ceil-sized shards for the first
   // n mod p ranks, floor-sized for the rest. Unlike all-ceil chunking,
   // this never starves the trailing ranks (n = p + 1 used to give rank
@@ -473,9 +474,10 @@ void run_shadow_training(ShadowTrainContext ctx) {
 
     record.train_loss =
         steps == 0 ? 0.0 : loss_sum / static_cast<double>(steps);
-    if (ctx.comm)
-      record.train_loss =
-          ctx.comm->all_reduce_scalar(record.train_loss) / world;
+    if (ctx.comm) {
+      const double total = ctx.comm->all_reduce_scalar(record.train_loss);
+      record.train_loss = total / world;  // NOLINT(trkx-div-guard): world >= 1
+    }
     if (is_root && config.evaluate_every_epoch)
       record.val = evaluate_edges(*ctx.model, *ctx.val, config.eval_threshold);
     if (ctx.comm) ctx.comm->barrier();  // ranks wait for root evaluation

@@ -64,8 +64,9 @@ std::optional<FittedTrack> fit_track(const Event& event,
     const double r = std::hypot(event.hits[h].x - a, event.hits[h].y - b);
     circle_chi2 += (r - radius) * (r - radius);
   }
-  fit.circle_chi2 =
-      static_cast<float>(circle_chi2 / static_cast<double>(candidate.hits.size()));
+  const double nhits = static_cast<double>(candidate.hits.size());
+  // NOLINT(trkx-div-guard): hits.size() >= 3 checked at entry
+  fit.circle_chi2 = static_cast<float>(circle_chi2 / nhits);
 
   // --- r–z plane: z = z0 + sinh(η) · ℓ, with ℓ the transverse arc length
   // from the origin along the fitted circle (ℓ = R·t, d = 2R·sin(t/2)).
@@ -95,6 +96,7 @@ std::optional<FittedTrack> fit_track(const Event& event,
     const double dz = event.hits[candidate.hits[i]].z - zhat;
     line_chi2 += dz * dz;
   }
+  // NOLINT(trkx-div-guard): n = hits.size() >= 3 checked at entry
   fit.line_chi2 = static_cast<float>(line_chi2 / n);
   return fit;
 }
@@ -117,6 +119,7 @@ FitResolution evaluate_fits(const Event& event,
     ++matched;
     const TruthParticle& truth =
         event.particles[static_cast<std::size_t>(cand.matched_particle)];
+    // NOLINT(trkx-div-guard): generated truth particles have pt >= pt_min > 0
     const double dpt = (fit->pt - truth.pt) / truth.pt;
     sum_dpt += dpt;
     sum_dpt2 += dpt * dpt;
@@ -127,12 +130,12 @@ FitResolution evaluate_fits(const Event& event,
     charges_correct += (fit->charge == truth.charge);
   }
   if (matched > 0) {
-    const double n = static_cast<double>(matched);
-    out.pt_bias = sum_dpt / n;
-    out.pt_resolution = std::sqrt(sum_dpt2 / n);
-    out.z0_resolution = std::sqrt(sum_dz02 / n);
-    out.phi_resolution = std::sqrt(sum_dphi2 / n);
-    out.charge_correct_fraction = static_cast<double>(charges_correct) / n;
+    const double inv_n = 1.0 / static_cast<double>(matched);
+    out.pt_bias = sum_dpt * inv_n;
+    out.pt_resolution = std::sqrt(sum_dpt2 * inv_n);
+    out.z0_resolution = std::sqrt(sum_dz02 * inv_n);
+    out.phi_resolution = std::sqrt(sum_dphi2 * inv_n);
+    out.charge_correct_fraction = static_cast<double>(charges_correct) * inv_n;
   }
   return out;
 }

@@ -60,8 +60,11 @@ std::vector<std::uint32_t> LayerwiseSampler::sample_vertex_set(
       keys.reserve(candidates.size());
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         const double u = std::max(1e-300, rng.uniform());
-        keys.emplace_back(std::log(u) / static_cast<double>(weight[i]),
-                          candidates[i]);
+        // Floor the weight: a zero-weight candidate (all parent edges
+        // carry zero probability mass) gets key -> -inf, i.e. it is
+        // drawn only when the budget exceeds the positive-weight pool.
+        const double w = std::max(1e-12, static_cast<double>(weight[i]));
+        keys.emplace_back(std::log(u) / w, candidates[i]);
       }
       std::partial_sort(
           keys.begin(),

@@ -197,7 +197,9 @@ void CsrMatrix::normalize_rows() {
     double sum = 0.0;
     for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
       sum += val_[k];
-    if (sum == 0.0) continue;
+    // Isolated vertex (or cancelling/non-finite mass): leave the row as
+    // is rather than dividing by a degenerate sum.
+    if (!(sum > 0.0)) continue;
     const float inv = static_cast<float>(1.0 / sum);
     for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
       val_[k] *= inv;

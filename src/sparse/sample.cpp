@@ -108,7 +108,8 @@ CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s,
   }
 
   std::vector<std::vector<std::uint32_t>> row_cols(rows);
-#pragma omp parallel for schedule(dynamic)
+#pragma omp parallel for schedule(dynamic) default(none) \
+    shared(ranges, rngs, group, probs, row_cols) firstprivate(s)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(ranges.size());
        ++i) {
     const auto [rb, re] = ranges[static_cast<std::size_t>(i)];

@@ -19,7 +19,8 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
   std::vector<std::vector<std::uint32_t>> out_cols(m);
   std::vector<std::vector<float>> out_vals(m);
 
-#pragma omp parallel
+#pragma omp parallel default(none) shared(a, b, out_cols, out_vals) \
+    firstprivate(m, n)
   {
     std::vector<float> acc(n, 0.0f);
     std::vector<char> flag(n, 0);
@@ -71,7 +72,8 @@ Matrix spmm(const CsrMatrix& a, const Matrix& x) {
   TRKX_CHECK_MSG(a.cols() == x.rows(), "spmm shape mismatch");
   const std::size_t m = a.rows(), f = x.cols();
   Matrix y(m, f, 0.0f);
-#pragma omp parallel for schedule(dynamic, 64)
+#pragma omp parallel for schedule(dynamic, 64) default(none) \
+    shared(y, a, x) firstprivate(m, f)
   for (std::size_t i = 0; i < m; ++i) {
     float* yrow = y.data() + i * f;
     for (std::uint64_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {

@@ -23,7 +23,8 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   const float* pb = b.data();
   float* pc = c.data();
   // i-k-j loop order with k-tiling: unit-stride inner loop over both B and C.
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(pa, pb, pc) \
+    firstprivate(m, k, n)
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
       const std::size_t k1 = std::min(k0 + kTile, k);
@@ -49,7 +50,8 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   const float* pb = b.data();
   float* pc = c.data();
   // Both A rows and B rows are contiguous: dot-product form.
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(pa, pb, pc) \
+    firstprivate(m, k, n)
   for (std::size_t i = 0; i < m; ++i) {
     const float* arow = pa + i * k;
     float* crow = pc + i * n;
@@ -73,7 +75,8 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   const float* pb = b.data();
   float* pc = c.data();
   // Parallelise over output rows (columns of A) to avoid write conflicts.
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(pa, pb, pc) \
+    firstprivate(m, k, n)
   for (std::size_t i = 0; i < m; ++i) {
     float* crow = pc + i * n;
     for (std::size_t kk = 0; kk < k; ++kk) {
@@ -89,7 +92,8 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
 Matrix transpose(const Matrix& a) {
   Matrix out(a.cols(), a.rows());
   const std::size_t r = a.rows(), c = a.cols();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(out, a) \
+    firstprivate(r, c)
   for (std::size_t i = 0; i < r; ++i)
     for (std::size_t j = 0; j < c; ++j) out(j, i) = a(i, j);
   return out;
@@ -116,7 +120,8 @@ void add_inplace(Matrix& a, const Matrix& b) {
   float* pa = a.data();
   const float* pb = b.data();
   const std::size_t n = a.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(pa, pb) \
+    firstprivate(n)
   for (std::size_t i = 0; i < n; ++i) pa[i] += pb[i];
 }
 
@@ -125,7 +130,8 @@ void axpy_inplace(Matrix& a, float s, const Matrix& b) {
   float* pa = a.data();
   const float* pb = b.data();
   const std::size_t n = a.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(pa, pb) \
+    firstprivate(n, s)
   for (std::size_t i = 0; i < n; ++i) pa[i] += s * pb[i];
 }
 
@@ -136,7 +142,8 @@ Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
   Matrix out(a.rows(), a.cols());
   const float* pr = row.data();
   const std::size_t r = a.rows(), c = a.cols();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(a, out, pr) \
+    firstprivate(r, c)
   for (std::size_t i = 0; i < r; ++i) {
     const float* arow = a.data() + i * c;
     float* orow = out.data() + i * c;
@@ -158,7 +165,8 @@ Matrix colwise_sum(const Matrix& a) {
 Matrix rowwise_sum(const Matrix& a) {
   Matrix out(a.rows(), 1, 0.0f);
   const std::size_t r = a.rows(), c = a.cols();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(a, out) \
+    firstprivate(r, c)
   for (std::size_t i = 0; i < r; ++i) {
     const float* arow = a.data() + i * c;
     float acc = 0.0f;
@@ -177,7 +185,8 @@ Matrix concat_cols(const std::vector<const Matrix*>& blocks) {
     total_cols += b->cols();
   }
   Matrix out(rows, total_cols);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(out, blocks) \
+    firstprivate(rows, total_cols)
   for (std::size_t i = 0; i < rows; ++i) {
     float* orow = out.data() + i * total_cols;
     std::size_t off = 0;
@@ -212,7 +221,8 @@ Matrix slice_cols(const Matrix& a, std::size_t start, std::size_t len) {
   TRKX_CHECK(start + len <= a.cols());
   Matrix out(a.rows(), len);
   const std::size_t r = a.rows(), c = a.cols();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(out, a) \
+    firstprivate(r, c, start, len)
   for (std::size_t i = 0; i < r; ++i) {
     std::memcpy(out.data() + i * len, a.data() + i * c + start,
                 len * sizeof(float));
@@ -237,7 +247,8 @@ Matrix row_gather(const Matrix& x, const std::vector<std::uint32_t>& index) {
   }
   Matrix out(index.size(), x.cols());
   const std::size_t c = x.cols(), n = index.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(out, x, index) \
+    firstprivate(n, c)
   for (std::size_t i = 0; i < n; ++i) {
     std::memcpy(out.data() + i * c, x.data() + index[i] * c,
                 c * sizeof(float));
@@ -267,6 +278,12 @@ Matrix segment_sum(const Matrix& y, const std::vector<std::uint32_t>& index,
   Matrix out(num_segments, y.cols(), 0.0f);
   row_scatter_add(out, index, y);
   return out;
+}
+
+bool all_finite(const Matrix& a) {
+  for (float v : a.flat())
+    if (!std::isfinite(v)) return false;
+  return true;
 }
 
 float max_abs_diff(const Matrix& a, const Matrix& b) {

@@ -58,6 +58,10 @@ Matrix segment_sum(const Matrix& y, const std::vector<std::uint32_t>& index,
                    std::size_t num_segments);
 
 /// max |a - b| over all elements; shapes must match.
+/// True iff every element is finite (no NaN or ±Inf). Used by the
+/// TRKX_CHECK_NUMERICS debug mode in the tape and gradient sync.
+bool all_finite(const Matrix& a);
+
 float max_abs_diff(const Matrix& a, const Matrix& b);
 bool allclose(const Matrix& a, const Matrix& b, float atol = 1e-5f,
               float rtol = 1e-4f);
@@ -69,7 +73,8 @@ Matrix apply(const Matrix& a, Fn&& fn) {
   const float* src = a.data();
   float* dst = out.data();
   const std::size_t n = a.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(dst, src, fn) firstprivate(n)
   for (std::size_t i = 0; i < n; ++i) dst[i] = fn(src[i]);
   return out;
 }
@@ -85,7 +90,8 @@ Matrix apply2(const Matrix& a, const Matrix& b, Fn&& fn) {
   const float* pb = b.data();
   float* dst = out.data();
   const std::size_t n = a.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(dst, pa, pb, fn) firstprivate(n)
   for (std::size_t i = 0; i < n; ++i) dst[i] = fn(pa[i], pb[i]);
   return out;
 }

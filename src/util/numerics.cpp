@@ -1,0 +1,26 @@
+#include "util/numerics.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace trkx {
+
+namespace {
+
+bool env_default() {
+  const char* v = std::getenv("TRKX_CHECK_NUMERICS");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+bool& flag() {
+  static bool on = env_default();
+  return on;
+}
+
+}  // namespace
+
+bool check_numerics_enabled() { return flag(); }
+
+void set_check_numerics(bool on) { flag() = on; }
+
+}  // namespace trkx

@@ -1,0 +1,18 @@
+#pragma once
+
+namespace trkx {
+
+/// Runtime switch for TRKX_CHECK_NUMERICS mode: when enabled, the autograd
+/// tape verifies every non-leaf op output at record time and every gradient
+/// contribution during backward(), and gradient sync verifies the synced
+/// per-parameter gradients — each failure names the offending op/parameter.
+///
+/// Off by default (the checks walk every element). Enable per-process with
+/// the TRKX_CHECK_NUMERICS environment variable (any value but "0"/"") or
+/// per-scope with set_check_numerics().
+bool check_numerics_enabled();
+
+/// Override the environment default (tests flip this around NaN injection).
+void set_check_numerics(bool on);
+
+}  // namespace trkx

@@ -13,6 +13,7 @@ double Rng::normal() {
   // Box–Muller; u must be in (0, 1].
   double u = 1.0 - uniform();
   double v = uniform();
+  // NOLINT(trkx-exp-log): u = 1 - uniform() ∈ (0, 1], so log(u) is finite
   double r = std::sqrt(-2.0 * std::log(u));
   double theta = 2.0 * M_PI * v;
   spare_ = r * std::sin(theta);
@@ -53,6 +54,7 @@ std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
   std::unordered_set<std::uint32_t> seen;
   seen.reserve(k * 2);
   for (std::uint32_t j = n - k; j < n; ++j) {
+    // NOLINT(trkx-narrow-cast): uniform_index(j + 1) <= j, already a uint32
     std::uint32_t t = static_cast<std::uint32_t>(uniform_index(j + 1));
     if (seen.insert(t).second) {
       out.push_back(t);

@@ -29,7 +29,8 @@ void RunningStat::merge(const RunningStat& other) {
   const double na = static_cast<double>(n_);
   const double nb = static_cast<double>(other.n_);
   const double delta = other.mean_ - mean_;
-  mean_ += delta * nb / (na + nb);
+  mean_ += delta * nb / (na + nb);  // NOLINT(trkx-div-guard): na, nb >= 1
+  // NOLINT(trkx-div-guard): na, nb >= 1 after the early returns above
   m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
   n_ += other.n_;
   min_ = std::min(min_, other.min_);

@@ -4,6 +4,7 @@
 
 #include "autograd/gradcheck.hpp"
 #include "autograd/tape.hpp"
+#include "util/numerics.hpp"
 #include "util/rng.hpp"
 
 namespace trkx {
@@ -452,6 +453,161 @@ TEST(TapeTest, SumOp) {
   EXPECT_FLOAT_EQ(s.value()(0, 0), 10.0f);
   tape.backward(s);
   EXPECT_EQ(x.grad(), (Matrix{{1, 1}, {1, 1}}));
+}
+
+TEST(Gradcheck, Add) {
+  Rng rng(131);
+  Matrix a = Matrix::random_normal(3, 4, rng, 0.0f, 1.0f);
+  Matrix b = Matrix::random_normal(3, 4, rng, 0.0f, 1.0f);
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var av = tape.leaf(in[0], true);
+        Var bv = tape.leaf(in[1], true);
+        Var loss = tape.mean_square(tape.add(av, bv));
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(av.grad());
+          grads->push_back(bv.grad());
+        }
+        return v;
+      },
+      {a, b});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(Gradcheck, Spmm) {
+  Rng rng(137);
+  // Fixed sparsity pattern including an empty row (vertex with no edges).
+  const CsrMatrix a = CsrMatrix::from_triplets(
+      4, 3, {{0, 0, 0.5f}, {0, 2, -1.5f}, {1, 1, 2.0f}, {3, 0, 1.0f}});
+  Matrix x = Matrix::random_normal(3, 2, rng, 0.0f, 1.0f);
+  auto result = gradcheck(
+      [&a](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var xv = tape.leaf(in[0], true);
+        Var loss = tape.mean_square(tape.spmm(a, xv));
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(xv.grad());
+        }
+        return v;
+      },
+      {x});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(Gradcheck, Sum) {
+  Rng rng(139);
+  Matrix x = Matrix::random_normal(3, 5, rng, 0.0f, 1.0f);
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var xv = tape.leaf(in[0], true);
+        // Compose through tanh so the sum gradient is not trivially all-ones.
+        Var loss = tape.sum(tape.tanh(xv));
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(xv.grad());
+        }
+        return v;
+      },
+      {x});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+TEST(Gradcheck, MeanSquare) {
+  Rng rng(149);
+  Matrix x = Matrix::random_normal(4, 3, rng, 0.0f, 1.0f);
+  auto result = gradcheck(
+      [](const std::vector<Matrix>& in, std::vector<Matrix>* grads) {
+        Tape tape;
+        Var xv = tape.leaf(in[0], true);
+        Var loss = tape.mean_square(xv);
+        const double v = loss.value()(0, 0);
+        if (grads) {
+          tape.backward(loss);
+          grads->push_back(xv.grad());
+        }
+        return v;
+      },
+      {x});
+  EXPECT_TRUE(result.passed) << result.max_abs_error;
+}
+
+// ---------- TRKX_CHECK_NUMERICS ----------
+
+/// RAII toggle so a throwing test body cannot leave the mode enabled for
+/// later tests in the same process.
+class ScopedCheckNumerics {
+ public:
+  explicit ScopedCheckNumerics(bool on) : prev_(check_numerics_enabled()) {
+    set_check_numerics(on);
+  }
+  ~ScopedCheckNumerics() { set_check_numerics(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(CheckNumerics, OffByDefaultNanPassesSilently) {
+  ASSERT_FALSE(check_numerics_enabled());
+  Tape tape;
+  Matrix bad{{1.0f, 2.0f}};
+  bad(0, 1) = std::nanf("");
+  Var x = tape.leaf(bad, true);
+  Var loss = tape.mean_square(tape.tanh(x));
+  tape.backward(loss);  // no throw: checks are opt-in
+  EXPECT_TRUE(std::isnan(loss.value()(0, 0)));
+}
+
+TEST(CheckNumerics, ForwardNamesOffendingOp) {
+  ScopedCheckNumerics guard(true);
+  Tape tape;
+  Matrix bad{{1.0f, 2.0f}};
+  bad(0, 1) = std::nanf("");
+  Var x = tape.leaf(bad, true);  // leaves are caller data, not checked
+  try {
+    tape.tanh(x);
+    FAIL() << "expected trkx::Error from forward numerics check";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("forward output of 'tanh'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckNumerics, BackwardNamesProducingAndReceivingOp) {
+  Tape tape;
+  Matrix bad{{0.5f, -0.25f}};
+  bad(0, 1) = std::nanf("");
+  // Record the graph with checks off so the NaN survives the forward pass
+  // (tanh propagates it), then enable them for backward only.
+  Var x = tape.leaf(bad, true);
+  Var y = tape.tanh(x);
+  Var loss = tape.mean_square(y);
+  ScopedCheckNumerics guard(true);
+  try {
+    tape.backward(loss);
+    FAIL() << "expected trkx::Error from backward numerics check";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite gradient"), std::string::npos) << what;
+    EXPECT_NE(what.find("backward of '"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckNumerics, CleanGraphPassesWithChecksOn) {
+  ScopedCheckNumerics guard(true);
+  Rng rng(151);
+  Tape tape;
+  Var x = tape.leaf(Matrix::random_normal(3, 3, rng, 0.0f, 1.0f), true);
+  Var loss = tape.mean_square(tape.tanh(x));
+  tape.backward(loss);
+  EXPECT_TRUE(tape.has_grad(x));
 }
 
 }  // namespace

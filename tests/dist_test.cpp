@@ -6,6 +6,7 @@
 #include "dist/communicator.hpp"
 #include "dist/gradient_sync.hpp"
 #include "tensor/ops.hpp"
+#include "util/numerics.hpp"
 #include "util/rng.hpp"
 
 namespace trkx {
@@ -204,6 +205,37 @@ TEST_P(SyncStrategies, SingleRankIsIdentityDividedByOne) {
 INSTANTIATE_TEST_SUITE_P(Strategies, SyncStrategies,
                          ::testing::Values(SyncStrategy::kPerTensor,
                                            SyncStrategy::kCoalesced));
+
+TEST(GradientSyncTest, CheckNumericsNamesPoisonedParameter) {
+  const int p = 2;
+  DistRuntime rt(p);
+  std::vector<ParameterStore> stores(p);
+  for (auto& s : stores) {
+    s.create("w0", 2, 2);
+    s.create("w1", 2, 2);
+  }
+  for (int r = 0; r < p; ++r)
+    for (auto& param : stores[r].params())
+      for (float& g : param.grad.flat()) g = 1.0f;
+  // One rank contributes a NaN to w1; the all-reduce spreads it to every
+  // replica, so the post-sync check fires on all ranks.
+  auto it = stores[1].params().begin();
+  std::advance(it, 1);
+  it->grad.data()[0] = std::nanf("");
+  set_check_numerics(true);
+  try {
+    rt.run([&](Communicator& comm) {
+      synchronize_gradients(comm, stores[comm.rank()],
+                            SyncStrategy::kPerTensor);
+    });
+    set_check_numerics(false);
+    FAIL() << "expected trkx::Error naming the poisoned parameter";
+  } catch (const Error& e) {
+    set_check_numerics(false);
+    EXPECT_NE(std::string(e.what()).find("parameter 'w1'"), std::string::npos)
+        << e.what();
+  }
+}
 
 TEST(GradientSyncTest, StrategiesAgreeWithEachOther) {
   const int p = 3;

@@ -243,5 +243,101 @@ INSTANTIATE_TEST_SUITE_P(Families, SamplerInvariants,
                                            GraphFamily::kCliques,
                                            GraphFamily::kErdos));
 
+// ---------- isolated vertices (zero-degree rows) ----------
+
+// A triangle on {0,1,2} plus three isolated vertices {3,4,5}. Real hit
+// graphs contain noise hits with no edges; sampling one must degrade to a
+// singleton component, never divide by a zero degree.
+Graph triangle_with_isolates() {
+  return Graph(6, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+void expect_singleton_component(const ShadowSample& s, std::size_t component,
+                                std::uint32_t parent_vertex) {
+  const std::uint32_t root = s.roots[component];
+  EXPECT_EQ(s.sub.vertex_map[root], parent_vertex);
+  EXPECT_EQ(s.component_of[root], component);
+  std::size_t members = 0;
+  for (std::uint32_t c : s.component_of) members += (c == component);
+  EXPECT_EQ(members, 1u);
+  for (const Edge& e : s.sub.graph.edges()) {
+    EXPECT_NE(e.src, root);
+    EXPECT_NE(e.dst, root);
+  }
+}
+
+TEST(IsolatedVertexTest, ShadowProducesSingletonComponent) {
+  Graph g = triangle_with_isolates();
+  ShadowSampler sampler(g, {.depth = 2, .fanout = 3});
+  Rng rng(61);
+  ShadowSample s = sampler.sample({3, 0, 4}, rng);
+  ASSERT_EQ(s.num_components(), 3u);
+  expect_singleton_component(s, 0, 3);
+  expect_singleton_component(s, 2, 4);
+  // The connected root still expands into the triangle.
+  std::size_t triangle_members = 0;
+  for (std::uint32_t c : s.component_of) triangle_members += (c == 1);
+  EXPECT_EQ(triangle_members, 3u);
+}
+
+TEST(IsolatedVertexTest, NodewiseProducesSingletonComponent) {
+  Graph g = triangle_with_isolates();
+  NodewiseSampler sampler(g, {.fanouts = {3, 2}});
+  Rng rng(62);
+  ShadowSample s = sampler.sample({5, 1}, rng);
+  ASSERT_EQ(s.num_components(), 2u);
+  expect_singleton_component(s, 0, 5);
+}
+
+TEST(IsolatedVertexTest, MatrixShadowMatchesReferenceOnIsolates) {
+  Graph g = triangle_with_isolates();
+  const ShadowConfig cfg{.depth = 2, .fanout = 3};
+  for (bool generic : {false, true}) {
+    ShadowConfig c = cfg;
+    c.generic_spgemm = generic;
+    MatrixShadowSampler sampler(g, c);
+    Rng rng(63);
+    ShadowSample s = sampler.sample({4, 2, 3}, rng);
+    ASSERT_EQ(s.num_components(), 3u);
+    expect_singleton_component(s, 0, 4);
+    expect_singleton_component(s, 2, 3);
+  }
+}
+
+TEST(IsolatedVertexTest, LayerwiseKeepsIsolatedBatchVertices) {
+  Graph g = triangle_with_isolates();
+  LayerwiseSampler sampler(g, {.depth = 2, .budget = 4});
+  Rng rng(64);
+  // Batch of only isolated vertices: every level's frontier is empty.
+  ShadowSample s = sampler.sample({3, 5}, rng);
+  ASSERT_EQ(s.roots.size(), 2u);
+  EXPECT_EQ(s.sub.vertex_map[s.roots[0]], 3u);
+  EXPECT_EQ(s.sub.vertex_map[s.roots[1]], 5u);
+  EXPECT_TRUE(s.sub.graph.edges().empty());
+  // Mixed batch: isolated root survives alongside the triangle.
+  Rng rng2(65);
+  ShadowSample mixed = sampler.sample({4, 0}, rng2);
+  ASSERT_EQ(mixed.roots.size(), 2u);
+  EXPECT_EQ(mixed.sub.vertex_map[mixed.roots[0]], 4u);
+}
+
+TEST(IsolatedVertexTest, AllEdgelessGraphSamplesEveryFamily) {
+  // Degenerate limit: no edges anywhere. Every sampler must still return
+  // well-formed singleton components.
+  Graph g(4, {});
+  Rng rng(66);
+  ShadowSample a = ShadowSampler(g, {.depth = 2, .fanout = 2}).sample({0, 3}, rng);
+  EXPECT_EQ(a.num_components(), 2u);
+  ShadowSample b = NodewiseSampler(g, {.fanouts = {2}}).sample({1}, rng);
+  EXPECT_EQ(b.num_components(), 1u);
+  ShadowSample c =
+      MatrixShadowSampler(g, {.depth = 2, .fanout = 2}).sample({2}, rng);
+  EXPECT_EQ(c.num_components(), 1u);
+  ShadowSample d =
+      LayerwiseSampler(g, {.depth = 2, .budget = 2}).sample({0, 1}, rng);
+  EXPECT_EQ(d.roots.size(), 2u);
+  EXPECT_TRUE(d.sub.graph.edges().empty());
+}
+
 }  // namespace
 }  // namespace trkx
