@@ -1,0 +1,14 @@
+// Seeded trkx-atomic-write violation: a checkpoint file opened directly
+// with std::ofstream instead of going through atomic_write_file, so a
+// crash mid-write could leave a torn .ckpt that resume would then trust.
+#include <fstream>
+#include <string>
+
+namespace trkx {
+
+void fixture_write_checkpoint(const std::string& dir) {
+  std::ofstream os(dir + "/ckpt-000001.ckpt", std::ios::binary);
+  os << "payload";
+}
+
+}  // namespace trkx

@@ -6,6 +6,10 @@
 #   release      RelWithDebInfo build + full ctest suite (tier-1 gate)
 #   asan-ubsan   TRKX_SANITIZE=address;undefined, suite minus perf-smoke
 #   tsan-stress  TRKX_SANITIZE=thread, tsan-stress labelled tests
+#   chaos        fault-injection leg: chaos-labelled ctest suite, then a
+#                TRKX_FAULTS matrix (I/O error, delay, rank-kill) driven
+#                end-to-end through the example binaries, asserting exit
+#                codes, emergency checkpoints, and clean resume
 #   analyze      trkx-analyze (fixture selftest + all passes over the
 #                real tree); the summary carries its findings count
 #   lint-tidy    scripts/lint.py (+ headers) and clang-tidy if installed
@@ -94,6 +98,70 @@ fi
 if wants tsan-stress; then
   build_and_test tsan-stress -L tsan-stress -- -DTRKX_SANITIZE=thread \
     -DTRKX_BUILD_BENCHES=OFF -DTRKX_BUILD_EXAMPLES=OFF
+fi
+
+if wants chaos; then
+  t0=$(date +%s)
+  dir=build-ci/chaos
+  chaos_log="$dir/chaos.log"
+  status=pass
+  mkdir -p "$dir"
+  if cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       -DTRKX_BUILD_BENCHES=OFF > "$dir/configure.log" 2>&1 &&
+     cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1; then
+    # Deterministic in-test fault matrix first: crash/resume bit-equality,
+    # rank-kill propagation, collective timeouts, I/O retry + quarantine.
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L chaos \
+       > ctest.log 2>&1) || status=fail
+    # Then the same failure modes end-to-end through the example binaries,
+    # armed via TRKX_FAULTS exactly as an operator would.
+    ex="$dir/examples/minibatch_training"
+    dex="$dir/examples/distributed_training"
+    ck="$dir/chaos-ckpt"
+    rm -rf "$ck"
+    : > "$chaos_log"
+    chaos_run() {  # chaos_run <expect:ok|fail> <faults> <cmd...>
+      local expect="$1" faults="$2"; shift 2
+      echo "== TRKX_FAULTS='$faults' $*" >> "$chaos_log"
+      local rc=0
+      TRKX_FAULTS="$faults" "$@" >> "$chaos_log" 2>&1 || rc=$?
+      if { [ "$expect" = ok ] && [ "$rc" -ne 0 ]; } ||
+         { [ "$expect" = fail ] && [ "$rc" -eq 0 ]; }; then
+        echo "== FAIL: expected $expect, got exit $rc" >> "$chaos_log"
+        status=fail
+      fi
+    }
+    # Transient I/O fault: the tolerant loader retries and the run
+    # completes (the log shows nonzero retries in the event-cache line).
+    chaos_run ok "io.read_event:error:nth=1" \
+      "$ex" --scale 0.02 --epochs 2 --event-cache "$dir/chaos-events.bin" \
+      --checkpoint-dir "$ck/io"
+    # Injected latency only slows the load; results are unaffected.
+    chaos_run ok "io.read_event:delay:ms=20:every=3" \
+      "$ex" --scale 0.02 --epochs 2 --event-cache "$dir/chaos-events.bin" \
+      --checkpoint-dir "$ck/delay"
+    # Rank-kill mid-train: nonzero exit with a checkpoint left behind...
+    chaos_run fail "train.epoch:rank-kill:nth=2" \
+      "$ex" --scale 0.02 --epochs 3 --checkpoint-dir "$ck/kill"
+    if [ ! -e "$ck/kill/ckpt-000001.ckpt" ]; then
+      echo "== FAIL: no checkpoint after rank-kill" >> "$chaos_log"
+      status=fail
+    fi
+    # ...and a fault-free rerun resumes it to completion.
+    chaos_run ok "" \
+      "$ex" --scale 0.02 --epochs 3 --checkpoint-dir "$ck/kill" --resume
+    # Dead DDP rank: survivors hit the collective timeout instead of
+    # deadlocking, flush an emergency checkpoint, and exit nonzero.
+    chaos_run fail "train.epoch:rank-kill:nth=2:rank=1" \
+      "$dex" --ranks 2 --scale 0.02 --epochs 3 --checkpoint-dir "$ck/ddp" \
+      --comm-timeout-ms 5000
+    chaos_run ok "" \
+      "$dex" --ranks 2 --scale 0.02 --epochs 3 --checkpoint-dir "$ck/ddp" \
+      --resume
+  else
+    status=fail
+  fi
+  record chaos "$status" "$(( $(date +%s) - t0 ))" "$chaos_log"
 fi
 
 if wants analyze; then

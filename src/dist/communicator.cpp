@@ -1,15 +1,90 @@
 #include "dist/communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
-#include <exception>
 #include <thread>
 
-#include "util/annotations.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace trkx {
+
+namespace {
+
+/// Collective timeout from TRKX_COMM_TIMEOUT_MS (0 / unset = no timeout).
+double env_comm_timeout_seconds() {
+  const char* env = std::getenv("TRKX_COMM_TIMEOUT_MS");
+  if (env == nullptr || *env == '\0') return 0.0;
+  char* end = nullptr;
+  const double ms = std::strtod(env, &end);
+  if (end == env || ms <= 0.0) return 0.0;
+  return ms / 1000.0;
+}
+
+}  // namespace
+
+TimeoutBarrier::TimeoutBarrier(int parties, double timeout_seconds)
+    : parties_(parties), timeout_seconds_(timeout_seconds) {
+  TRKX_CHECK(parties >= 1);
+}
+
+void TimeoutBarrier::arrive_and_wait() {
+  UniqueLock lock(mutex_);
+  if (aborted_) throw CommTimeoutError(abort_reason_);
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  const bool bounded = timeout_seconds_ > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(bounded ? timeout_seconds_ : 0.0));
+  while (generation_ == my_generation && !aborted_) {
+    if (!bounded) {
+      cv_.wait(lock);
+      continue;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        generation_ == my_generation && !aborted_) {
+      // First rank to time out poisons the barrier so every other waiter
+      // (now and later) releases too — all survivors see the same error
+      // instead of a partial deadlock.
+      aborted_ = true;
+      std::ostringstream os;
+      os << "collective timed out after " << timeout_seconds_
+         << "s waiting for " << parties_ - arrived_
+         << " of " << parties_ << " rank(s)";
+      abort_reason_ = os.str();
+      cv_.notify_all();
+      break;
+    }
+  }
+  if (aborted_) throw CommTimeoutError(abort_reason_);
+}
+
+void TimeoutBarrier::abort(const std::string& reason) {
+  {
+    UniqueLock lock(mutex_);
+    if (!aborted_) {
+      aborted_ = true;
+      abort_reason_ = "collective aborted: " + reason;
+    }
+  }
+  cv_.notify_all();
+}
+
+bool TimeoutBarrier::aborted() const {
+  UniqueLock lock(mutex_);
+  return aborted_;
+}
 
 int Communicator::size() const { return runtime_->num_ranks_; }
 
@@ -18,6 +93,7 @@ void Communicator::barrier() {
 }
 
 void Communicator::all_reduce_sum(std::span<float> data) {
+  fault::inject("dist.all_reduce", rank_);
   WallTimer timer;
   DistRuntime& rt = *runtime_;
   const int p = rt.num_ranks_;
@@ -106,14 +182,20 @@ std::vector<float> Communicator::all_gather(std::span<const float> local) {
   return out;
 }
 
-DistRuntime::DistRuntime(int num_ranks, AllReduceCostModel cost_model)
+DistRuntime::DistRuntime(int num_ranks, AllReduceCostModel cost_model,
+                         double comm_timeout_seconds)
     : num_ranks_(num_ranks), cost_model_(cost_model) {
   TRKX_CHECK(num_ranks >= 1);
+  comm_timeout_seconds_ = comm_timeout_seconds < 0.0
+                              ? env_comm_timeout_seconds()
+                              : comm_timeout_seconds;
   if (num_ranks > 1)
-    barrier_ = std::make_unique<std::barrier<>>(num_ranks);
+    barrier_ =
+        std::make_unique<TimeoutBarrier>(num_ranks, comm_timeout_seconds_);
   contrib_.assign(static_cast<std::size_t>(num_ranks), nullptr);
   gather_ptrs_.assign(static_cast<std::size_t>(num_ranks), nullptr);
   gather_sizes_.assign(static_cast<std::size_t>(num_ranks), 0);
+  rank_errors_.assign(static_cast<std::size_t>(num_ranks), nullptr);
   for (int r = 0; r < num_ranks; ++r)
     comms_.push_back(Communicator(this, r));
 }
@@ -121,26 +203,65 @@ DistRuntime::DistRuntime(int num_ranks, AllReduceCostModel cost_model)
 DistRuntime::~DistRuntime() = default;
 
 void DistRuntime::run(const std::function<void(Communicator&)>& fn) {
+  rank_errors_.assign(static_cast<std::size_t>(num_ranks_), nullptr);
   if (num_ranks_ == 1) {
-    fn(comms_[0]);
+    try {
+      fn(comms_[0]);
+    } catch (...) {
+      rank_errors_[0] = std::current_exception();
+      throw;
+    }
     return;
   }
+  // A previous failed run leaves the barrier poisoned; start fresh so a
+  // runtime can host another attempt (e.g. resume after a rank-kill).
+  if (barrier_->aborted())
+    barrier_ =
+        std::make_unique<TimeoutBarrier>(num_ranks_, comm_timeout_seconds_);
   std::vector<std::thread> threads;
-  std::exception_ptr first_error;
-  Mutex error_mutex;
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
     threads.emplace_back([&, r] {
       try {
         fn(comms_[static_cast<std::size_t>(r)]);
+      } catch (const std::exception& e) {
+        rank_errors_[static_cast<std::size_t>(r)] = std::current_exception();
+        // Fail fast: without this, survivors sit in the barrier until the
+        // timeout (or forever when none is configured).
+        std::ostringstream os;
+        os << "rank " << r << " failed: " << e.what();
+        TRKX_WARN << "dist: " << os.str();
+        barrier_->abort(os.str());
       } catch (...) {
-        LockGuard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        rank_errors_[static_cast<std::size_t>(r)] = std::current_exception();
+        std::ostringstream os;
+        os << "rank " << r << " failed with a non-standard exception";
+        barrier_->abort(os.str());
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // Prefer the root cause: the rank that actually died (RankKilledError,
+  // Error, ...) over the survivors' secondary CommTimeoutErrors.
+  std::exception_ptr first;
+  for (const std::exception_ptr& err : rank_errors_) {
+    if (!err) continue;
+    if (!first) first = err;
+    try {
+      std::rethrow_exception(err);
+    } catch (const CommTimeoutError&) {
+      // secondary failure; keep scanning for a root cause
+    } catch (...) {
+      first = err;
+      break;
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+std::exception_ptr DistRuntime::rank_error(int rank) const {
+  TRKX_CHECK(rank >= 0 && rank < num_ranks_);
+  return rank_errors_[static_cast<std::size_t>(rank)];
 }
 
 CommStats DistRuntime::aggregate_stats() const {

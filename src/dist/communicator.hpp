@@ -1,11 +1,15 @@
 #pragma once
 
-#include <barrier>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace trkx {
 
@@ -40,12 +44,49 @@ struct CommStats {
   double measured_seconds = 0.0; ///< wall time actually spent in all-reduce
 };
 
+/// Reusable cyclic barrier with a timeout and a poison ("abort") path —
+/// what makes a dead rank survivable. std::barrier blocks forever when a
+/// participant never arrives; here every waiter bounds its wait, and the
+/// first rank to notice trouble (timeout or an exception anywhere)
+/// poisons the barrier so *every* current and future wait throws
+/// CommTimeoutError instead of deadlocking.
+class TimeoutBarrier {
+ public:
+  /// `timeout_seconds` <= 0 waits forever (the pre-fault-tolerance
+  /// behaviour, still the default for fully trusted in-process runs).
+  TimeoutBarrier(int parties, double timeout_seconds);
+
+  /// Block until all parties arrive. Throws CommTimeoutError when the
+  /// timeout expires or the barrier is (or becomes) aborted.
+  void arrive_and_wait();
+
+  /// Poison the barrier: wake all waiters, make every present and future
+  /// arrive_and_wait throw CommTimeoutError citing `reason`.
+  void abort(const std::string& reason);
+
+  bool aborted() const;
+
+ private:
+  const int parties_;
+  const double timeout_seconds_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  int arrived_ TRKX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ TRKX_GUARDED_BY(mutex_) = 0;
+  bool aborted_ TRKX_GUARDED_BY(mutex_) = false;
+  std::string abort_reason_ TRKX_GUARDED_BY(mutex_);
+};
+
 class DistRuntime;
 
 /// Per-rank handle for collective communication. Semantics follow MPI /
 /// NCCL: every rank must call each collective the same number of times
 /// with the same buffer size, and results are bitwise identical across
 /// ranks (reduction order is fixed by rank).
+///
+/// Fault behaviour: when any rank dies or hangs, every other rank's
+/// in-flight (and subsequent) collective throws CommTimeoutError rather
+/// than deadlocking — callers unwind, checkpoint, and exit resumable.
 class Communicator {
  public:
   int rank() const { return rank_; }
@@ -88,15 +129,31 @@ class Communicator {
 /// this substitution preserves the phenomena being measured.
 class DistRuntime {
  public:
+  /// `comm_timeout_seconds` bounds every collective wait: < 0 reads the
+  /// TRKX_COMM_TIMEOUT_MS environment variable (unset/empty = no
+  /// timeout); 0 = no timeout; > 0 is the bound in seconds.
   explicit DistRuntime(int num_ranks,
-                       AllReduceCostModel cost_model = AllReduceCostModel{});
+                       AllReduceCostModel cost_model = AllReduceCostModel{},
+                       double comm_timeout_seconds = -1.0);
   ~DistRuntime();
 
   int size() const { return num_ranks_; }
 
   /// Run fn(comm) on every rank concurrently; returns when all finish.
-  /// Exceptions from rank functions are rethrown (first one wins).
+  /// A rank whose fn throws poisons the shared barrier, so surviving
+  /// ranks fail fast with CommTimeoutError instead of waiting out the
+  /// timeout. The most informative exception is rethrown: the first (by
+  /// rank) non-CommTimeoutError root cause if any rank recorded one,
+  /// otherwise the first error seen.
   void run(const std::function<void(Communicator&)>& fn);
+
+  /// Per-rank exception from the last run() (nullptr = rank succeeded).
+  /// Lets a supervisor distinguish the rank that died (RankKilledError)
+  /// from the survivors that timed out (CommTimeoutError).
+  std::exception_ptr rank_error(int rank) const;
+
+  /// The effective collective timeout in seconds (0 = none).
+  double comm_timeout_seconds() const { return comm_timeout_seconds_; }
 
   /// Stats aggregated over ranks from the last run() (max over ranks for
   /// times, rank-0 values for call counts).
@@ -106,11 +163,12 @@ class DistRuntime {
   friend class Communicator;
   int num_ranks_;
   AllReduceCostModel cost_model_;
-  std::unique_ptr<std::barrier<>> barrier_;
+  double comm_timeout_seconds_ = 0.0;
+  std::unique_ptr<TimeoutBarrier> barrier_;
   // The exchange buffers below are synchronised by barrier_ phases, not a
   // mutex (each collective is publish → barrier → read → barrier, with
   // writers touching disjoint rank slots / chunks between barriers), so
-  // they carry no TRKX_GUARDED_BY capability — the std::barrier
+  // they carry no TRKX_GUARDED_BY capability — the barrier's
   // arrive_and_wait provides the happens-before edges TSan checks.
   std::vector<float*> contrib_;
   std::vector<const float*> gather_ptrs_;
@@ -118,6 +176,8 @@ class DistRuntime {
   std::vector<float> reduce_buf_;
   std::size_t current_count_ = 0;
   std::vector<Communicator> comms_;
+  // Written by thread r into slot r, read after join — no lock needed.
+  std::vector<std::exception_ptr> rank_errors_;
 };
 
 }  // namespace trkx

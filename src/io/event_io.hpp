@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -10,12 +12,50 @@ namespace trkx {
 
 /// Binary (de)serialization for events and datasets so generated data can
 /// be cached between runs (the paper's datasets live on disk too).
-/// Format: little-endian, versioned header; see event_io.cpp.
+///
+/// Two file-container formats exist:
+///   v1 (legacy): u64 count, then back-to-back event blobs. No per-event
+///       framing, so one corrupt byte poisons everything after it.
+///   v2 (current): file magic + version + u64 count, then per-event
+///       records framed as {u64 length, u32 crc32, blob}. The CRC detects
+///       corruption before a partial Event escapes, and the length lets
+///       the tolerant loader skip a bad record and keep going.
+/// load_events reads both; save_events writes v2. Failures throw IoError
+/// whose message carries the path and byte offset of the bad read.
 void save_event(std::ostream& os, const Event& event);
 Event load_event(std::istream& is);
 
 void save_events(const std::string& path, const std::vector<Event>& events);
 std::vector<Event> load_events(const std::string& path);
+
+/// Bounded exponential backoff for retrying a corrupt/unreadable event
+/// record before quarantining it.
+struct IoRetryPolicy {
+  std::size_t max_attempts = 3;     ///< total tries per record (>= 1)
+  double initial_backoff_ms = 1.0;  ///< sleep before the 2nd attempt
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 50.0;
+};
+
+/// What a tolerant load produced: the events that survived, plus the
+/// quarantine bookkeeping (also mirrored into the obs counters
+/// `io.retries` and `events.quarantined`).
+struct TolerantLoadResult {
+  std::vector<Event> events;
+  std::size_t quarantined = 0;  ///< records dropped after all retries
+  std::size_t retries = 0;      ///< re-read attempts that were needed
+  std::vector<std::string> quarantine_log;  ///< one message per dropped record
+};
+
+/// Degraded-mode dataset load: each event record is retried with bounded
+/// exponential backoff and quarantined on persistent failure while the
+/// rest of the file keeps loading (v2 records are independently framed;
+/// in a legacy v1 file the records after a corrupt one are unreachable
+/// and quarantined wholesale). The fault site `io.read_event` fires once
+/// per read attempt. Missing/unopenable files still throw IoError — there
+/// is nothing to degrade to.
+TolerantLoadResult load_events_tolerant(const std::string& path,
+                                        const IoRetryPolicy& policy = {});
 
 /// Export one event as two analysis-friendly CSVs:
 ///   <prefix>_hits.csv  — hit_id, x, y, z, r, phi, eta, layer, particle

@@ -1,6 +1,7 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 
@@ -58,7 +59,18 @@ Adam::Adam(ParameterStore& store, const AdamOptions& options)
   }
 }
 
+namespace {
+// Versioned Adam-state framing so a checkpoint written by a newer,
+// incompatible layout is rejected instead of silently misread.
+constexpr std::uint32_t kAdamStateMagic = 0x4d414441;  // "ADAM"
+constexpr std::uint32_t kAdamStateVersion = 1;
+}  // namespace
+
 void Adam::save_state(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&kAdamStateMagic),
+           sizeof(kAdamStateMagic));
+  os.write(reinterpret_cast<const char*>(&kAdamStateVersion),
+           sizeof(kAdamStateVersion));
   const std::uint64_t t = t_;
   os.write(reinterpret_cast<const char*>(&t), sizeof(t));
   const std::uint64_t count = m_.size();
@@ -73,6 +85,17 @@ void Adam::save_state(std::ostream& os) const {
 }
 
 void Adam::load_state(std::istream& is) {
+  std::uint32_t magic = 0, version = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!is.good() || magic != kAdamStateMagic)
+    throw CheckpointError("Adam::load_state: bad magic (not an Adam state)");
+  if (version != kAdamStateVersion) {
+    std::ostringstream os;
+    os << "Adam::load_state: unsupported state version " << version
+       << " (expected " << kAdamStateVersion << ")";
+    throw CheckpointError(os.str());
+  }
   std::uint64_t t = 0, count = 0;
   is.read(reinterpret_cast<char*>(&t), sizeof(t));
   is.read(reinterpret_cast<char*>(&count), sizeof(count));

@@ -77,6 +77,14 @@ class EarlyStopping {
   double best() const { return best_; }
   std::size_t epochs_since_best() const { return bad_epochs_; }
 
+  /// Reinstate a previously observed (best, bad_epochs) pair — the
+  /// checkpoint/resume path, so a resumed run stops at the same epoch the
+  /// uninterrupted run would have.
+  void restore(double best, std::size_t bad_epochs) {
+    best_ = best;
+    bad_epochs_ = bad_epochs;
+  }
+
  private:
   std::size_t patience_;
   double min_delta_;

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/thread_id.hpp"
 
 namespace trkx {
@@ -269,6 +270,22 @@ MetricsRegistry& MetricsRegistry::global() {
   // Leaked on purpose: threads may record during static teardown.
   static MetricsRegistry* g =
       new MetricsRegistry();  // NOLINT(trkx-naked-new): leaked singleton
+  // Bridge util's fault registry into obs counters. Installed here (not a
+  // dedicated TU) because util cannot link obs — the layering runs obs →
+  // util — and this TU is referenced by every metrics() user, so the hook
+  // is alive before any fault can fire through instrumented code.
+  static const bool fault_observer_installed = [] {
+    fault::Registry::global().set_observer([](const char* site,
+                                              fault::Kind kind) {
+      MetricsRegistry& m = MetricsRegistry::global();
+      m.counter("fault.injected").add(1);
+      m.counter(std::string("fault.injected.") + site).add(1);
+      m.counter(std::string("fault.injected.kind.") +
+                fault::kind_name(kind)).add(1);
+    });
+    return true;
+  }();
+  (void)fault_observer_installed;
   return *g;
 }
 

@@ -1,0 +1,362 @@
+#include "pipeline/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "pipeline/gnn_train.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace trkx {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x50434b54;  // "TKCP"
+constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 34;  // 16 GiB sanity cap
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is.good()) throw CheckpointError("checkpoint payload truncated");
+  return v;
+}
+
+void put_floats(std::ostream& os, const std::vector<float>& v) {
+  put<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> get_floats(std::istream& is) {
+  const auto n = get<std::uint64_t>(is);
+  if (n > kMaxPayloadBytes / sizeof(float))
+    throw CheckpointError("checkpoint payload corrupt (implausible size)");
+  std::vector<float> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is.good()) throw CheckpointError("checkpoint payload truncated");
+  return v;
+}
+
+/// splitmix64 finalizer — the mixing step behind Rng, reused to fold
+/// config fields into the fingerprint.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix(h, bits);
+}
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  std::ostringstream os;
+  os << what << " " << path << ": " << std::strerror(errno);
+  throw IoError(os.str());
+}
+
+/// RAII fd so error paths cannot leak descriptors.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+std::string serialize_checkpoint(const TrainCheckpointState& state,
+                                 const ParameterStore& store,
+                                 const Adam& opt) {
+  std::ostringstream payload(std::ios::binary);
+  put<std::uint64_t>(payload, state.fingerprint);
+  put<std::uint64_t>(payload, state.next_epoch);
+  put<std::uint64_t>(payload, state.global_step);
+  put<std::uint64_t>(payload, state.rng_state);
+  put<std::uint8_t>(payload, state.rng_have_spare ? 1 : 0);
+  put<double>(payload, state.rng_spare);
+  put<double>(payload, state.early_best);
+  put<std::uint64_t>(payload, state.early_bad_epochs);
+  put<double>(payload, state.best_f1);
+  put<std::uint64_t>(payload, state.best_epoch);
+  put_floats(payload, state.best_weights);
+  put<std::uint64_t>(payload, state.epochs.size());
+  for (const TrainCheckpointState::EpochSummary& e : state.epochs) {
+    put<double>(payload, e.train_loss);
+    put<std::uint64_t>(payload, e.tp);
+    put<std::uint64_t>(payload, e.fp);
+    put<std::uint64_t>(payload, e.tn);
+    put<std::uint64_t>(payload, e.fn);
+    put<double>(payload, e.wall_seconds);
+  }
+  store.save(payload);
+  opt.save_state(payload);
+  const std::string bytes = payload.str();
+
+  std::ostringstream envelope(std::ios::binary);
+  put<std::uint32_t>(envelope, kCheckpointMagic);
+  put<std::uint32_t>(envelope, kCheckpointVersion);
+  put<std::uint64_t>(envelope, bytes.size());
+  put<std::uint32_t>(envelope, crc32(bytes.data(), bytes.size()));
+  envelope.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return envelope.str();
+}
+
+namespace {
+
+/// Validate the envelope and return the payload. Shared by the real
+/// deserializer and latest_checkpoint's candidate filter.
+std::string checked_payload(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  std::uint32_t magic = 0, version = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!is.good() || magic != kCheckpointMagic)
+    throw CheckpointError("not a trkx checkpoint (bad magic)");
+  if (version != kCheckpointVersion) {
+    std::ostringstream os;
+    os << "unsupported checkpoint version " << version << " (expected "
+       << kCheckpointVersion << ")";
+    throw CheckpointError(os.str());
+  }
+  std::uint64_t size = 0;
+  std::uint32_t crc_expect = 0;
+  is.read(reinterpret_cast<char*>(&size), sizeof(size));
+  is.read(reinterpret_cast<char*>(&crc_expect), sizeof(crc_expect));
+  if (!is.good() || size > kMaxPayloadBytes)
+    throw CheckpointError("checkpoint header corrupt");
+  std::string payload(size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(size));
+  if (!is.good() || is.gcount() != static_cast<std::streamsize>(size))
+    throw CheckpointError("checkpoint payload truncated");
+  const std::uint32_t crc_got = crc32(payload.data(), payload.size());
+  if (crc_got != crc_expect) {
+    std::ostringstream os;
+    os << "checkpoint CRC mismatch (stored " << crc_expect << ", computed "
+       << crc_got << ")";
+    throw CheckpointError(os.str());
+  }
+  return payload;
+}
+
+}  // namespace
+
+TrainCheckpointState deserialize_checkpoint(const std::string& bytes,
+                                            ParameterStore& store,
+                                            Adam& opt) {
+  const std::string payload = checked_payload(bytes);
+  std::istringstream is(payload, std::ios::binary);
+  TrainCheckpointState state;
+  state.fingerprint = get<std::uint64_t>(is);
+  state.next_epoch = get<std::uint64_t>(is);
+  state.global_step = get<std::uint64_t>(is);
+  state.rng_state = get<std::uint64_t>(is);
+  state.rng_have_spare = get<std::uint8_t>(is) != 0;
+  state.rng_spare = get<double>(is);
+  state.early_best = get<double>(is);
+  state.early_bad_epochs = get<std::uint64_t>(is);
+  state.best_f1 = get<double>(is);
+  state.best_epoch = get<std::uint64_t>(is);
+  state.best_weights = get_floats(is);
+  const auto num_epochs = get<std::uint64_t>(is);
+  if (num_epochs > kMaxPayloadBytes / sizeof(TrainCheckpointState::EpochSummary))
+    throw CheckpointError("checkpoint payload corrupt (epoch count)");
+  state.epochs.resize(num_epochs);
+  for (TrainCheckpointState::EpochSummary& e : state.epochs) {
+    e.train_loss = get<double>(is);
+    e.tp = get<std::uint64_t>(is);
+    e.fp = get<std::uint64_t>(is);
+    e.tn = get<std::uint64_t>(is);
+    e.fn = get<std::uint64_t>(is);
+    e.wall_seconds = get<double>(is);
+  }
+  try {
+    store.load(is);
+    opt.load_state(is);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const Error& e) {
+    // ParameterStore::load failures (name/shape mismatches) surface as
+    // plain Error; reclassify — in this context they mean the checkpoint
+    // belongs to a different model.
+    throw CheckpointError(std::string("checkpoint model state rejected: ") +
+                          e.what());
+  }
+  return state;
+}
+
+TrainCheckpointState read_checkpoint(const std::string& path,
+                                     ParameterStore& store, Adam& opt) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw CheckpointError("cannot open checkpoint " + path);
+  std::ostringstream buf(std::ios::binary);
+  buf << is.rdbuf();
+  if (is.bad()) throw CheckpointError("read failure on checkpoint " + path);
+  try {
+    return deserialize_checkpoint(buf.str(), store, opt);
+  } catch (const CheckpointError& e) {
+    throw CheckpointError(path + ": " + e.what());
+  }
+}
+
+void atomic_write_file(const std::string& path, const std::string& bytes) {
+  namespace fs = std::filesystem;
+  const fs::path dest(path);
+  const fs::path dir = dest.parent_path().empty() ? fs::path(".")
+                                                  : dest.parent_path();
+  // Unique temp name per (process, call): concurrent writers — e.g. every
+  // surviving rank flushing an emergency checkpoint — never collide, and
+  // whichever rename lands last wins atomically.
+  static std::atomic<std::uint64_t> sequence{0};
+  std::ostringstream tmp_name;
+  tmp_name << dest.filename().string() << ".tmp." << ::getpid() << "."
+           << sequence.fetch_add(1, std::memory_order_relaxed);
+  // NOLINT(trkx-div-guard): std::filesystem path join, not a division.
+  const fs::path tmp = dir / tmp_name.str();
+
+  {
+    Fd fd;
+    fd.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd.fd < 0) throw_errno("cannot create", tmp.string());
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const ::ssize_t n =
+          ::write(fd.fd, bytes.data() + written, bytes.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int saved = errno;
+        ::unlink(tmp.c_str());
+        errno = saved;
+        throw_errno("write failed on", tmp.string());
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd.fd) != 0) {
+      const int saved = errno;
+      ::unlink(tmp.c_str());
+      errno = saved;
+      throw_errno("fsync failed on", tmp.string());
+    }
+  }
+  if (::rename(tmp.c_str(), dest.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    throw_errno("rename failed for", dest.string());
+  }
+  // Persist the directory entry too: without this the rename itself can
+  // be lost on power failure.
+  Fd dirfd;
+  dirfd.fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd.fd >= 0) (void)::fsync(dirfd.fd);
+}
+
+void write_checkpoint_bytes(const std::string& path,
+                            const std::string& bytes) {
+  fault::inject("checkpoint.write");
+  WallTimer timer;
+  atomic_write_file(path, bytes);
+  metrics().histogram("checkpoint.write_ns").observe(timer.seconds() * 1e9);
+  metrics().counter("checkpoint.writes").add(1);
+}
+
+void write_checkpoint(const std::string& path,
+                      const TrainCheckpointState& state,
+                      const ParameterStore& store, const Adam& opt) {
+  write_checkpoint_bytes(path, serialize_checkpoint(state, store, opt));
+}
+
+std::string checkpoint_path(const std::string& dir,
+                            std::uint64_t next_epoch) {
+  std::ostringstream os;
+  os << dir << "/ckpt-";
+  os.width(6);
+  os.fill('0');
+  os << next_epoch;
+  os << ".ckpt";
+  return os.str();
+}
+
+std::string latest_checkpoint(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return "";
+  std::string best_path;
+  std::uint64_t best_epoch = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 10 || name.rfind("ckpt-", 0) != 0 ||
+        name.substr(name.size() - 5) != ".ckpt")
+      continue;
+    // Validate the envelope before trusting the filename: a torn write
+    // must fall back to the previous good checkpoint, not block resume.
+    std::uint64_t epoch = 0;
+    try {
+      std::ifstream is(entry.path(), std::ios::binary);
+      if (!is.good()) continue;
+      std::ostringstream buf(std::ios::binary);
+      buf << is.rdbuf();
+      const std::string payload = checked_payload(buf.str());
+      std::istringstream ps(payload, std::ios::binary);
+      (void)get<std::uint64_t>(ps);     // fingerprint
+      epoch = get<std::uint64_t>(ps);   // next_epoch
+    } catch (const Error& e) {
+      TRKX_WARN << "checkpoint: skipping invalid " << entry.path().string()
+                << ": " << e.what();
+      continue;
+    }
+    if (best_path.empty() || epoch > best_epoch) {
+      best_epoch = epoch;
+      best_path = entry.path().string();
+    }
+  }
+  return best_path;
+}
+
+std::uint64_t checkpoint_fingerprint(const GnnTrainConfig& config,
+                                     SamplerKind sampler, int world_size) {
+  std::uint64_t h = 0x74726b78636b7074ull;  // "trkxckpt"
+  h = mix(h, config.seed);
+  h = mix(h, config.batch_size);
+  h = mix(h, config.bulk_k);
+  h = mix(h, config.shadow.depth);
+  h = mix(h, config.shadow.fanout);
+  h = mix(h, config.shadow.generic_spgemm ? 1 : 0);
+  h = mix(h, static_cast<std::uint64_t>(sampler));
+  h = mix(h, static_cast<std::uint64_t>(world_size));
+  h = mix_double(h, static_cast<double>(config.lr));
+  h = mix_double(h, static_cast<double>(config.pos_weight));
+  h = mix_double(h, static_cast<double>(config.grad_clip));
+  h = mix(h, config.early_stop_patience);
+  h = mix(h, config.keep_best_weights ? 1 : 0);
+  h = mix(h, config.evaluate_every_epoch ? 1 : 0);
+  h = mix(h, static_cast<std::uint64_t>(config.sync));
+  return h;
+}
+
+}  // namespace trkx

@@ -1,13 +1,17 @@
 #include "pipeline/gnn_train.hpp"
 
 #include <algorithm>
+#include <array>
+#include <filesystem>
 #include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/checkpoint.hpp"
 #include "tensor/pool.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/prefetch.hpp"
 #include "util/thread_pool.hpp"
@@ -286,6 +290,50 @@ struct PreparedUnit {
 /// streams, so they never collide with other uses of config.seed.
 constexpr std::uint64_t kSampleStreamTag = 0x53414d504c453344ull;
 
+/// Root's validation counts + epoch wall time, broadcast so every rank
+/// tracks model-selection / early-stop / checkpoint state identically
+/// (identical integer counts → identical F1 → identical decisions, no
+/// flag collectives needed). Counts travel as three 16-bit limbs per
+/// value — each limb is a small integer, exactly representable in the
+/// float payload of Communicator::broadcast — so they survive the trip
+/// bit-exactly for anything below 2^48 edges.
+constexpr std::size_t kValPacketFloats = 13;
+
+void pack_count(std::uint64_t v, float* out) {
+  out[0] = static_cast<float>(v & 0xffffu);
+  out[1] = static_cast<float>((v >> 16) & 0xffffu);
+  out[2] = static_cast<float>((v >> 32) & 0xffffu);
+}
+
+std::uint64_t unpack_count(const float* in) {
+  return static_cast<std::uint64_t>(in[0]) |
+         (static_cast<std::uint64_t>(in[1]) << 16) |
+         (static_cast<std::uint64_t>(in[2]) << 32);
+}
+
+std::array<float, kValPacketFloats> pack_val(const BinaryMetrics& val,
+                                             double wall_seconds) {
+  std::array<float, kValPacketFloats> packet{};
+  pack_count(val.true_positives, packet.data());
+  pack_count(val.false_positives, packet.data() + 3);
+  pack_count(val.true_negatives, packet.data() + 6);
+  pack_count(val.false_negatives, packet.data() + 9);
+  packet[12] = static_cast<float>(wall_seconds);
+  return packet;
+}
+
+void unpack_val(const std::array<float, kValPacketFloats>& packet,
+                BinaryMetrics& val, double& wall_seconds) {
+  val.true_positives = static_cast<std::size_t>(unpack_count(packet.data()));
+  val.false_positives =
+      static_cast<std::size_t>(unpack_count(packet.data() + 3));
+  val.true_negatives =
+      static_cast<std::size_t>(unpack_count(packet.data() + 6));
+  val.false_negatives =
+      static_cast<std::size_t>(unpack_count(packet.data() + 9));
+  wall_seconds = static_cast<double>(packet[12]);
+}
+
 void run_shadow_training(ShadowTrainContext ctx) {
   const GnnTrainConfig& config = *ctx.config;
   const int rank = ctx.comm ? ctx.comm->rank() : 0;
@@ -317,6 +365,58 @@ void run_shadow_training(ShadowTrainContext ctx) {
   double best_f1 = -1.0;
   std::size_t best_epoch = 0;
 
+  // Checkpoint bookkeeping. Every rank serializes the epoch-boundary state
+  // blob (replicas are bitwise identical, so the blobs are too); rank 0
+  // writes the periodic files and every survivor of a collective timeout
+  // writes the retained blob as an emergency checkpoint.
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  const std::uint64_t fingerprint =
+      checkpoint_fingerprint(config, ctx.sampler_kind, world);
+  std::size_t start_epoch = 0;
+  std::vector<TrainCheckpointState::EpochSummary> summaries;
+  std::string boundary_blob;
+  std::uint64_t boundary_next_epoch = 0;
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.checkpoint_dir, ec);
+    if (config.resume) {
+      const std::string ckpt = latest_checkpoint(config.checkpoint_dir);
+      if (!ckpt.empty()) {
+        const TrainCheckpointState st =
+            read_checkpoint(ckpt, ctx.model->store, *ctx.opt);
+        if (st.fingerprint != fingerprint)
+          throw CheckpointError(
+              ckpt + ": written by a different run configuration "
+                     "(fingerprint mismatch); resume cannot be bit-identical");
+        batch_rng.restore(st.rng_state, st.rng_have_spare, st.rng_spare);
+        global_step = st.global_step;
+        early.restore(st.early_best, st.early_bad_epochs);
+        best_f1 = st.best_f1;
+        best_epoch = static_cast<std::size_t>(st.best_epoch);
+        best_weights = st.best_weights;
+        start_epoch = static_cast<std::size_t>(st.next_epoch);
+        summaries = st.epochs;
+        if (is_root) {
+          for (const auto& s : summaries) {
+            EpochRecord r;
+            r.train_loss = s.train_loss;
+            r.val.true_positives = static_cast<std::size_t>(s.tp);
+            r.val.false_positives = static_cast<std::size_t>(s.fp);
+            r.val.true_negatives = static_cast<std::size_t>(s.tn);
+            r.val.false_negatives = static_cast<std::size_t>(s.fn);
+            r.wall_seconds = s.wall_seconds;
+            ctx.result->epochs.push_back(std::move(r));
+          }
+          if (!summaries.empty())
+            ctx.result->selected_epoch = summaries.size() - 1;
+          TRKX_INFO << "resumed from " << ckpt << " at epoch " << start_epoch
+                    << " (step " << global_step << ")";
+          metrics().counter("checkpoint.resumes").add(1);
+        }
+      }
+    }
+  }
+
   // Producer threads for the sampler↔trainer overlap, reused across
   // epochs. Depth 0 keeps everything on this thread (serial reference).
   std::unique_ptr<ThreadPool> producer;
@@ -324,8 +424,10 @@ void run_shadow_training(ShadowTrainContext ctx) {
     producer = std::make_unique<ThreadPool>(
         std::max<std::size_t>(1, config.prefetch_threads));
 
-  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  try {
+  for (std::size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     TRKX_TRACE_SPAN("epoch", "train");
+    fault::inject("train.epoch", rank);
     EpochRecord record;
     WallTimer epoch_timer;
     double loss_sum = 0.0;
@@ -480,31 +582,45 @@ void run_shadow_training(ShadowTrainContext ctx) {
     }
     if (is_root && config.evaluate_every_epoch)
       record.val = evaluate_edges(*ctx.model, *ctx.val, config.eval_threshold);
-    if (ctx.comm) ctx.comm->barrier();  // ranks wait for root evaluation
     record.wall_seconds = epoch_timer.seconds();
-    // Model-selection and early-stopping decisions are made on rank 0 and
-    // shared collectively so every rank acts at the same epoch.
-    double is_best_flag = 0.0;
-    if (is_root && config.keep_best_weights && config.evaluate_every_epoch &&
-        record.val.f1() > best_f1) {
-      is_best_flag = 1.0;
+    if (ctx.comm) {
+      if (config.evaluate_every_epoch) {
+        // Root's validation counts + wall time, broadcast so every rank
+        // holds identical numbers and makes the model-selection /
+        // early-stop / checkpoint decisions locally — replacing the old
+        // is_best/stop flag collectives. Doubles as the "wait for root
+        // evaluation" barrier.
+        auto packet = pack_val(record.val, record.wall_seconds);
+        ctx.comm->broadcast(std::span<float>(packet.data(), packet.size()), 0);
+        unpack_val(packet, record.val, record.wall_seconds);
+      } else {
+        ctx.comm->barrier();  // ranks wait for root
+      }
     }
-    if (ctx.comm && config.keep_best_weights)
-      is_best_flag = ctx.comm->all_reduce_scalar(is_best_flag);
-    if (is_best_flag > 0.0) {
+    // After the broadcast every rank holds root's validation counts, so
+    // each decides identically without further collectives.
+    const bool have_val = config.evaluate_every_epoch;
+    if (config.keep_best_weights && have_val && record.val.f1() > best_f1) {
       // Replicas are identical, so every rank snapshots its own weights.
-      if (is_root) best_f1 = record.val.f1();
+      best_f1 = record.val.f1();
       best_weights = ctx.model->store.flatten_values();
       best_epoch = epoch;
     }
-    double stop_flag = 0.0;
-    if (is_root && config.early_stop_patience > 0 &&
-        config.evaluate_every_epoch) {
+    bool stop = false;
+    if (config.early_stop_patience > 0 && have_val) {
       early.update(record.val.f1());
-      if (early.should_stop()) stop_flag = 1.0;
+      stop = early.should_stop();
     }
-    if (ctx.comm && config.early_stop_patience > 0)
-      stop_flag = ctx.comm->all_reduce_scalar(stop_flag);
+    if (checkpointing) {
+      TrainCheckpointState::EpochSummary summary;
+      summary.train_loss = record.train_loss;
+      summary.tp = record.val.true_positives;
+      summary.fp = record.val.false_positives;
+      summary.tn = record.val.true_negatives;
+      summary.fn = record.val.false_negatives;
+      summary.wall_seconds = record.wall_seconds;
+      summaries.push_back(summary);
+    }
     if (is_root) {
       TRKX_DEBUG << "shadow epoch " << epoch << " loss " << record.train_loss
                  << " valP " << record.val.precision() << " valR "
@@ -517,7 +633,65 @@ void run_shadow_training(ShadowTrainContext ctx) {
       ctx.result->epochs.push_back(std::move(record));
       ctx.result->selected_epoch = epoch;
     }
-    if (stop_flag > 0.0) break;
+    if (checkpointing) {
+      // batch_rng is only consumed while building the epoch plan, so its
+      // state here is exactly the epoch+1 boundary state.
+      TrainCheckpointState st;
+      st.fingerprint = fingerprint;
+      st.next_epoch = epoch + 1;
+      st.global_step = global_step;
+      st.rng_state = batch_rng.state();
+      st.rng_have_spare = batch_rng.have_spare();
+      st.rng_spare = batch_rng.spare_value();
+      st.early_best = early.best();
+      st.early_bad_epochs = early.epochs_since_best();
+      st.best_f1 = best_f1;
+      st.best_epoch = best_epoch;
+      st.best_weights = best_weights;
+      st.epochs = summaries;
+      boundary_blob = serialize_checkpoint(st, ctx.model->store, *ctx.opt);
+      boundary_next_epoch = epoch + 1;
+      if (is_root && (epoch + 1) % std::max<std::size_t>(
+                                       config.checkpoint_every, 1) ==
+                         0) {
+        try {
+          write_checkpoint_bytes(
+              checkpoint_path(config.checkpoint_dir, boundary_next_epoch),
+              boundary_blob);
+        } catch (const Error& e) {
+          // A failed periodic write degrades durability, not correctness:
+          // log, count, keep training.
+          metrics().counter("checkpoint.write_failures").add(1);
+          TRKX_WARN << "checkpoint write failed (training continues): "
+                    << e.what();
+        }
+      }
+    }
+    if (stop) break;
+  }
+  } catch (const CommTimeoutError& e) {
+    // A peer died or a collective timed out. Every survivor lands here;
+    // each writes the last epoch-boundary blob it retained (the blobs are
+    // identical across ranks, and the write is atomic-rename, so
+    // concurrent survivors are safe) and unwinds so the process can exit
+    // resumable.
+    if (checkpointing && !boundary_blob.empty()) {
+      try {
+        write_checkpoint_bytes(
+            checkpoint_path(config.checkpoint_dir, boundary_next_epoch),
+            boundary_blob);
+        metrics().counter("checkpoint.emergency_writes").add(1);
+        TRKX_WARN << "rank " << rank
+                  << ": collective timeout — wrote emergency checkpoint for "
+                     "epoch "
+                  << boundary_next_epoch << ": " << e.what();
+      } catch (const Error& werr) {
+        metrics().counter("checkpoint.write_failures").add(1);
+        TRKX_WARN << "rank " << rank
+                  << ": emergency checkpoint write failed: " << werr.what();
+      }
+    }
+    throw;
   }
   if (config.keep_best_weights && !best_weights.empty()) {
     ctx.model->store.unflatten_values(best_weights);

@@ -76,6 +76,21 @@ struct GnnTrainConfig {
   /// it when training ends (model selection). Requires
   /// evaluate_every_epoch; in DDP the rank-0 decision is shared.
   bool keep_best_weights = false;
+  /// Directory for training checkpoints (created if missing); "" disables
+  /// checkpointing. Writes go through the atomic-rename helper in
+  /// pipeline/checkpoint.hpp, so an interrupted write can never corrupt
+  /// an existing checkpoint.
+  std::string checkpoint_dir;
+  /// Write a checkpoint every N completed epochs (>= 1). Survivors of a
+  /// collective timeout additionally write an emergency checkpoint at the
+  /// last completed epoch boundary regardless of this cadence.
+  std::size_t checkpoint_every = 1;
+  /// Resume from the newest valid checkpoint in checkpoint_dir (no-op
+  /// when none exists). The checkpointed RNG cursor plus the per-(rank,
+  /// epoch, event, batch) sampling streams make the resumed trajectory
+  /// bit-identical to the uninterrupted run. A checkpoint written under a
+  /// different run configuration is rejected with CheckpointError.
+  bool resume = false;
 };
 
 /// One epoch of bookkeeping: loss, validation edge metrics (Figure 4), and

@@ -7,6 +7,7 @@
 #include "sparse/sample.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace trkx {
 
@@ -180,6 +181,7 @@ ShadowSample MatrixShadowSampler::sample(
 std::vector<ShadowSample> MatrixShadowSampler::sample_bulk(
     const std::vector<std::vector<std::uint32_t>>& batches, Rng& rng,
     BulkSampleStats* stats) const {
+  fault::inject("sampler.bulk_sample");
   TRKX_CHECK(!batches.empty());
   // Stack every batch's roots (Equation 1).
   std::vector<std::uint32_t> roots;

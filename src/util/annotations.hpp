@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -121,6 +122,19 @@ class CondVar {
   template <typename Predicate>
   void wait(UniqueLock& lock, Predicate pred) {
     cv_.wait(lock.native(), std::move(pred));
+  }
+  /// Timed wait against a steady_clock deadline; std::cv_status::timeout
+  /// when the deadline passed. The timeout-aware dist barrier uses this to
+  /// detect dead/hung ranks instead of blocking forever.
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.native(), deadline);
+  }
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          std::chrono::duration<Rep, Period> timeout) {
+    return cv_.wait_for(lock.native(), timeout);
   }
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }

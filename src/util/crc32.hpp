@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trkx {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range. Used to
+/// frame event records (io/event_io.cpp) and checkpoint payloads
+/// (pipeline/checkpoint.cpp) so corruption is detected before a partial
+/// structure is handed to the caller. `seed` lets callers chain blocks:
+/// pass a previous call's return value to continue the same checksum.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace trkx

@@ -1,0 +1,269 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/annotations.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace trkx::fault {
+
+namespace {
+
+/// FNV-1a over the site name: keys the per-site probability streams so
+/// two sites armed with the same seed draw independently.
+std::uint64_t site_hash(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s != '\0'; ++s) h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001b3ull;
+  return h;
+}
+
+std::uint64_t parse_u64(const std::string& clause, const std::string& value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  TRKX_CHECK_MSG(ec == std::errc() && ptr == value.data() + value.size(),
+                 "TRKX_FAULTS: bad integer '" << value << "' in '" << clause
+                                              << "'");
+  return out;
+}
+
+double parse_prob(const std::string& clause, const std::string& value) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  TRKX_CHECK_MSG(ec == std::errc() && ptr == value.data() + value.size() &&
+                     out >= 0.0 && out <= 1.0,
+                 "TRKX_FAULTS: bad probability '" << value << "' in '"
+                                                  << clause << "'");
+  return out;
+}
+
+int parse_rank(const std::string& clause, const std::string& value) {
+  const std::uint64_t r = parse_u64(clause, value);
+  TRKX_CHECK_MSG(r <= 1u << 20, "TRKX_FAULTS: implausible rank in '" << clause
+                                                                     << "'");
+  return static_cast<int>(r);
+}
+
+}  // namespace
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kError: return "error";
+    case Kind::kDelay: return "delay";
+    case Kind::kRankKill: return "rank-kill";
+  }
+  return "?";
+}
+
+Spec parse_spec(const std::string& text) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t colon = text.find(':', start);
+    if (colon == std::string::npos) {
+      fields.push_back(text.substr(start));
+      break;
+    }
+    fields.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+  TRKX_CHECK_MSG(fields.size() >= 2 && !fields[0].empty(),
+                 "TRKX_FAULTS: expected 'site:kind[:key=value...]', got '"
+                     << text << "'");
+  Spec spec;
+  spec.site = fields[0];
+  const std::string& kind = fields[1];
+  if (kind == "error") {
+    spec.kind = Kind::kError;
+  } else if (kind == "delay") {
+    spec.kind = Kind::kDelay;
+  } else if (kind == "rank-kill") {
+    spec.kind = Kind::kRankKill;
+  } else {
+    TRKX_CHECK_MSG(false, "TRKX_FAULTS: unknown kind '"
+                              << kind << "' in '" << text
+                              << "' (want error|delay|rank-kill)");
+  }
+  bool have_trigger = false;
+  for (std::size_t i = 2; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    const std::size_t eq = field.find('=');
+    TRKX_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "TRKX_FAULTS: expected key=value, got '" << field
+                                                            << "' in '"
+                                                            << text << "'");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "nth") {
+      spec.nth = parse_u64(text, value);
+      have_trigger = true;
+    } else if (key == "every") {
+      spec.every = parse_u64(text, value);
+      have_trigger = true;
+    } else if (key == "prob") {
+      spec.prob = parse_prob(text, value);
+      have_trigger = true;
+    } else if (key == "seed") {
+      spec.seed = parse_u64(text, value);
+    } else if (key == "ms") {
+      spec.delay_ms = parse_u64(text, value);
+    } else if (key == "rank") {
+      spec.rank = parse_rank(text, value);
+    } else {
+      TRKX_CHECK_MSG(false, "TRKX_FAULTS: unknown key '" << key << "' in '"
+                                                         << text << "'");
+    }
+  }
+  if (!have_trigger) spec.nth = 1;  // default: fire on the first call
+  return spec;
+}
+
+struct Registry::Impl {
+  struct Armed {
+    Spec spec;
+    std::uint64_t calls = 0;
+    std::uint64_t fired = 0;
+  };
+
+  std::atomic<std::size_t> armed{0};
+  std::atomic<Observer> observer{nullptr};
+  mutable Mutex mutex;
+  std::vector<Armed> specs TRKX_GUARDED_BY(mutex);
+};
+
+Registry::Impl& Registry::impl() {
+  static Impl instance;
+  return instance;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::arm(Spec spec) {
+  Impl& im = impl();
+  LockGuard lock(im.mutex);
+  im.specs.push_back(Impl::Armed{std::move(spec), 0, 0});
+  im.armed.store(im.specs.size(), std::memory_order_release);
+}
+
+void Registry::arm_from_string(const std::string& text) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t semi = text.find(';', start);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string clause = text.substr(start, semi - start);
+    if (!clause.empty()) arm(parse_spec(clause));
+    start = semi + 1;
+  }
+}
+
+void Registry::arm_from_env() {
+  const char* env = std::getenv("TRKX_FAULTS");
+  if (env != nullptr && *env != '\0') {
+    arm_from_string(env);
+    TRKX_INFO << "fault: armed " << armed_count() << " spec(s) from TRKX_FAULTS";
+  }
+}
+
+void Registry::clear() {
+  Impl& im = impl();
+  LockGuard lock(im.mutex);
+  im.specs.clear();
+  im.armed.store(0, std::memory_order_release);
+}
+
+std::size_t Registry::armed_count() const {
+  return impl().armed.load(std::memory_order_acquire);
+}
+
+std::uint64_t Registry::injected(const std::string& site) const {
+  Impl& im = impl();
+  LockGuard lock(im.mutex);
+  std::uint64_t total = 0;
+  for (const Impl::Armed& a : im.specs)
+    if (a.spec.site == site) total += a.fired;
+  return total;
+}
+
+std::uint64_t Registry::total_injected() const {
+  Impl& im = impl();
+  LockGuard lock(im.mutex);
+  std::uint64_t total = 0;
+  for (const Impl::Armed& a : im.specs) total += a.fired;
+  return total;
+}
+
+void Registry::set_observer(Observer observer) {
+  impl().observer.store(observer, std::memory_order_release);
+}
+
+void Registry::check(const char* site, int rank) {
+  Impl& im = impl();
+  if (im.armed.load(std::memory_order_acquire) == 0) return;
+
+  // Decide under the lock, act outside it: sleeps and throws must not
+  // hold the registry mutex (a delayed site would serialise every other
+  // site's check).
+  std::uint64_t sleep_ms = 0;
+  bool throw_error = false;
+  bool throw_kill = false;
+  std::uint64_t fired_call = 0;
+  {
+    LockGuard lock(im.mutex);
+    for (Impl::Armed& a : im.specs) {
+      if (a.spec.site != site) continue;
+      if (a.spec.rank >= 0 && a.spec.rank != rank) continue;
+      const std::uint64_t call = ++a.calls;
+      bool fire = false;
+      if (a.spec.nth > 0 && call == a.spec.nth) fire = true;
+      if (!fire && a.spec.every > 0 && call % a.spec.every == 0) fire = true;
+      if (!fire && a.spec.prob > 0.0) {
+        Rng draw = Rng::stream(a.spec.seed, site_hash(site), call);
+        fire = draw.uniform() < a.spec.prob;
+      }
+      if (!fire) continue;
+      ++a.fired;
+      fired_call = call;
+      switch (a.spec.kind) {
+        case Kind::kError: throw_error = true; break;
+        case Kind::kDelay: sleep_ms += a.spec.delay_ms; break;
+        case Kind::kRankKill: throw_kill = true; break;
+      }
+      const Observer obs = im.observer.load(std::memory_order_acquire);
+      if (obs != nullptr) obs(site, a.spec.kind);
+    }
+  }
+
+  if (sleep_ms > 0) {
+    TRKX_WARN << "fault injected: site=" << site << " kind=delay ms="
+              << sleep_ms << " rank=" << rank;
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  if (throw_kill) {
+    TRKX_WARN << "fault injected: site=" << site << " kind=rank-kill rank="
+              << rank << " call=" << fired_call;
+    std::ostringstream os;
+    os << "rank-kill fault at " << site << " (rank " << rank << ", call "
+       << fired_call << ")";
+    throw RankKilledError(os.str());
+  }
+  if (throw_error) {
+    TRKX_WARN << "fault injected: site=" << site << " kind=error rank="
+              << rank << " call=" << fired_call;
+    std::ostringstream os;
+    os << "injected fault at " << site << " (rank " << rank << ", call "
+       << fired_call << ")";
+    throw FaultInjectedError(os.str());
+  }
+}
+
+}  // namespace trkx::fault

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trkx::fault {
+
+/// What an armed fault site does when it fires.
+enum class Kind {
+  kError,     ///< throw FaultInjectedError at the site
+  kDelay,     ///< sleep for `delay_ms` (models a slow disk / NIC hiccup)
+  kRankKill,  ///< throw RankKilledError (simulates a dead rank)
+};
+
+const char* kind_name(Kind kind);
+
+/// One armed fault: a named site plus a deterministic trigger. Exactly one
+/// of the triggers is normally set; when several are set, any of them
+/// firing injects the fault.
+struct Spec {
+  std::string site;     ///< e.g. "io.read_event", "dist.all_reduce"
+  Kind kind = Kind::kError;
+  std::uint64_t nth = 0;    ///< fire on exactly the nth matching call (1-based)
+  std::uint64_t every = 0;  ///< fire on every k-th matching call
+  double prob = 0.0;        ///< seeded per-call probability in [0, 1]
+  std::uint64_t seed = 0;   ///< RNG seed for `prob` draws (reproducible)
+  std::uint64_t delay_ms = 10;  ///< sleep length for kDelay
+  int rank = -1;            ///< only fire on this rank; -1 = any rank
+};
+
+/// Parse one `site:kind[:key=value]...` clause. Kinds: error | delay |
+/// rank-kill. Keys: nth=N, every=K, prob=P, seed=S, ms=M, rank=R.
+/// Throws trkx::Error on malformed input (chaos runs must fail loudly on
+/// a typo, not silently run fault-free).
+Spec parse_spec(const std::string& text);
+
+/// Fired-fault callback (site, kind). Installed once by the obs layer to
+/// bump `fault.injected` counters; a plain function pointer so util does
+/// not depend on obs (the library layering goes the other way).
+using Observer = void (*)(const char* site, Kind kind);
+
+/// Process-wide registry of armed faults. Thread-safe; the un-armed fast
+/// path is a single relaxed atomic load so production code can leave
+/// `fault::inject(...)` calls compiled in.
+class Registry {
+ public:
+  static Registry& global();
+
+  void arm(Spec spec);
+  /// Arm every `;`-separated clause of `text` (the TRKX_FAULTS grammar).
+  void arm_from_string(const std::string& text);
+  /// Arm from the TRKX_FAULTS environment variable, if set. Call sites:
+  /// example/bench mains and chaos tests — never static initialisers, so
+  /// ordinary test runs stay fault-free.
+  void arm_from_env();
+  /// Disarm everything and reset call/injection counters.
+  void clear();
+
+  std::size_t armed_count() const;
+  /// Injections fired at `site` since the last clear().
+  std::uint64_t injected(const std::string& site) const;
+  std::uint64_t total_injected() const;
+
+  void set_observer(Observer observer);
+
+  /// Evaluate every armed spec for `site` on `rank`; sleeps or throws if
+  /// one fires. No-op (one atomic load) when nothing is armed.
+  void check(const char* site, int rank);
+
+ private:
+  Registry() = default;
+  struct Impl;
+  static Impl& impl();
+};
+
+/// The per-site hook. Sites pass their rank when they have one so
+/// rank-scoped specs (rank=R) can target a single replica.
+inline void inject(const char* site, int rank = -1) {
+  Registry::global().check(site, rank);
+}
+
+}  // namespace trkx::fault

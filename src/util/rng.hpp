@@ -102,6 +102,21 @@ class Rng {
 
   std::uint64_t state() const { return state_; }
 
+  /// Box–Muller spare cache, exposed so checkpoints can round-trip the
+  /// full generator state (state_ alone is not enough mid normal() pair).
+  bool have_spare() const { return have_spare_; }
+  double spare_value() const { return spare_; }
+
+  /// Restore a generator to a previously observed (state, spare) — the
+  /// checkpoint/resume path. After restore the draw sequence continues
+  /// bit-identically from where the saved generator left off.
+  void restore(std::uint64_t state, bool have_spare = false,
+               double spare = 0.0) {
+    state_ = state;
+    have_spare_ = have_spare;
+    spare_ = spare;
+  }
+
  private:
   std::uint64_t state_;
   bool have_spare_ = false;
