@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "bench_gb_json.hpp"
 #include "dist/communicator.hpp"
 #include "dist/gradient_sync.hpp"
 #include "gnn/interaction_gnn.hpp"
@@ -108,12 +109,19 @@ BENCHMARK(BM_AllReduceBuffer)->Range(1 << 10, 1 << 20)
 }  // namespace trkx
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  const int rc = trkx::gb_json_main(
+      argc, argv, "allreduce", [](trkx::BenchJsonWriter& json) {
+        // Carry the registry's call-pattern counters into the artifact so
+        // the trajectory tracks per-tensor vs coalesced across PRs.
+        const auto dump = trkx::MetricsRegistry::global().dump();
+        auto& s = json.series("allreduce.registry");
+        s.param("source", "metrics_registry");
+        for (const auto& [name, value] : dump.counters)
+          if (name.rfind("allreduce.", 0) == 0)
+            s.metric(name, static_cast<double>(value));
+      });
   const char* path = "allreduce.metrics.json";
   trkx::MetricsRegistry::global().write_json(path);
   std::printf("metrics written to %s\n", path);
-  return 0;
+  return rc;
 }

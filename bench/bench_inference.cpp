@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gb_json.hpp"
+
 #include "pipeline/pipeline.hpp"
 #include "pipeline/track_fit.hpp"
 
@@ -110,3 +112,7 @@ BENCHMARK(BM_TrackFitOnly)->Iterations(50)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace trkx
+
+int main(int argc, char** argv) {
+  return trkx::gb_json_main(argc, argv, "inference");
+}

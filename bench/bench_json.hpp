@@ -2,14 +2,20 @@
 //
 // Every bench that opts in accepts --json-out <path> (with the
 // TRKX_BENCH_JSON environment variable as fallback, so CI can redirect
-// artifacts without touching per-bench flags) and writes
+// artifacts without touching per-bench flags) and writes schema v2:
 //
-//   {"bench": "<name>",
+//   {"schema": "trkx-bench-v2",
+//    "bench": "<name>",
+//    "manifest": {... RunManifest: git sha, build type, host, threads ...},
 //    "series": [{"name": "<series>",
 //                "params": {"<key>": "<value>", ...},
 //                "metrics": {"<key>": <number>, ...}}, ...]}
 //
-// scripts/check_bench_json.py validates this shape (perf-smoke label).
+// scripts/check_bench_json.py validates this shape (perf-smoke label; v1
+// artifacts without schema/manifest keys are still accepted for older
+// baselines), and scripts/trkx-bench merges the per-bench artifacts into
+// the committed BENCH_*.json perf trajectory that
+// scripts/check_regression.py gates against.
 
 #pragma once
 
@@ -20,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/manifest.hpp"
 #include "util/error.hpp"
 
 namespace trkx {
@@ -65,7 +72,11 @@ class BenchJsonWriter {
     if (path.empty()) return false;
     std::FILE* f = std::fopen(path.c_str(), "w");
     TRKX_CHECK_MSG(f != nullptr, "cannot open bench JSON output: " + path);
-    std::fprintf(f, "{\"bench\": %s, \"series\": [", quote(bench_).c_str());
+    const std::string stamp = RunManifest::collect(bench_).to_json();
+    std::fprintf(f,
+                 "{\"schema\": \"trkx-bench-v2\", \"bench\": %s,\n"
+                 " \"manifest\": %s,\n \"series\": [",
+                 quote(bench_).c_str(), stamp.c_str());
     for (std::size_t i = 0; i < series_.size(); ++i) {
       const Series& s = series_[i];
       std::fprintf(f, "%s\n  {\"name\": %s, \"params\": {",

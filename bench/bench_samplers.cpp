@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_json.hpp"
+#include "bench_gb_json.hpp"
 #include "detector/presets.hpp"
 #include "sampling/layerwise.hpp"
 #include "sampling/matrix_shadow.hpp"
@@ -96,81 +96,8 @@ BENCHMARK(BM_FamilyLayerwise)->Arg(2)->Arg(3)->Iterations(20)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
-
-namespace {
-
-/// Console reporter that additionally captures every per-repetition run
-/// so main() can dump medians into the unified bench JSON artifact.
-class CaptureReporter : public benchmark::ConsoleReporter {
- public:
-  struct Captured {
-    std::vector<double> real_time_ms;            // per repetition
-    std::map<std::string, double> counters;      // last repetition wins
-  };
-
-  void ReportRuns(const std::vector<Run>& reports) override {
-    for (const Run& run : reports) {
-      if (run.run_type != Run::RT_Iteration) continue;
-      Captured& c = captured_[run.benchmark_name()];
-      // Adjusted real time is per-iteration, in the run's time unit;
-      // normalise to milliseconds.
-      const double t = run.GetAdjustedRealTime() *
-                       benchmark::GetTimeUnitMultiplier(benchmark::kMillisecond) /
-                       benchmark::GetTimeUnitMultiplier(run.time_unit);
-      c.real_time_ms.push_back(t);
-      for (const auto& [name, counter] : run.counters)
-        c.counters[name] = counter.value;
-    }
-    ConsoleReporter::ReportRuns(reports);
-  }
-
-  const std::map<std::string, Captured>& captured() const { return captured_; }
-
- private:
-  std::map<std::string, Captured> captured_;
-};
-
-double median(std::vector<double> v) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const std::size_t m = v.size() / 2;
-  return v.size() % 2 == 1 ? v[m] : 0.5 * (v[m - 1] + v[m]);
-}
-
-}  // namespace
 }  // namespace trkx
 
 int main(int argc, char** argv) {
-  // Peel our flags off before google-benchmark validates the arg list.
-  std::string json_out;
-  std::vector<char*> keep;
-  for (int i = 0; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--json-out=", 0) == 0) {
-      json_out = a.substr(11);
-    } else if (a == "--json-out" && i + 1 < argc) {
-      json_out = argv[++i];
-    } else {
-      keep.push_back(argv[i]);
-    }
-  }
-  int kept = static_cast<int>(keep.size());
-  benchmark::Initialize(&kept, keep.data());
-  if (benchmark::ReportUnrecognizedArguments(kept, keep.data())) return 1;
-  trkx::CaptureReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
-
-  const std::string path = trkx::BenchJsonWriter::resolve_path(json_out);
-  if (path.empty()) return 0;
-  trkx::BenchJsonWriter json("samplers");
-  for (const auto& [name, run] : reporter.captured()) {
-    auto& s = json.series(name);
-    s.param("benchmark", name);
-    s.metric("real_time_ms_median", trkx::median(run.real_time_ms));
-    for (const auto& [cname, value] : run.counters) s.metric(cname, value);
-  }
-  json.write(path);
-  std::printf("bench JSON written to %s\n", path.c_str());
-  return 0;
+  return trkx::gb_json_main(argc, argv, "samplers");
 }

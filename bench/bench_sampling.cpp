@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gb_json.hpp"
+
 #include "detector/presets.hpp"
 #include "sampling/matrix_shadow.hpp"
 #include "sampling/shadow.hpp"
@@ -115,3 +117,7 @@ BENCHMARK(BM_ShadowFanout)->Arg(2)->Arg(4)->Arg(8)->Iterations(10)
 
 }  // namespace
 }  // namespace trkx
+
+int main(int argc, char** argv) {
+  return trkx::gb_json_main(argc, argv, "sampling");
+}

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gb_json.hpp"
+
 #include "graph/generators.hpp"
 #include "sparse/sample.hpp"
 #include "sparse/spgemm.hpp"
@@ -114,3 +116,7 @@ BENCHMARK(BM_SampleRows)->Arg(1 << 12)->Arg(1 << 14)
 
 }  // namespace
 }  // namespace trkx
+
+int main(int argc, char** argv) {
+  return trkx::gb_json_main(argc, argv, "sparse");
+}

@@ -10,7 +10,8 @@ Passes and their scopes:
     omp-sharing     src/            OpenMP data-sharing clauses
     layering        src/            include DAG layer order + cycles
     numeric-safety  src/            divisions, exp/log, narrowing casts
-    conventions     src/ + tests/   the original project-lint rules
+    conventions     src/ + tests/ + bench/   the original project-lint
+                    rules, plus the bench JSON-registration rule
 
 Suppression: ``NOLINT(<rule>): reason`` on the offending line or the
 line directly above it; bare ``NOLINT`` blankets the line.
@@ -28,7 +29,7 @@ PASSES = {
     "omp-sharing": (omp_sharing, ("src",)),
     "layering": (layering, ("src",)),
     "numeric-safety": (numeric_safety, ("src",)),
-    "conventions": (conventions, ("src", "tests")),
+    "conventions": (conventions, ("src", "tests", "bench")),
 }
 
 

@@ -1,0 +1,9 @@
+// Seeded violation: a bench that prints a table but never registers with
+// the unified JSON writer -> trkx-bench-json fires at line 1.
+
+#include <cstdio>
+
+int main() {
+  std::printf("results: 42\n");  // printf is fine in bench/ — only the
+  return 0;                      // missing JSON registration is flagged
+}

@@ -46,7 +46,7 @@ def main():
     fixtures = os.path.join(here, "fixtures")
     expected = load_expected(os.path.join(fixtures, "expected.txt"))
 
-    tree = SourceTree(fixtures, ("src",))
+    tree = SourceTree(fixtures, ("src", "bench"))
     actual = set()
     for mod in PASSES:
         for f in mod.run(tree):

@@ -4,84 +4,121 @@
 Usage:
     check_bench_json.py BENCH.json [--bench NAME]
                         [--require-metrics a,b,c] [--min-series N]
-                        [--require-params a,b]
+                        [--require-params a,b] [--require-manifest]
+    check_bench_json.py --selftest
 
-Expected shape:
+Expected shape (schema v2; v1 artifacts without the schema/manifest keys
+are still accepted so older committed baselines keep validating):
 
-    {"bench": "<name>",
+    {"schema": "trkx-bench-v2",
+     "bench": "<name>",
+     "manifest": {"schema": "trkx-manifest-v1", "git_sha": "...",
+                  "tool": "...", "hardware_threads": N, ...},
      "series": [{"name": "<series>",
                  "params": {"<key>": "<string value>", ...},
                  "metrics": {"<key>": <number or null>, ...}}, ...]}
 
 Every series must carry a non-empty name, params must map strings to
 strings, and metrics must map strings to numbers (null marks a non-finite
-measurement). Optional flags pin the bench name, require metric/param keys
-on every series, and set a minimum series count. Exits 0 on success, 1
-with one message per violation otherwise.
+measurement). A v2 artifact must carry a well-formed manifest block;
+--require-manifest rejects v1 artifacts outright. Optional flags pin the
+bench name, require metric/param keys on every series, and set a minimum
+series count. --selftest validates the embedded golden fixtures (valid v1,
+valid v2, and known-bad mutations) and exits non-zero if the validator's
+verdict on any of them changes. Exits 0 on success, 1 with one message per
+violation otherwise.
 """
 
 import argparse
+import copy
 import json
 import sys
 
+KNOWN_SCHEMAS = ("trkx-bench-v2",)
+MANIFEST_SCHEMA = "trkx-manifest-v1"
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("artifact", help="path to bench JSON")
-    parser.add_argument("--bench", default="", help="expected bench name")
-    parser.add_argument(
-        "--require-metrics",
-        default="",
-        help="comma-separated metric keys every series must carry",
-    )
-    parser.add_argument(
-        "--require-params",
-        default="",
-        help="comma-separated param keys every series must carry",
-    )
-    parser.add_argument(
-        "--min-series", type=int, default=1, help="minimum series count"
-    )
-    args = parser.parse_args()
+# Golden fixtures for --selftest: one canonical artifact per schema
+# version plus mutations that must each produce at least one error.
+GOLDEN_V2 = {
+    "schema": "trkx-bench-v2",
+    "bench": "sparse",
+    "manifest": {
+        "schema": "trkx-manifest-v1",
+        "tool": "sparse",
+        "git_sha": "0123abcd4567",
+        "build_type": "Release",
+        "compiler": "12.2.0",
+        "hostname": "ci",
+        "hardware_threads": 1,
+        "omp_max_threads": 1,
+        "tracing_compiled": 1,
+        "unix_time_s": 1786000000,
+        "config_fingerprint": "9a1b2c3d4e5f",
+    },
+    "series": [
+        {
+            "name": "BM_SampleRows/4096",
+            "params": {"benchmark": "BM_SampleRows/4096"},
+            "metrics": {"real_time_ms_median": 1.25, "bad_sample": None},
+        }
+    ],
+}
 
+GOLDEN_V1 = {
+    "bench": "fig3_epoch_time",
+    "series": [
+        {
+            "name": "CTD/pipelined/p1",
+            "params": {"dataset": "CTD", "impl": "pipelined"},
+            "metrics": {"epoch_s_median": 0.42},
+        }
+    ],
+}
+
+
+def validate(doc, bench="", require_metrics=(), require_params=(),
+             min_series=1, require_manifest=False):
+    """Return the list of violations for one parsed artifact."""
     errors = []
-    try:
-        with open(args.artifact, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: cannot parse {args.artifact}: {exc}", file=sys.stderr)
-        return 1
-
     if not isinstance(doc, dict):
-        errors.append("top level is not an object")
-        doc = {}
-    bench = doc.get("bench")
-    if not isinstance(bench, str) or not bench:
+        return ["top level is not an object"]
+
+    schema = doc.get("schema")
+    is_v2 = schema is not None
+    if is_v2 and schema not in KNOWN_SCHEMAS:
+        errors.append(f'unknown "schema" {schema!r}')
+        is_v2 = False
+    if require_manifest and not is_v2:
+        errors.append('artifact is schema v1 but a manifest is required')
+
+    name = doc.get("bench")
+    if not isinstance(name, str) or not name:
         errors.append('"bench" must be a non-empty string')
-    elif args.bench and bench != args.bench:
-        errors.append(f'"bench" is {bench!r}, expected {args.bench!r}')
+    elif bench and name != bench:
+        errors.append(f'"bench" is {name!r}, expected {bench!r}')
+
+    if is_v2:
+        errors.extend(validate_manifest(doc.get("manifest")))
 
     series = doc.get("series")
     if not isinstance(series, list):
         errors.append('"series" must be a list')
         series = []
-    if len(series) < args.min_series:
+    if len(series) < min_series:
         errors.append(
-            f"expected at least {args.min_series} series, got {len(series)}"
+            f"expected at least {min_series} series, got {len(series)}"
         )
 
-    want_metrics = [k for k in args.require_metrics.split(",") if k]
-    want_params = [k for k in args.require_params.split(",") if k]
     for i, s in enumerate(series):
         where = f"series[{i}]"
         if not isinstance(s, dict):
             errors.append(f"{where} is not an object")
             continue
-        name = s.get("name")
-        if not isinstance(name, str) or not name:
+        sname = s.get("name")
+        if not isinstance(sname, str) or not sname:
             errors.append(f'{where}: "name" must be a non-empty string')
         else:
-            where = f"series[{i}] ({name})"
+            where = f"series[{i}] ({sname})"
         params = s.get("params")
         if not isinstance(params, dict):
             errors.append(f'{where}: "params" must be an object')
@@ -96,18 +133,140 @@ def main() -> int:
         for k, v in metrics.items():
             if not (v is None or isinstance(v, (int, float))):
                 errors.append(f"{where}: metric {k!r} is not a number")
-        for k in want_metrics:
+        for k in require_metrics:
             if k not in metrics:
                 errors.append(f"{where}: missing required metric {k!r}")
-        for k in want_params:
+        for k in require_params:
             if k not in params:
                 errors.append(f"{where}: missing required param {k!r}")
+    return errors
 
+
+def validate_manifest(manifest):
+    """Violations for a v2 artifact's manifest block."""
+    if not isinstance(manifest, dict):
+        return ['v2 artifact: "manifest" must be an object']
+    errors = []
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        errors.append(
+            f'manifest schema is {manifest.get("schema")!r}, '
+            f"expected {MANIFEST_SCHEMA!r}"
+        )
+    for key in ("tool", "git_sha", "build_type", "compiler", "hostname"):
+        if not isinstance(manifest.get(key), str) or not manifest.get(key):
+            errors.append(f"manifest: {key!r} must be a non-empty string")
+    for key in ("hardware_threads", "omp_max_threads", "unix_time_s"):
+        if not isinstance(manifest.get(key), int):
+            errors.append(f"manifest: {key!r} must be an integer")
+    return errors
+
+
+def selftest() -> int:
+    """Exercise the validator against golden fixtures; 0 if all verdicts
+    match expectations."""
+    failures = []
+
+    def expect(label, doc, want_clean, **kwargs):
+        errs = validate(doc, **kwargs)
+        if want_clean and errs:
+            failures.append(f"{label}: expected clean, got {errs}")
+        elif not want_clean and not errs:
+            failures.append(f"{label}: expected violations, got none")
+
+    expect("golden v2", GOLDEN_V2, True, bench="sparse",
+           require_metrics=["real_time_ms_median"], require_manifest=True)
+    expect("golden v1", GOLDEN_V1, True, bench="fig3_epoch_time")
+    expect("v1 with manifest required", GOLDEN_V1, False,
+           require_manifest=True)
+
+    bad = copy.deepcopy(GOLDEN_V2)
+    bad["schema"] = "trkx-bench-v9"
+    expect("unknown schema", bad, False)
+
+    bad = copy.deepcopy(GOLDEN_V2)
+    del bad["manifest"]
+    expect("v2 without manifest", bad, False)
+
+    bad = copy.deepcopy(GOLDEN_V2)
+    bad["manifest"]["git_sha"] = ""
+    expect("empty git_sha", bad, False)
+
+    bad = copy.deepcopy(GOLDEN_V2)
+    bad["manifest"]["hardware_threads"] = "one"
+    expect("non-integer hardware_threads", bad, False)
+
+    bad = copy.deepcopy(GOLDEN_V2)
+    bad["series"][0]["metrics"]["real_time_ms_median"] = "fast"
+    expect("string metric", bad, False)
+
+    bad = copy.deepcopy(GOLDEN_V2)
+    bad["series"] = []
+    expect("empty series", bad, False)
+
+    bad = copy.deepcopy(GOLDEN_V2)
+    bad["series"][0]["params"]["benchmark"] = 7
+    expect("non-string param", bad, False)
+
+    for f in failures:
+        print(f"selftest failure: {f}", file=sys.stderr)
+    if not failures:
+        print("check_bench_json selftest: OK")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", nargs="?", help="path to bench JSON")
+    parser.add_argument("--bench", default="", help="expected bench name")
+    parser.add_argument(
+        "--require-metrics",
+        default="",
+        help="comma-separated metric keys every series must carry",
+    )
+    parser.add_argument(
+        "--require-params",
+        default="",
+        help="comma-separated param keys every series must carry",
+    )
+    parser.add_argument(
+        "--min-series", type=int, default=1, help="minimum series count"
+    )
+    parser.add_argument(
+        "--require-manifest",
+        action="store_true",
+        help="reject v1 artifacts (schema v2 with manifest required)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="validate the embedded golden fixtures and exit",
+    )
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.artifact:
+        parser.error("artifact path required (or --selftest)")
+
+    try:
+        with open(args.artifact, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot parse {args.artifact}: {exc}", file=sys.stderr)
+        return 1
+
+    errors = validate(
+        doc,
+        bench=args.bench,
+        require_metrics=[k for k in args.require_metrics.split(",") if k],
+        require_params=[k for k in args.require_params.split(",") if k],
+        min_series=args.min_series,
+        require_manifest=args.require_manifest,
+    )
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     if not errors:
-        n = len(series)
-        print(f"{args.artifact}: OK ({n} series)")
+        print(f"{args.artifact}: OK ({len(doc.get('series', []))} series)")
     return 1 if errors else 0
 
 

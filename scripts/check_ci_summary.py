@@ -5,17 +5,22 @@ Usage:
     check_ci_summary.py SUMMARY.json [--require-configs a,b]
                         [--require-overall pass]
 
-Expected shape (schema v2):
+Expected shape (schema v3; v2 artifacts are still accepted):
 
-    {"schema": "trkx-ci-summary-v2",
+    {"schema": "trkx-ci-summary-v3",
      "jobs": <int>,
      "configs": [{"name": "<config>", "status": "pass"|"fail",
                   "seconds": <number>, "detail": "<string>",
-                  "findings": <non-negative int, optional>}, ...],
+                  "findings": <non-negative int, optional>,
+                  "regressions": <non-negative int, optional>,
+                  "verdicts": {"<bench>": "pass"|"fail", ...} optional},
+                 ...],
      "overall": "pass"|"fail"}
 
-v2 adds the optional per-config "findings" count (the static-analysis
+v2 added the optional per-config "findings" count (the static-analysis
 legs report how many analyzer findings they saw; 0 on a clean tree).
+v3 adds the perf leg's optional "regressions" count and per-bench
+"verdicts" map (scripts/check_regression.py --report output).
 
 Mirrors scripts/check_bench_json.py: schema violations are listed one per
 line and the exit code gates CI. --require-configs pins which matrix legs
@@ -27,7 +32,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "trkx-ci-summary-v2"
+SCHEMAS = ("trkx-ci-summary-v3", "trkx-ci-summary-v2")
 
 
 def main() -> int:
@@ -57,8 +62,11 @@ def main() -> int:
     if not isinstance(doc, dict):
         errors.append("top level is not an object")
         doc = {}
-    if doc.get("schema") != SCHEMA:
-        errors.append(f'"schema" must be {SCHEMA!r}, got {doc.get("schema")!r}')
+    if doc.get("schema") not in SCHEMAS:
+        errors.append(
+            f'"schema" must be one of {list(SCHEMAS)}, '
+            f'got {doc.get("schema")!r}'
+        )
     if not isinstance(doc.get("jobs"), int) or doc.get("jobs", 0) < 1:
         errors.append('"jobs" must be a positive integer')
 
@@ -89,16 +97,28 @@ def main() -> int:
             errors.append(f'{where}: "seconds" must be a number')
         if not isinstance(c.get("detail"), str):
             errors.append(f'{where}: "detail" must be a string')
-        findings = c.get("findings")
-        if findings is not None and (
-            not isinstance(findings, int)
-            or isinstance(findings, bool)
-            or findings < 0
-        ):
-            errors.append(
-                f'{where}: "findings" must be a non-negative integer '
-                "when present"
-            )
+        for key in ("findings", "regressions"):
+            value = c.get(key)
+            if value is not None and (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                errors.append(
+                    f'{where}: {key!r} must be a non-negative integer '
+                    "when present"
+                )
+        verdicts = c.get("verdicts")
+        if verdicts is not None:
+            if not isinstance(verdicts, dict):
+                errors.append(f'{where}: "verdicts" must be an object')
+            else:
+                for bench, verdict in verdicts.items():
+                    if verdict not in ("pass", "fail"):
+                        errors.append(
+                            f'{where}: verdict for {bench!r} must be '
+                            '"pass" or "fail"'
+                        )
 
     overall = doc.get("overall")
     if overall not in ("pass", "fail"):

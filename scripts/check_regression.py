@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Noise-aware perf regression gate over bench JSON artifacts.
+
+Usage:
+    check_regression.py BASELINE CURRENT [CURRENT...]
+                        [--threshold 0.5] [--min-value 1e-6]
+                        [--benches a,b] [--report out.json]
+    check_regression.py --selftest
+
+BASELINE is a committed trkx-bench trajectory (scripts/trkx-bench). Each
+CURRENT may be another trajectory or a loose per-bench v1/v2 artifact
+(bench/bench_json.hpp); benches are matched by name, then series by name,
+then metrics by key — only pairs present on both sides are compared, so a
+bench gaining or losing series never fails the gate by itself.
+
+Direction is inferred from the metric name: time/stall/bytes-like metrics
+must not grow, rate/quality-like metrics must not shrink, anything
+unrecognised is informational only. A comparison fails when the current
+value degrades by more than the relative threshold. Noise guards:
+
+  * metrics whose baseline magnitude is below --min-value are skipped
+    (relative noise on near-zero timings is unbounded);
+  * when both sides carry a sibling "<metric>_stddev" from repeated runs,
+    the allowed band widens by 2*stddev/|baseline| on top of the
+    threshold (min-repeat variance).
+
+The default threshold is deliberately generous (50%) because CI runs on
+shared 1-core containers; TRKX_REGRESSION_THRESHOLD overrides it without
+touching ctest wiring. --report writes a machine-readable verdict map
+consumed by scripts/ci_matrix.sh for the ci_summary perf leg. Exits 1 on
+any regression, 0 otherwise. --selftest runs the embedded pass/fail
+fixtures and exits non-zero if the comparator's verdicts drift.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+LOWER_BETTER = ("_s", "_ms", "_us", "_ns", "_seconds", "_s_median",
+                "_bytes", "_mb", "_gb")
+LOWER_TOKENS = ("time", "stall", "latency", "seconds", "bytes")
+HIGHER_TOKENS = ("per_sec", "per_second", "throughput", "speedup",
+                 "hit_rate", "f1", "auc", "precision", "recall",
+                 "events_kept", "edge_fraction")
+
+
+def direction(metric):
+    """'lower' | 'higher' | None (informational) for a metric name."""
+    low = metric.lower()
+    if low.endswith("_stddev"):
+        return None
+    for tok in HIGHER_TOKENS:
+        if tok in low:
+            return "higher"
+    if low.endswith(LOWER_BETTER):
+        return "lower"
+    for tok in LOWER_TOKENS:
+        if tok in low:
+            return "lower"
+    return None
+
+
+def as_benches(doc):
+    """{bench name: artifact} from a trajectory or a loose artifact."""
+    if not isinstance(doc, dict):
+        return {}
+    if isinstance(doc.get("benches"), list):
+        return {b.get("bench", f"#{i}"): b
+                for i, b in enumerate(doc["benches"])
+                if isinstance(b, dict)}
+    if "bench" in doc:
+        return {doc["bench"]: doc}
+    return {}
+
+
+def series_map(artifact):
+    out = {}
+    for s in artifact.get("series", []):
+        if isinstance(s, dict) and isinstance(s.get("name"), str):
+            out[s["name"]] = s.get("metrics", {}) or {}
+    return out
+
+
+def compare(baseline, current, threshold, min_value):
+    """Compare two {bench: artifact} maps.
+
+    Returns (regressions, verdicts, n_compared): regressions is a list of
+    human-readable strings, verdicts maps bench name -> "pass"|"fail".
+    """
+    regressions = []
+    verdicts = {}
+    n_compared = 0
+    for bench, base_art in baseline.items():
+        cur_art = current.get(bench)
+        if cur_art is None:
+            continue
+        verdicts.setdefault(bench, "pass")
+        base_series = series_map(base_art)
+        cur_series = series_map(cur_art)
+        for sname, base_metrics in base_series.items():
+            cur_metrics = cur_series.get(sname)
+            if cur_metrics is None:
+                continue
+            for metric, base_val in base_metrics.items():
+                cur_val = cur_metrics.get(metric)
+                sense = direction(metric)
+                if sense is None:
+                    continue
+                if not isinstance(base_val, (int, float)) or \
+                        not isinstance(cur_val, (int, float)):
+                    continue
+                if not (math.isfinite(base_val) and math.isfinite(cur_val)):
+                    continue
+                if abs(base_val) < min_value:
+                    continue
+                n_compared += 1
+                # Widen the band by repeat variance when both sides
+                # carry it.
+                allowed = threshold
+                bs = base_metrics.get(metric + "_stddev")
+                cs = cur_metrics.get(metric + "_stddev")
+                if isinstance(bs, (int, float)) and \
+                        isinstance(cs, (int, float)):
+                    allowed += 2.0 * max(bs, cs) / abs(base_val)
+                if sense == "lower":
+                    limit = base_val * (1.0 + allowed)
+                    bad = cur_val > limit
+                else:
+                    limit = base_val * (1.0 - allowed)
+                    bad = cur_val < limit
+                if bad:
+                    verdicts[bench] = "fail"
+                    regressions.append(
+                        f"{bench}/{sname}/{metric}: {cur_val:.6g} vs "
+                        f"baseline {base_val:.6g} "
+                        f"(allowed {'<=' if sense == 'lower' else '>='} "
+                        f"{limit:.6g}, {sense} is better)"
+                    )
+    return regressions, verdicts, n_compared
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def selftest() -> int:
+    """Pass/fail fixtures for the comparator itself."""
+    base = {"schema": "trkx-bench-trajectory-v1", "benches": [{
+        "bench": "demo",
+        "series": [
+            {"name": "a", "metrics": {"epoch_s_median": 1.0,
+                                      "throughput_per_sec": 100.0,
+                                      "mystery_units": 5.0}},
+            {"name": "noisy", "metrics": {"step_s": 1.0,
+                                          "step_s_stddev": 0.4}},
+            {"name": "tiny", "metrics": {"blip_s": 1e-9}},
+        ],
+    }]}
+    failures = []
+
+    def run(label, cur, want_regressions, threshold=0.5):
+        regs, verdicts, _ = compare(as_benches(base), as_benches(cur),
+                                    threshold, 1e-6)
+        got = len(regs)
+        if (got > 0) != (want_regressions > 0) or got != want_regressions:
+            failures.append(
+                f"{label}: expected {want_regressions} regressions, "
+                f"got {got}: {regs} (verdicts {verdicts})")
+
+    identical = json.loads(json.dumps(base))
+    run("identical trajectories pass", identical, 0)
+
+    slower = json.loads(json.dumps(base))
+    slower["benches"][0]["series"][0]["metrics"]["epoch_s_median"] = 1.8
+    run("time regression fails", slower, 1)
+
+    faster = json.loads(json.dumps(base))
+    faster["benches"][0]["series"][0]["metrics"]["epoch_s_median"] = 0.3
+    run("time improvement passes", faster, 0)
+
+    thrpt = json.loads(json.dumps(base))
+    thrpt["benches"][0]["series"][0]["metrics"]["throughput_per_sec"] = 40.0
+    run("throughput drop fails", thrpt, 1)
+
+    mystery = json.loads(json.dumps(base))
+    mystery["benches"][0]["series"][0]["metrics"]["mystery_units"] = 500.0
+    run("unrecognised metric is informational", mystery, 0)
+
+    # 1.8x with stddev 0.4 on both sides: band = 0.5 + 2*0.4 = 1.3 -> ok.
+    noisy = json.loads(json.dumps(base))
+    noisy["benches"][0]["series"][1]["metrics"]["step_s"] = 1.8
+    run("repeat variance widens the band", noisy, 0)
+
+    tiny = json.loads(json.dumps(base))
+    tiny["benches"][0]["series"][2]["metrics"]["blip_s"] = 1e-3
+    run("sub-min-value baselines are skipped", tiny, 0)
+
+    loose = {"bench": "demo", "series": [
+        {"name": "a", "metrics": {"epoch_s_median": 9.9}}]}
+    run("loose v1 artifact matched by bench name", loose, 1)
+
+    for f in failures:
+        print(f"selftest failure: {f}", file=sys.stderr)
+    if not failures:
+        print("check_regression selftest: OK")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?",
+                        help="committed trajectory JSON")
+    parser.add_argument("current", nargs="*",
+                        help="trajectory or per-bench artifacts to gate")
+    parser.add_argument("--threshold", type=float,
+                        default=float(os.environ.get(
+                            "TRKX_REGRESSION_THRESHOLD", "0.5")),
+                        help="relative degradation allowed (0.5 = 50%%)")
+    parser.add_argument("--min-value", type=float, default=1e-6,
+                        help="skip metrics with |baseline| below this")
+    parser.add_argument("--benches", default="",
+                        help="comma-separated subset to gate")
+    parser.add_argument("--report", default="",
+                        help="write per-bench verdict JSON here")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the embedded pass/fail fixtures")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.current:
+        parser.error("BASELINE and at least one CURRENT required "
+                     "(or --selftest)")
+
+    try:
+        baseline = as_benches(load(args.baseline))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot parse {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 1
+    current = {}
+    for path in args.current:
+        try:
+            current.update(as_benches(load(path)))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot parse {path}: {exc}", file=sys.stderr)
+            return 1
+
+    subset = [b for b in args.benches.split(",") if b]
+    if subset:
+        baseline = {k: v for k, v in baseline.items() if k in subset}
+
+    regressions, verdicts, n = compare(baseline, current,
+                                       args.threshold, args.min_value)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump({"threshold": args.threshold,
+                       "compared": n,
+                       "regressions": len(regressions),
+                       "verdicts": verdicts}, f, indent=1)
+            f.write("\n")
+
+    for r in regressions:
+        print(f"REGRESSION: {r}", file=sys.stderr)
+    matched = sum(1 for b in baseline if b in current)
+    print(f"check_regression: {matched} benches matched, {n} metrics "
+          f"compared, {len(regressions)} regression(s) at "
+          f"threshold {args.threshold:.0%}")
+    if matched == 0:
+        print("error: no benches matched between baseline and current",
+              file=sys.stderr)
+        return 1
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

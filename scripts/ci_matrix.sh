@@ -13,6 +13,10 @@
 #   analyze      trkx-analyze (fixture selftest + all passes over the
 #                real tree); the summary carries its findings count
 #   lint-tidy    scripts/lint.py (+ headers) and clang-tidy if installed
+#   perf         scripts/trkx-bench quick profile against the release
+#                build, gated by scripts/check_regression.py against the
+#                committed BENCH_PR6.json trajectory; the summary carries
+#                the regression count and per-bench verdicts
 #
 # Usage:
 #   scripts/ci_matrix.sh [--only NAME[,NAME...]] [--out SUMMARY.json]
@@ -46,10 +50,13 @@ export TSAN_OPTIONS="halt_on_error=1:suppressions=$SUPP/tsan.supp"
 
 mkdir -p build-ci
 NAMES=() STATUSES=() SECONDS_LIST=() DETAILS=() FINDINGS_LIST=()
+REGRESSIONS_LIST=() VERDICTS_LIST=()
 
 record() {  # record <name> <status> <seconds> <detail> [findings]
+            #        [regressions] [verdicts-json]
   NAMES+=("$1"); STATUSES+=("$2"); SECONDS_LIST+=("$3"); DETAILS+=("$4")
   FINDINGS_LIST+=("${5:-}")
+  REGRESSIONS_LIST+=("${6:-}"); VERDICTS_LIST+=("${7:-}")
   printf '[ci-matrix] %-12s %-5s (%ss) %s\n' "$1" "$2" "$3" "$4"
 }
 
@@ -164,6 +171,36 @@ if wants chaos; then
   record chaos "$status" "$(( $(date +%s) - t0 ))" "$chaos_log"
 fi
 
+if wants perf; then
+  t0=$(date +%s)
+  dir=build-ci/perf
+  perf_log="$dir/perf.log"
+  status=pass regressions="" verdicts=""
+  mkdir -p "$dir"
+  if cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       > "$dir/configure.log" 2>&1 &&
+     cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1; then
+    if python3 scripts/trkx-bench --build-dir "$dir" --profile quick \
+         --out "$dir/BENCH.json" > "$perf_log" 2>&1; then
+      python3 scripts/check_regression.py BENCH_PR6.json "$dir/BENCH.json" \
+        --report "$dir/regression.json" >> "$perf_log" 2>&1 || status=fail
+      if [ -f "$dir/regression.json" ]; then
+        regressions=$(python3 -c "import json; \
+print(json.load(open('$dir/regression.json'))['regressions'])")
+        verdicts=$(python3 -c "import json; \
+print(json.dumps(json.load(open('$dir/regression.json'))['verdicts']))")
+      fi
+    else
+      status=fail
+    fi
+  else
+    status=fail
+    perf_log="$dir/build.log"
+  fi
+  record perf "$status" "$(( $(date +%s) - t0 ))" "$perf_log" "" \
+    "$regressions" "$verdicts"
+fi
+
 if wants analyze; then
   t0=$(date +%s)
   analyze_log=build-ci/analyze.log
@@ -199,13 +236,17 @@ fi
 # ---- summary JSON ----
 FAILED=0
 {
-  printf '{\n  "schema": "trkx-ci-summary-v2",\n'
+  printf '{\n  "schema": "trkx-ci-summary-v3",\n'
   printf '  "jobs": %s,\n' "$JOBS"
   printf '  "configs": [\n'
   for i in "${!NAMES[@]}"; do
     [ "${STATUSES[$i]}" = fail ] && FAILED=$((FAILED + 1))
     extra=""
     [ -n "${FINDINGS_LIST[$i]}" ] && extra=", \"findings\": ${FINDINGS_LIST[$i]}"
+    [ -n "${REGRESSIONS_LIST[$i]}" ] && \
+      extra="$extra, \"regressions\": ${REGRESSIONS_LIST[$i]}"
+    [ -n "${VERDICTS_LIST[$i]}" ] && \
+      extra="$extra, \"verdicts\": ${VERDICTS_LIST[$i]}"
     printf '    {"name": "%s", "status": "%s", "seconds": %s, "detail": "%s"%s}%s\n' \
       "${NAMES[$i]}" "${STATUSES[$i]}" "${SECONDS_LIST[$i]}" \
       "${DETAILS[$i]}" "$extra" \

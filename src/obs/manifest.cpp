@@ -1,0 +1,155 @@
+#include "obs/manifest.hpp"
+
+#include <omp.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "util/annotations.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+// Build provenance baked in by the top-level CMakeLists; the runtime env
+// var TRKX_GIT_SHA overrides the compile-time value so a driver script
+// can stamp the exact revision even when the build tree is stale.
+#ifndef TRKX_GIT_SHA
+#define TRKX_GIT_SHA "unknown"
+#endif
+#ifndef TRKX_BUILD_TYPE
+#define TRKX_BUILD_TYPE "unknown"
+#endif
+#ifndef TRKX_TRACING
+#define TRKX_TRACING 1
+#endif
+
+namespace trkx {
+
+namespace {
+
+struct RunContext {
+  Mutex mutex;
+  std::string tool TRKX_GUARDED_BY(mutex) = "trkx";
+  std::uint64_t fingerprint TRKX_GUARDED_BY(mutex) = 0;
+};
+
+RunContext& run_context() {
+  // Leaked like the metrics registry: manifests may be collected during
+  // static teardown of artifact writers.
+  static RunContext* ctx = new RunContext();  // NOLINT(trkx-naked-new): leaked singleton
+  return *ctx;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string detect_hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0')
+    return std::string(buf);
+#endif
+  if (const char* h = std::getenv("HOSTNAME"); h != nullptr && *h != '\0')
+    return h;
+  return "unknown";
+}
+
+}  // namespace
+
+void set_run_tool(const std::string& tool) {
+  RunContext& ctx = run_context();
+  LockGuard lock(ctx.mutex);
+  if (!tool.empty()) ctx.tool = tool;
+}
+
+void set_run_fingerprint(std::uint64_t fingerprint) {
+  RunContext& ctx = run_context();
+  LockGuard lock(ctx.mutex);
+  ctx.fingerprint = fingerprint;
+}
+
+const std::string& run_tool() {
+  RunContext& ctx = run_context();
+  LockGuard lock(ctx.mutex);
+  return ctx.tool;
+}
+
+std::uint64_t run_fingerprint() {
+  RunContext& ctx = run_context();
+  LockGuard lock(ctx.mutex);
+  return ctx.fingerprint;
+}
+
+RunManifest RunManifest::collect(const std::string& tool) {
+  RunManifest m;
+  m.tool = tool.empty() ? run_tool() : tool;
+  const char* sha_env = std::getenv("TRKX_GIT_SHA");
+  m.git_sha = (sha_env != nullptr && *sha_env != '\0') ? sha_env
+                                                       : TRKX_GIT_SHA;
+  m.build_type = TRKX_BUILD_TYPE;
+#ifdef __VERSION__
+  m.compiler = __VERSION__;
+#else
+  m.compiler = "unknown";
+#endif
+  m.hostname = detect_hostname();
+  m.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  m.omp_max_threads = omp_get_max_threads();
+  m.tracing_compiled = TRKX_TRACING;
+  m.unix_time_s = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  m.config_fingerprint = run_fingerprint();
+  return m;
+}
+
+void RunManifest::write_json(std::ostream& os) const {
+  os << "{\"schema\": \"" << json_escape(schema) << "\""
+     << ", \"tool\": \"" << json_escape(tool) << "\""
+     << ", \"git_sha\": \"" << json_escape(git_sha) << "\""
+     << ", \"build_type\": \"" << json_escape(build_type) << "\""
+     << ", \"compiler\": \"" << json_escape(compiler) << "\""
+     << ", \"hostname\": \"" << json_escape(hostname) << "\""
+     << ", \"hardware_threads\": " << hardware_threads
+     << ", \"omp_max_threads\": " << omp_max_threads
+     << ", \"tracing_compiled\": " << tracing_compiled
+     << ", \"unix_time_s\": " << unix_time_s
+     << ", \"config_fingerprint\": \"" << std::hex << config_fingerprint
+     << std::dec << "\"";
+  if (!extra.empty())
+    os << ", \"extra\": \"" << json_escape(extra) << "\"";
+  os << "}";
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace trkx

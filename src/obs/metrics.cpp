@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/manifest.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/thread_id.hpp"
@@ -188,9 +189,30 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
-void MetricsRegistry::write_json(std::ostream& os) const {
+MetricsRegistry::Dump MetricsRegistry::dump() const {
+  Dump out;
   LockGuard lock(mutex_);
-  os << "{\n  \"counters\": {";
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    out.histograms.emplace_back(name, h->snapshot());
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os, bool with_manifest) const {
+  LockGuard lock(mutex_);
+  os << "{\n";
+  if (with_manifest) {
+    os << "  \"manifest\": ";
+    RunManifest::collect().write_json(os);
+    os << ",\n";
+  }
+  os << "  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
     os << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
@@ -214,6 +236,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
        << ", \"mean\": " << json_number(s.mean())
        << ", \"p50\": " << json_number(s.percentile(50))
        << ", \"p90\": " << json_number(s.percentile(90))
+       << ", \"p95\": " << json_number(s.percentile(95))
        << ", \"p99\": " << json_number(s.percentile(99)) << ", \"buckets\": [";
     bool bfirst = true;
     for (std::size_t b = 0; b < s.buckets.size(); ++b) {
@@ -230,26 +253,28 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << "\n  }\n}\n";
 }
 
-void MetricsRegistry::write_json(const std::string& path) const {
+void MetricsRegistry::write_json(const std::string& path,
+                                 bool with_manifest) const {
   std::ofstream os(path);
   TRKX_CHECK_MSG(os.good(), "metrics write_json: cannot open " << path);
-  write_json(os);
+  write_json(os, with_manifest);
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
   LockGuard lock(mutex_);
-  os << "kind,name,count,value,min,max,mean,p50,p90,p99\n";
+  os << "kind,name,count,value,min,max,mean,p50,p90,p95,p99\n";
   for (const auto& [name, c] : counters_)
-    os << "counter," << name << ",," << c->value() << ",,,,,,\n";
+    os << "counter," << name << ",," << c->value() << ",,,,,,,\n";
   for (const auto& [name, g] : gauges_)
-    os << "gauge," << name << ",," << json_number(g->value()) << ",,,,,,\n";
+    os << "gauge," << name << ",," << json_number(g->value()) << ",,,,,,,\n";
   for (const auto& [name, h] : histograms_) {
     const Histogram::Snapshot s = h->snapshot();
     os << "histogram," << name << "," << s.count << ","
        << json_number(s.sum) << "," << json_number(s.min) << ","
        << json_number(s.max) << "," << json_number(s.mean()) << ","
        << json_number(s.percentile(50)) << "," << json_number(s.percentile(90))
-       << "," << json_number(s.percentile(99)) << "\n";
+       << "," << json_number(s.percentile(95)) << ","
+       << json_number(s.percentile(99)) << "\n";
   }
 }
 

@@ -114,10 +114,22 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name);
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
 
-  /// Flat JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  void write_json(std::ostream& os) const;
-  void write_json(const std::string& path) const;
-  /// CSV flattening: kind,name,count,value,min,max,mean,p50,p90,p99.
+  /// Point-in-time value dump of every registered metric, for consumers
+  /// that need the data rather than the serialisation (the time-series
+  /// snapshotter, tests). Names come out sorted (std::map order).
+  struct Dump {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+  Dump dump() const;
+
+  /// Flat JSON dump: {"manifest":{...}?,"counters":{...},"gauges":{...},
+  /// "histograms":{...}} — histograms carry count/sum/min/max/mean and
+  /// p50/p90/p95/p99 estimates. `with_manifest` prepends the RunManifest.
+  void write_json(std::ostream& os, bool with_manifest = false) const;
+  void write_json(const std::string& path, bool with_manifest = false) const;
+  /// CSV flattening: kind,name,count,value,min,max,mean,p50,p90,p95,p99.
   void write_csv(std::ostream& os) const;
   void write_csv(const std::string& path) const;
 

@@ -1,0 +1,257 @@
+#include "obs/snapshot.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace trkx {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+/// Current resident set in bytes from /proc/self/status (Linux); 0 when
+/// unavailable.
+std::uint64_t read_vm_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string key;
+  while (status >> key) {
+    if (key == "VmRSS:") {
+      std::uint64_t kb = 0;
+      status >> kb;
+      return kb * 1024;
+    }
+    status.ignore(4096, '\n');
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
+
+void MetricsSnapshotter::sample_process_gauges() {
+  MetricsRegistry& m = metrics();
+  m.gauge("process.rss_bytes")
+      .set(static_cast<double>(read_vm_rss_bytes()));
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru = {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    const double peak = static_cast<double>(ru.ru_maxrss);
+#else
+    const double peak = static_cast<double>(ru.ru_maxrss) * 1024.0;
+#endif
+    m.gauge("process.peak_rss_bytes").set(peak);
+    m.gauge("process.minor_faults")
+        .set(static_cast<double>(ru.ru_minflt));
+    m.gauge("process.major_faults")
+        .set(static_cast<double>(ru.ru_majflt));
+  }
+#endif
+}
+
+MetricsSnapshotter::MetricsSnapshotter() = default;
+
+MetricsSnapshotter::~MetricsSnapshotter() {
+  // Never throw out of a destructor (mirrors ObsExport).
+  try {
+    stop();
+  } catch (const std::exception& e) {
+    TRKX_ERROR << "metrics snapshotter shutdown failed: " << e.what();
+  }
+}
+
+bool MetricsSnapshotter::running() const {
+  LockGuard lock(mutex_);
+  return running_;
+}
+
+std::uint64_t MetricsSnapshotter::samples() const {
+  LockGuard lock(mutex_);
+  return samples_;
+}
+
+void MetricsSnapshotter::add_sampler(const std::string& name,
+                                     std::function<void()> fn) {
+  LockGuard lock(mutex_);
+  samplers_[name] = std::move(fn);
+}
+
+void MetricsSnapshotter::start(const Options& options) {
+  {
+    UniqueLock lock(mutex_);
+    if (running_) {
+      TRKX_WARN << "metrics snapshotter already running; start() ignored";
+      return;
+    }
+    TRKX_CHECK_MSG(!options.path.empty(),
+                   "metrics snapshotter needs an output path");
+    auto os = std::make_unique<std::ofstream>(options.path);
+    TRKX_CHECK_MSG(os->good(),
+                   "metrics snapshotter: cannot open " << options.path);
+    if (options.manifest_header) {
+      *os << "{\"manifest\": " << RunManifest::collect().to_json()
+          << "}\n";
+    }
+    options_ = options;
+    out_ = std::move(os);
+    running_ = true;
+    stop_requested_ = false;
+    samples_ = 0;
+    start_ns_ = steady_ns();
+    last_sample_ns_ = 0;
+    last_counters_.clear();
+  }
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void MetricsSnapshotter::stop() {
+  {
+    UniqueLock lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::ostream* os = nullptr;
+  {
+    UniqueLock lock(mutex_);
+    os = out_.get();
+  }
+  // Final sample so short runs always leave at least one data line.
+  if (os != nullptr) write_line(*os);
+  std::string path;
+  std::uint64_t n = 0;
+  {
+    UniqueLock lock(mutex_);
+    out_.reset();
+    running_ = false;
+    path = options_.path;
+    n = samples_;
+  }
+  TRKX_INFO << "wrote " << n << " time-series samples to " << path;
+}
+
+void MetricsSnapshotter::run_loop() {
+  while (true) {
+    std::ostream* os = nullptr;
+    int period_ms = 200;
+    {
+      UniqueLock lock(mutex_);
+      if (stop_requested_) return;
+      period_ms = options_.period_ms > 0 ? options_.period_ms : 200;
+      os = out_.get();
+    }
+    if (os != nullptr) write_line(*os);
+    UniqueLock lock(mutex_);
+    if (stop_requested_) return;
+    wake_.wait_for(lock, std::chrono::milliseconds(period_ms));
+  }
+}
+
+void MetricsSnapshotter::sample_to(std::ostream& os) { write_line(os); }
+
+void MetricsSnapshotter::write_line(std::ostream& os) {
+  // Run bridge hooks outside the lock: a hook may (re)register samplers
+  // or touch the registry, and must not deadlock against this object.
+  std::vector<std::function<void()>> hooks;
+  {
+    LockGuard lock(mutex_);
+    hooks.reserve(samplers_.size());
+    for (const auto& [name, fn] : samplers_) hooks.push_back(fn);
+  }
+  for (const auto& fn : hooks) fn();
+  sample_process_gauges();
+
+  const MetricsRegistry::Dump dump = metrics().dump();
+  const std::uint64_t now = steady_ns();
+
+  LockGuard lock(mutex_);
+  if (start_ns_ == 0) start_ns_ = now;  // standalone sample_to() use
+  const double t_ms =
+      static_cast<double>(now - start_ns_) / 1e6;
+  const double dt_s =
+      last_sample_ns_ == 0
+          ? 0.0
+          : static_cast<double>(now - last_sample_ns_) / 1e9;
+
+  os << "{\"t_ms\": " << json_number(t_ms) << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : dump.counters) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << v;
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : dump.gauges) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << json_number(v);
+    first = false;
+  }
+  // Per-counter rates since the previous tick: this is where cumulative
+  // stage counters (pipeline.<stage>.events) become events/sec curves.
+  os << "}, \"rates\": {";
+  first = true;
+  for (const auto& [name, v] : dump.counters) {
+    const auto it = last_counters_.find(name);
+    if (it == last_counters_.end() || dt_s <= 0.0 || v < it->second)
+      continue;
+    const double rate = static_cast<double>(v - it->second) / dt_s;
+    os << (first ? "" : ", ") << "\"" << name << "\": "
+       << json_number(rate);
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, s] : dump.histograms) {
+    os << (first ? "" : ", ") << "\"" << name << "\": {\"count\": "
+       << s.count << ", \"sum\": " << json_number(s.sum)
+       << ", \"p50\": " << json_number(s.percentile(50))
+       << ", \"p95\": " << json_number(s.percentile(95))
+       << ", \"p99\": " << json_number(s.percentile(99)) << "}";
+    first = false;
+  }
+  os << "}}\n";
+  os.flush();
+
+  last_counters_.clear();
+  for (const auto& [name, v] : dump.counters) last_counters_[name] = v;
+  last_sample_ns_ = now;
+  ++samples_;
+}
+
+MetricsSnapshotter& MetricsSnapshotter::global() {
+  // Leaked on purpose, like MetricsRegistry::global().
+  static MetricsSnapshotter* g =
+      new MetricsSnapshotter();  // NOLINT(trkx-naked-new): leaked singleton
+  return *g;
+}
+
+}  // namespace trkx

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/thread_id.hpp"
@@ -106,7 +107,8 @@ void TraceSession::write_json(std::ostream& os) const {
          << ",\"pid\":1,\"tid\":" << e.tid << "}";
     }
   }
-  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  os << "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{\"manifest\":"
+     << RunManifest::collect().to_json() << "}}\n";
 }
 
 void TraceSession::write_json(const std::string& path) const {
@@ -151,7 +153,8 @@ struct EnvAutoCapture {
       if (!trace_path.empty())
         TraceSession::global().write_json(trace_path);
       if (!metrics_path.empty())
-        MetricsRegistry::global().write_json(metrics_path);
+        MetricsRegistry::global().write_json(metrics_path,
+                                             /*with_manifest=*/true);
     } catch (const std::exception& e) {
       // Last-resort report during static teardown; the log sink may
       // already be closed. NOLINT(trkx-io)

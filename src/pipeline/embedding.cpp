@@ -1,5 +1,6 @@
 #include "pipeline/embedding.hpp"
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -44,6 +45,7 @@ double EmbeddingModel::train_batch(const Matrix& feats_a,
 
 std::vector<double> EmbeddingModel::train(const std::vector<Event>& events) {
   TRKX_TRACE_SPAN("embedding.train", "pipeline");
+  metrics().counter("pipeline.embedding.events").add(1);
   TRKX_CHECK(!events.empty());
   Adam opt(store_, AdamOptions{.lr = config_.lr});
   std::vector<double> epoch_loss;

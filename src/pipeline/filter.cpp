@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -43,6 +44,7 @@ std::vector<float> FilterModel::score(const Event& event) const {
 
 std::vector<double> FilterModel::train(const std::vector<Event>& events) {
   TRKX_TRACE_SPAN("filter.train", "pipeline");
+  metrics().counter("pipeline.filter_train.events").add(1);
   TRKX_CHECK(!events.empty());
   // Auto pos_weight from global imbalance: fakes dominate, so weight
   // positives up to keep recall.
@@ -86,6 +88,7 @@ std::vector<double> FilterModel::train(const std::vector<Event>& events) {
 
 std::size_t FilterModel::apply(Event& event) const {
   TRKX_TRACE_SPAN("filter.apply", "pipeline");
+  metrics().counter("pipeline.filter.events").add(1);
   const std::vector<float> scores = score(event);
   if (scores.empty()) return 0;
   std::vector<Edge> kept_edges;

@@ -5,8 +5,10 @@
 #include <filesystem>
 #include <thread>
 
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/checkpoint.hpp"
 #include "tensor/pool.hpp"
@@ -372,6 +374,19 @@ void run_shadow_training(ShadowTrainContext ctx) {
   const bool checkpointing = !config.checkpoint_dir.empty();
   const std::uint64_t fingerprint =
       checkpoint_fingerprint(config, ctx.sampler_kind, world);
+  if (is_root) {
+    // Stamp the run's config identity into every obs artifact (bench
+    // JSON, trace metadata, time-series header) and bridge the pool stats
+    // into the snapshotter — obs cannot include tensor/, so the gauge is
+    // published from here via a sampler hook.
+    set_run_fingerprint(fingerprint);
+    MetricsSnapshotter::global().add_sampler("tensor_pool", [] {
+      const TensorPool::Stats pstats = TensorPool::stats();
+      metrics().gauge("pool.bytes_cached")
+          .set(static_cast<double>(pstats.bytes_cached));
+      metrics().gauge("pool.hit_rate").set(pstats.hit_rate());
+    });
+  }
   std::size_t start_epoch = 0;
   std::vector<TrainCheckpointState::EpochSummary> summaries;
   std::string boundary_blob;
@@ -525,6 +540,8 @@ void run_shadow_training(ShadowTrainContext ctx) {
           TRKX_TRACE_SPAN("prefetch.get", "prefetch");
           prepared = queue.get(u);
         }
+        metrics().gauge("prefetch.depth")
+            .set(static_cast<double>(queue.ready_ahead()));
         for (std::size_t j = 0; j < prepared.samples.size(); ++j) {
           const ShadowSample& sample = prepared.samples[j];
           double local_loss = 0.0;

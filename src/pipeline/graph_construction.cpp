@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -157,6 +158,7 @@ void rebuild_event_graph(Event& event, const Matrix& embedded,
                          std::size_t edge_feature_dim,
                          const FeatureScales& scales) {
   TRKX_TRACE_SPAN("graph_construction", "pipeline");
+  metrics().counter("pipeline.graph_construction.events").add(1);
   TRKX_CHECK(embedded.rows() == event.hits.size());
   std::vector<std::uint32_t> layers(event.hits.size());
   for (std::size_t i = 0; i < event.hits.size(); ++i)

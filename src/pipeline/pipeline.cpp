@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -99,6 +100,7 @@ void TrackingPipeline::load(std::istream& is) {
 
 PipelineOutput TrackingPipeline::reconstruct(const Event& event) const {
   TRKX_TRACE_SPAN("pipeline.reconstruct", "pipeline");
+  metrics().counter("pipeline.reconstruct.events").add(1);
   const Event prepared = prepare_event(event);
   PipelineOutput out;
   std::vector<float> scores;

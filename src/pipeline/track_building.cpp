@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -19,6 +20,7 @@ std::vector<TrackCandidate> build_tracks(const Event& event,
                                          const std::vector<float>& edge_scores,
                                          const TrackBuildConfig& config) {
   TRKX_TRACE_SPAN("track_building", "pipeline");
+  metrics().counter("pipeline.track_building.events").add(1);
   TRKX_CHECK(edge_scores.size() == event.graph.num_edges());
   std::vector<char> mask(edge_scores.size());
   for (std::size_t e = 0; e < edge_scores.size(); ++e)

@@ -102,6 +102,13 @@ bool read_enabled() {
 
 std::atomic<bool> g_enabled{read_enabled()};
 
+// Set by ~ThreadCache. On the main thread every thread_local is destroyed
+// before objects with static storage duration, so a static-lifetime Matrix
+// freed during program teardown would otherwise push into the dead cache's
+// free lists (use-after-free). The flag itself is trivially destructible
+// and zero-initialized, so it stays readable through thread exit.
+thread_local bool t_cache_dead = false;
+
 struct ThreadCache {
   std::vector<void*> free_lists[kNumBuckets];
   std::size_t bytes_cached = 0;
@@ -132,6 +139,7 @@ struct ThreadCache {
         break;
       }
     }
+    t_cache_dead = true;
   }
 
   void drop_blocks() {
@@ -149,9 +157,12 @@ struct ThreadCache {
   }
 };
 
-ThreadCache& local_cache() {
+// Null once the thread's cache has been destroyed: callers must then
+// bypass the pool and talk to the system allocator directly.
+ThreadCache* local_cache() {
+  if (t_cache_dead) return nullptr;
   thread_local ThreadCache cache;
-  return cache;
+  return &cache;
 }
 
 }  // namespace
@@ -164,41 +175,46 @@ void* TensorPool::acquire(std::size_t bytes) {
   // enabled — release() can then cache any block safely.
   const std::size_t alloc_bytes =
       idx < kNumBuckets ? bucket_bytes(idx) : bytes;
-  ThreadCache& cache = local_cache();
+  ThreadCache* cache = local_cache();
+  if (cache == nullptr) return ::operator new(alloc_bytes);
   if (idx < kNumBuckets && g_enabled.load(std::memory_order_relaxed)) {
-    auto& list = cache.free_lists[idx];
+    auto& list = cache->free_lists[idx];
     if (!list.empty()) {
       void* p = list.back();
       list.pop_back();
       unpoison_block(p, alloc_bytes);
-      cache.bytes_cached -= alloc_bytes;
-      cache.bytes_cached_pub.store(cache.bytes_cached,
-                                   std::memory_order_relaxed);
-      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      cache->bytes_cached -= alloc_bytes;
+      cache->bytes_cached_pub.store(cache->bytes_cached,
+                                    std::memory_order_relaxed);
+      cache->hits.fetch_add(1, std::memory_order_relaxed);
       return p;
     }
   }
-  cache.misses.fetch_add(1, std::memory_order_relaxed);
+  cache->misses.fetch_add(1, std::memory_order_relaxed);
   return ::operator new(alloc_bytes);
 }
 
 void TensorPool::release(void* p, std::size_t bytes) {
   if (p == nullptr) return;
   const std::size_t idx = bucket_index(bytes);
-  ThreadCache& cache = local_cache();
+  ThreadCache* cache = local_cache();
+  if (cache == nullptr) {
+    ::operator delete(p);
+    return;
+  }
   if (idx < kNumBuckets && g_enabled.load(std::memory_order_relaxed)) {
     const std::size_t cap = bucket_bytes(idx);
-    if (cache.bytes_cached + cap <= max_cached_bytes()) {
-      cache.free_lists[idx].push_back(p);
+    if (cache->bytes_cached + cap <= max_cached_bytes()) {
+      cache->free_lists[idx].push_back(p);
       poison_block(p, cap);
-      cache.bytes_cached += cap;
-      cache.bytes_cached_pub.store(cache.bytes_cached,
-                                   std::memory_order_relaxed);
-      cache.returns.fetch_add(1, std::memory_order_relaxed);
+      cache->bytes_cached += cap;
+      cache->bytes_cached_pub.store(cache->bytes_cached,
+                                    std::memory_order_relaxed);
+      cache->returns.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
-  cache.evictions.fetch_add(1, std::memory_order_relaxed);
+  cache->evictions.fetch_add(1, std::memory_order_relaxed);
   ::operator delete(p);
 }
 
@@ -236,7 +252,9 @@ void TensorPool::reset_stats() {
   }
 }
 
-void TensorPool::clear_thread_cache() { local_cache().drop_blocks(); }
+void TensorPool::clear_thread_cache() {
+  if (ThreadCache* cache = local_cache()) cache->drop_blocks();
+}
 
 std::size_t TensorPool::max_cached_bytes() {
   static const std::size_t cap = read_max_cached_bytes();

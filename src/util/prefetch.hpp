@@ -91,6 +91,14 @@ class PrefetchQueue {
   const Stats& stats() const { return stats_; }
   std::size_t count() const { return count_; }
 
+  /// Ready-but-unconsumed items right now. Consumer-thread only (reads
+  /// next_consume_); the training loop publishes this as a gauge so the
+  /// metrics snapshotter can track queue depth over time.
+  std::size_t ready_ahead() const {
+    const std::size_t done = ready_->load(std::memory_order_acquire);
+    return done > next_consume_ ? done - next_consume_ : 0;
+  }
+
  private:
   /// Submit producer tasks until `depth_` items are in flight beyond the
   /// consumption point (or the sequence is exhausted).

@@ -4,8 +4,21 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace trkx {
+
+namespace {
+/// Deterministic per-stat random index in [0, n): one splitmix64 step on
+/// the stat's own state. Using trkx::Rng machinery keeps the reservoir
+/// reproducible across runs (fixed seed, no global RNG involved).
+std::size_t reservoir_index(std::uint64_t& state, std::size_t n) {
+  Rng r(state);
+  const std::uint64_t draw = r.next_u64();
+  state = draw;
+  return static_cast<std::size_t>(draw % n);
+}
+}  // namespace
 
 void RunningStat::add(double x) {
   if (n_ == 0) {
@@ -18,6 +31,14 @@ void RunningStat::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  // Algorithm R: the i-th observation replaces a uniformly random slot
+  // with probability cap/i once the reservoir is full.
+  if (reservoir_.size() < kReservoirCap) {
+    reservoir_.push_back(x);
+  } else {
+    const std::size_t j = reservoir_index(rng_state_, n_);
+    if (j < kReservoirCap) reservoir_[j] = x;
+  }
 }
 
 void RunningStat::merge(const RunningStat& other) {
@@ -32,9 +53,35 @@ void RunningStat::merge(const RunningStat& other) {
   mean_ += delta * nb / (na + nb);  // NOLINT(trkx-div-guard): na, nb >= 1
   // NOLINT(trkx-div-guard): na, nb >= 1 after the early returns above
   m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  if (reservoir_.size() + other.reservoir_.size() <= kReservoirCap) {
+    reservoir_.insert(reservoir_.end(), other.reservoir_.begin(),
+                      other.reservoir_.end());
+  } else {
+    // Re-sample a cap-sized reservoir where each side contributes in
+    // proportion to its observation count (with replacement — this is a
+    // quantile estimator, not an exact archive).
+    std::vector<double> merged;
+    merged.reserve(kReservoirCap);
+    const std::uint64_t threshold = static_cast<std::uint64_t>(
+        na / (na + nb) * 1e9);  // NOLINT(trkx-div-guard): na, nb >= 1
+    for (std::size_t i = 0; i < kReservoirCap; ++i) {
+      const bool from_a =
+          reservoir_index(rng_state_, 1000000000ull) < threshold;
+      const std::vector<double>& src =
+          from_a ? reservoir_ : other.reservoir_;
+      merged.push_back(src[reservoir_index(rng_state_, src.size())]);
+    }
+    reservoir_ = std::move(merged);
+  }
   n_ += other.n_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::percentile(double p) const {
+  if (n_ == 0 || reservoir_.empty()) return 0.0;
+  const double est = trkx::percentile(reservoir_, p);
+  return std::clamp(est, min_, max_);
 }
 
 double RunningStat::variance() const {

@@ -1,20 +1,32 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace trkx {
 
-/// Streaming mean/variance (Welford) plus min/max.
+/// Streaming mean/variance (Welford) plus min/max plus quantile
+/// estimates from a bounded reservoir.
 ///
 /// min()/max() are initialised from the first add() — never from a
 /// spurious 0.0 — so an all-positive (or all-negative) stream reports only
 /// values that were actually observed. With no observations both return 0.
+///
+/// percentile(p) draws on a deterministic reservoir sample (Vitter's
+/// Algorithm R, capacity kReservoirCap, fixed internal seed so repeated
+/// runs agree bit-for-bit): exact while count() <= kReservoirCap, an
+/// unbiased estimate beyond that. Memory stays bounded at ~4 KB no
+/// matter how long the stream runs.
 class RunningStat {
  public:
+  static constexpr std::size_t kReservoirCap = 512;
+
   void add(double x);
   /// Combine another stat into this one (Chan et al. parallel Welford);
   /// lets per-thread stats be accumulated shard-wise and merged on read.
+  /// Reservoirs concatenate exactly while they fit; beyond the cap the
+  /// merged reservoir is re-sampled proportionally to each side's count.
   void merge(const RunningStat& other);
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
@@ -22,6 +34,9 @@ class RunningStat {
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }
+  /// p in [0,100]; 0.0 with no observations. Exact for streams no longer
+  /// than kReservoirCap, reservoir-estimated (clamped to [min,max]) after.
+  double percentile(double p) const;
 
  private:
   std::size_t n_ = 0;
@@ -29,6 +44,8 @@ class RunningStat {
   double m2_ = 0.0;
   double min_ = 0.0;  ///< valid only when n_ > 0 (set on first add)
   double max_ = 0.0;  ///< valid only when n_ > 0 (set on first add)
+  std::vector<double> reservoir_;
+  std::uint64_t rng_state_ = 0x5eed0f57a7e5eedull;
 };
 
 /// p in [0,100]; linear interpolation between order statistics.

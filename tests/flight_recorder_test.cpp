@@ -1,0 +1,207 @@
+// Tests for the performance flight recorder (src/obs): RunManifest
+// provenance stamps, manifest embedding in the metrics / trace exports,
+// and the MetricsSnapshotter time-series JSONL stream.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+
+namespace trkx {
+namespace {
+
+// ---------- run manifest ----------
+
+TEST(RunManifest, CollectFillsEnvironment) {
+  const RunManifest m = RunManifest::collect("flight_test");
+  EXPECT_EQ(m.schema, "trkx-manifest-v1");
+  EXPECT_EQ(m.tool, "flight_test");
+  EXPECT_FALSE(m.git_sha.empty());
+  EXPECT_FALSE(m.compiler.empty());
+  EXPECT_GE(m.hardware_threads, 1);
+  EXPECT_GE(m.omp_max_threads, 1);
+  EXPECT_GT(m.unix_time_s, 0u);
+}
+
+TEST(RunManifest, JsonCarriesEveryField) {
+  RunManifest m = RunManifest::collect("flight_json");
+  m.config_fingerprint = 0xabcdefu;
+  const std::string json = m.to_json();
+  for (const char* key :
+       {"\"schema\"", "\"tool\"", "\"git_sha\"", "\"build_type\"",
+        "\"compiler\"", "\"hostname\"", "\"hardware_threads\"",
+        "\"omp_max_threads\"", "\"tracing_compiled\"", "\"unix_time_s\"",
+        "\"config_fingerprint\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("trkx-manifest-v1"), std::string::npos);
+}
+
+TEST(RunManifest, ToolAndFingerprintGlobalsRoundTrip) {
+  set_run_tool("flight_tool");
+  set_run_fingerprint(42);
+  EXPECT_EQ(run_tool(), "flight_tool");
+  EXPECT_EQ(run_fingerprint(), 42u);
+  const RunManifest m = RunManifest::collect();
+  EXPECT_EQ(m.tool, "flight_tool");
+  EXPECT_EQ(m.config_fingerprint, 42u);
+  set_run_fingerprint(0);
+}
+
+TEST(RunManifest, MetricsJsonEmbedsManifest) {
+  metrics().counter("test.flight.json_count").add(3);
+  std::ostringstream os;
+  metrics().write_json(os, /*with_manifest=*/true);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"manifest\""), std::string::npos);
+  EXPECT_NE(json.find("trkx-manifest-v1"), std::string::npos);
+  EXPECT_NE(json.find("test.flight.json_count"), std::string::npos);
+}
+
+TEST(RunManifest, TraceExportEmbedsManifest) {
+  TraceSession& s = TraceSession::global();
+  s.clear();
+  s.start();
+  {
+    TRKX_TRACE_SPAN("test.flight.span");
+  }
+  s.stop();
+  std::ostringstream os;
+  s.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"metadata\""), std::string::npos);
+  EXPECT_NE(json.find("\"manifest\""), std::string::npos);
+  EXPECT_NE(json.find("trkx-manifest-v1"), std::string::npos);
+  s.clear();
+}
+
+// ---------- time-series snapshotter ----------
+
+TEST(Snapshotter, SampleLineHasAllSections) {
+  metrics().counter("test.flight.events").add(5);
+  metrics().gauge("test.flight.gauge").set(1.5);
+  Histogram& h = metrics().histogram("test.flight.hist");
+  h.reset();
+  for (int i = 1; i <= 10; ++i) h.observe(i * 0.01);
+
+  MetricsSnapshotter snap;
+  std::ostringstream os;
+  snap.sample_to(os);
+  const std::string line = os.str();
+  // One JSONL line per sample: exactly one trailing newline.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+  for (const char* key : {"\"t_ms\"", "\"counters\"", "\"gauges\"",
+                          "\"rates\"", "\"histograms\""}) {
+    EXPECT_NE(line.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(line.find("test.flight.events"), std::string::npos);
+  EXPECT_NE(line.find("test.flight.gauge"), std::string::npos);
+  EXPECT_NE(line.find("\"p50\""), std::string::npos);
+  EXPECT_NE(line.find("\"p95\""), std::string::npos);
+  EXPECT_NE(line.find("\"p99\""), std::string::npos);
+}
+
+TEST(Snapshotter, SecondSampleDerivesRates) {
+  MetricsSnapshotter snap;
+  // The counter must exist before the warmup tick: rates are derived
+  // only for counters with a previous-tick value.
+  Counter& c = metrics().counter("test.flight.rate_src");
+  std::ostringstream warmup;
+  snap.sample_to(warmup);  // establishes the previous-tick counter values
+  c.add(1000);
+  std::ostringstream os;
+  snap.sample_to(os);
+  const std::string line = os.str();
+  const std::size_t rates = line.find("\"rates\"");
+  ASSERT_NE(rates, std::string::npos);
+  // The bumped counter must appear inside the rates object with a
+  // non-zero value (1000 events over a ~microsecond tick).
+  const std::size_t pos = line.find("\"test.flight.rate_src\"", rates);
+  EXPECT_NE(pos, std::string::npos);
+}
+
+TEST(Snapshotter, ProcessGaugesPopulated) {
+  MetricsSnapshotter::sample_process_gauges();
+  const MetricsRegistry::Dump dump = metrics().dump();
+  double rss = -1.0;
+  double peak = -1.0;
+  for (const auto& [name, v] : dump.gauges) {
+    if (name == "process.rss_bytes") rss = v;
+    if (name == "process.peak_rss_bytes") peak = v;
+  }
+  ASSERT_GE(rss, 0.0);  // gauge exists
+  ASSERT_GE(peak, 0.0);
+#if defined(__linux__)
+  EXPECT_GT(rss, 0.0);
+  EXPECT_GT(peak, 0.0);
+#endif
+}
+
+TEST(Snapshotter, SamplerHookPublishesGauge) {
+  MetricsSnapshotter snap;
+  snap.add_sampler("hook", [] {
+    metrics().gauge("test.flight.hook_gauge").set(7.0);
+  });
+  std::ostringstream os;
+  snap.sample_to(os);
+  EXPECT_NE(os.str().find("\"test.flight.hook_gauge\": 7"),
+            std::string::npos);
+  // Re-registering the same name replaces the hook rather than stacking.
+  snap.add_sampler("hook", [] {
+    metrics().gauge("test.flight.hook_gauge").set(9.0);
+  });
+  std::ostringstream os2;
+  snap.sample_to(os2);
+  EXPECT_NE(os2.str().find("\"test.flight.hook_gauge\": 9"),
+            std::string::npos);
+}
+
+TEST(Snapshotter, StartStopWritesManifestHeaderThenSamples) {
+  const std::string path = "flight_recorder_ts.jsonl";
+  MetricsSnapshotter snap;
+  MetricsSnapshotter::Options opt;
+  opt.path = path;
+  opt.period_ms = 10;
+  snap.start(opt);
+  EXPECT_TRUE(snap.running());
+  metrics().counter("test.flight.live").add(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  snap.stop();
+  EXPECT_FALSE(snap.running());
+  EXPECT_GE(snap.samples(), 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, first)));
+  EXPECT_EQ(first.find("{\"manifest\""), 0u);
+  EXPECT_NE(first.find("trkx-manifest-v1"), std::string::npos);
+  std::uint64_t data_lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++data_lines;
+    EXPECT_EQ(line.find("{\"t_ms\""), 0u);
+  }
+  EXPECT_EQ(data_lines, snap.samples());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshotter, StartWithoutPathFails) {
+  MetricsSnapshotter snap;
+  MetricsSnapshotter::Options opt;  // no path
+  EXPECT_THROW(snap.start(opt), std::exception);
+  EXPECT_FALSE(snap.running());
+}
+
+}  // namespace
+}  // namespace trkx

@@ -23,6 +23,7 @@
 #include "nn/parameter.hpp"
 #include "sampling/matrix_shadow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "tensor/pool.hpp"
 #include "util/annotations.hpp"
@@ -184,6 +185,50 @@ TEST(MetricsStressTest, ConcurrentWritersAndExporters) {
             static_cast<std::uint64_t>(4 * kIters));
   Histogram::Snapshot snap = reg.histogram("stress.hist").snapshot();
   EXPECT_EQ(snap.count, static_cast<std::uint64_t>(4 * kIters));
+}
+
+// The flight-recorder schedule: hot paths bump the global registry while
+// the snapshotter thread scrapes it into time-series lines and sampler
+// hooks are (re)registered concurrently. This is exactly what a training
+// run with TRKX_TIMESERIES enabled does.
+TEST(MetricsStressTest, SnapshotterRacesWritersAndHookRegistration) {
+  MetricsSnapshotter snap;
+  std::atomic<bool> stop{false};
+  std::atomic<int> writers_done{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([t, &writers_done] {
+      Counter& c = metrics().counter("stress.snap.count");
+      Histogram& h = metrics().histogram("stress.snap.hist");
+      for (int i = 0; i < kIters; ++i) {
+        c.add(1);
+        h.observe(1e-5 * (i + 1));
+        metrics().gauge("stress.snap.g" + std::to_string(t)).set(i);
+      }
+      ++writers_done;
+    });
+  }
+  std::thread registrar([&snap, &stop] {
+    int gen = 0;
+    while (!stop.load()) {
+      snap.add_sampler("hook", [gen] {
+        metrics().gauge("stress.snap.hook").set(gen);
+      });
+      ++gen;
+    }
+  });
+  std::uint64_t lines = 0;
+  while (writers_done.load() < 3 || lines < 5) {
+    std::ostringstream os;
+    snap.sample_to(os);
+    ++lines;
+  }
+  stop = true;
+  for (auto& w : writers) w.join();
+  registrar.join();
+  EXPECT_GE(snap.samples(), 5u);
+  EXPECT_EQ(metrics().counter("stress.snap.count").value(),
+            static_cast<std::uint64_t>(3 * kIters));
 }
 
 // ---------- Trace session ----------

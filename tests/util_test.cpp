@@ -218,6 +218,42 @@ TEST(RunningStat, MergeEmptySides) {
   EXPECT_DOUBLE_EQ(b.max(), 2.0);
 }
 
+TEST(RunningStat, PercentileExactWithinReservoir) {
+  RunningStat s;
+  for (int i = 1; i <= 100; ++i) s.add(i);  // <= kReservoirCap: exact
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.5);
+}
+
+TEST(RunningStat, PercentileEstimatedBeyondReservoir) {
+  RunningStat s;
+  const int n = 10 * static_cast<int>(RunningStat::kReservoirCap);
+  for (int i = 1; i <= n; ++i) s.add(i);
+  const double p50 = s.percentile(50);
+  const double p99 = s.percentile(99);
+  // Reservoir estimate on a uniform stream: allow sampling error, but the
+  // ordering and the [min, max] clamp must hold exactly.
+  EXPECT_NEAR(p50, n / 2.0, n * 0.1);
+  EXPECT_GT(p99, p50);
+  EXPECT_GE(s.percentile(0), s.min());
+  EXPECT_LE(s.percentile(100), s.max());
+}
+
+TEST(RunningStat, PercentileEmptyIsZero) {
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(RunningStat, PercentileMergeConcatenatesWhileFitting) {
+  RunningStat a, b;
+  for (int i = 1; i <= 200; ++i) a.add(i);
+  for (int i = 201; i <= 400; ++i) b.add(i);
+  a.merge(b);  // 400 <= kReservoirCap: still exact after the merge
+  EXPECT_DOUBLE_EQ(a.percentile(50), 200.5);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 400.0);
+}
+
 TEST(Percentile, MedianAndExtremes) {
   std::vector<double> v{5, 1, 3, 2, 4};
   EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
