@@ -1,0 +1,202 @@
+// Kernel-layer roofline: per-kernel bandwidth (GB/s) and arithmetic
+// throughput (GFLOP/s) for the scalar and AVX2 dispatch tables at
+// pipeline-representative shapes.
+//
+//   ./bench_kernels [--reps 9] [--inner 4] [--json-out BENCH_kernels.json]
+//
+// Each series is one (kernel, isa) pair; metrics carry the median wall
+// time plus derived gb_per_sec / gflops_per_sec, and AVX2 series add
+// speedup_vs_scalar so the regression gate and the DESIGN.md roofline
+// table read straight off the artifact. On hosts without AVX2+FMA only
+// the scalar series are emitted.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+
+#include "sparse/spgemm.hpp"
+#include "tensor/kernels/kernels.hpp"
+#include "tensor/matrix.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace trkx {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Median wall seconds of `reps` timed runs, each executing fn() `inner`
+/// times (inner repetition amortises clock granularity on fast kernels).
+template <typename Fn>
+double median_seconds(int reps, int inner, Fn&& fn) {
+  std::vector<double> t;
+  t.reserve(static_cast<std::size_t>(reps));
+  fn();  // warm-up: page in buffers, resolve dispatch
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < inner; ++i) fn();
+    const auto t1 = Clock::now();
+    t.push_back(std::chrono::duration<double>(t1 - t0).count() / inner);
+  }
+  std::sort(t.begin(), t.end());
+  return t[t.size() / 2];
+}
+
+struct Workload {
+  std::string name;
+  double bytes;   // touched per run (read + write), for GB/s
+  double flops;   // arithmetic per run, for GFLOP/s
+  double scalar_s = 0.0;
+};
+
+/// Pipeline-representative shapes: hidden_dim 64 message passing over
+/// ~8k-node sampled subgraphs (ShaDow depth-2 fanout-4 batches).
+constexpr std::size_t kRows = 8192;
+constexpr std::size_t kCols = 64;
+constexpr std::size_t kInner = 64;
+constexpr std::size_t kEwN = kRows * kCols;
+
+void run_isa(const kernels::KernelTable& t, int reps, int inner,
+             std::vector<Workload>& loads, BenchJsonWriter& json,
+             bool is_scalar) {
+  Rng rng(17);
+  const Matrix a = Matrix::random_normal(kRows, kInner, rng);
+  const Matrix b = Matrix::random_normal(kInner, kCols, rng);
+  const Matrix x = Matrix::random_normal(kRows, kCols, rng);
+  const Matrix y = Matrix::random_normal(kRows, kCols, rng);
+  Matrix out(kRows, kCols);
+  std::vector<float> gamma(kCols, 1.0f), beta(kCols, 0.1f);
+  std::vector<float> xhat(kEwN), inv_std(kRows), colsum(kCols);
+
+  // ~degree-8 random sparse adjacency for spmm.
+  std::vector<Triplet> trips;
+  for (std::size_t r = 0; r < kRows; ++r)
+    for (int d = 0; d < 8; ++d)
+      trips.push_back({static_cast<std::uint32_t>(r),
+                       static_cast<std::uint32_t>(rng.uniform_index(kRows)),
+                       1.0f});
+  const CsrMatrix adj = CsrMatrix::from_triplets(kRows, kRows, trips);
+  const double nnz = static_cast<double>(adj.nnz());
+
+  std::vector<std::uint32_t> idx(kRows);
+  for (std::size_t i = 0; i < kRows; ++i)
+    idx[i] = static_cast<std::uint32_t>(rng.uniform_index(kRows));
+
+  Matrix w = Matrix::random_normal(kRows, kCols, rng);
+  Matrix m0(kRows, kCols, 0.0f), v0(kRows, kCols, 0.0f);
+  const kernels::AdamStep step{1e-3f, 0.9f, 0.999f, 1e-8f, 0.0f, 1.111f,
+                               1.001f};
+
+  struct Case {
+    const char* name;
+    double bytes;
+    double flops;
+    std::function<void()> fn;
+  };
+  const double fR = static_cast<double>(kRows), fC = static_cast<double>(kCols),
+               fK = static_cast<double>(kInner), fN = static_cast<double>(kEwN);
+  std::vector<Case> cases;
+  cases.push_back({"gemm", 4.0 * (fR * fK + fK * fC + 2.0 * fR * fC),
+                   2.0 * fR * fK * fC, [&] {
+                     std::memset(out.data(), 0, kEwN * sizeof(float));
+                     t.gemm(a.data(), b.data(), out.data(), kRows, kInner,
+                            kCols);
+                   }});
+  cases.push_back({"spmm", 4.0 * (nnz * 2.0 + fR * fC * 2.0 + nnz * fC),
+                   2.0 * nnz * fC, [&] {
+                     std::memset(out.data(), 0, kEwN * sizeof(float));
+                     t.spmm(adj.row_ptr().data(), adj.col_idx().data(),
+                            adj.values().data(), x.data(), out.data(), kRows,
+                            kCols);
+                   }});
+  cases.push_back({"row_gather", 4.0 * (fN * 2.0) + 4.0 * fR, 0.0, [&] {
+                     t.row_gather(x.data(), idx.data(), out.data(), kRows,
+                                  kCols);
+                   }});
+  cases.push_back({"ew_add", 4.0 * fN * 3.0, fN, [&] {
+                     t.ew_add(x.data(), y.data(), out.data(), kEwN);
+                   }});
+  cases.push_back({"ew_axpy", 4.0 * fN * 3.0, 2.0 * fN, [&] {
+                     t.ew_axpy(out.data(), 0.5f, x.data(), kEwN);
+                   }});
+  cases.push_back({"rowwise_sum", 4.0 * (fN + fR), fN, [&] {
+                     t.rowwise_sum(x.data(), inv_std.data(), kRows, kCols);
+                   }});
+  cases.push_back({"colwise_sum", 4.0 * (fN + 2.0 * fC), fN, [&] {
+                     std::memset(colsum.data(), 0, kCols * sizeof(float));
+                     t.colwise_sum(x.data(), colsum.data(), kRows, kCols);
+                   }});
+  cases.push_back({"layer_norm_fwd", 4.0 * (fN * 3.0 + fR + 2.0 * fC),
+                   8.0 * fN, [&] {
+                     t.layer_norm_fwd(x.data(), gamma.data(), beta.data(),
+                                      out.data(), xhat.data(), inv_std.data(),
+                                      kRows, kCols, 1e-5f);
+                   }});
+  cases.push_back({"adam_update", 4.0 * fN * 7.0, 11.0 * fN, [&] {
+                     t.adam_update(w.data(), x.data(), m0.data(), v0.data(),
+                                   kEwN, step);
+                   }});
+
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const Case& k = cases[c];
+    const double sec = median_seconds(reps, inner, k.fn);
+    if (is_scalar) {
+      loads.push_back({k.name, k.bytes, k.flops, sec});
+    }
+    auto& s = json.series(std::string(k.name) + "/" + t.name);
+    s.param("kernel", k.name)
+        .param("isa", t.name)
+        .param("rows", static_cast<long long>(kRows))
+        .param("cols", static_cast<long long>(kCols))
+        .metric("seconds_median", sec)
+        .metric("gb_per_sec", k.bytes / sec / 1e9)
+        .metric("gflops_per_sec", k.flops / sec / 1e9);
+    double speedup = 1.0;
+    if (!is_scalar) {
+      for (const Workload& wl : loads)
+        if (wl.name == k.name) speedup = wl.scalar_s / sec;
+      s.metric("speedup_vs_scalar", speedup);
+    }
+    std::printf("  %-16s %-6s  %8.1f us  %7.2f GB/s  %7.2f GFLOP/s", k.name,
+                t.name, sec * 1e6, k.bytes / sec / 1e9, k.flops / sec / 1e9);
+    if (!is_scalar)
+      std::printf("  %5.2fx vs scalar", speedup);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace trkx
+
+int main(int argc, char** argv) {
+  using namespace trkx;
+  set_log_level(LogLevel::kWarn);
+  ArgParser args(argc, argv);
+  const int reps = args.get_int("reps", 9);
+  const int inner = args.get_int("inner", 4);
+
+  std::printf("=== Kernel roofline: scalar vs AVX2 dispatch tables ===\n");
+  BenchJsonWriter json("kernels");
+  std::vector<Workload> loads;
+  run_isa(kernels::scalar_table(), reps, inner, loads, json,
+          /*is_scalar=*/true);
+  if (kernels::host_has_avx2()) {
+    run_isa(kernels::avx2_table(), reps, inner, loads, json,
+            /*is_scalar=*/false);
+  } else {
+    std::printf("host lacks AVX2+FMA: scalar series only\n");
+  }
+
+  const std::string json_path =
+      BenchJsonWriter::resolve_path(args.get("json-out", ""));
+  if (json.write(json_path))
+    std::printf("bench JSON written to %s\n", json_path.c_str());
+  return 0;
+}

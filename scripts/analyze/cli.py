@@ -10,6 +10,8 @@ Passes and their scopes:
     omp-sharing     src/            OpenMP data-sharing clauses
     layering        src/            include DAG layer order + cycles
     numeric-safety  src/            divisions, exp/log, narrowing casts
+    kernel-dispatch src/            multiply-accumulate hot loops must
+                    route through the kernels::active() dispatch table
     conventions     src/ + tests/ + bench/   the original project-lint
                     rules, plus the bench JSON-registration rule
 
@@ -21,7 +23,8 @@ import argparse
 import os
 import sys
 
-from . import conventions, layering, numeric_safety, omp_sharing
+from . import (conventions, kernel_dispatch, layering, numeric_safety,
+               omp_sharing)
 from .common import SourceTree
 
 # pass name -> (module, subdirs it runs over)
@@ -29,6 +32,7 @@ PASSES = {
     "omp-sharing": (omp_sharing, ("src",)),
     "layering": (layering, ("src",)),
     "numeric-safety": (numeric_safety, ("src",)),
+    "kernel-dispatch": (kernel_dispatch, ("src",)),
     "conventions": (conventions, ("src", "tests", "bench")),
 }
 

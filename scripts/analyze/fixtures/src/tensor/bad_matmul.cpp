@@ -1,0 +1,29 @@
+// Seeded violation for the kernel-dispatch pass: a hand-rolled GEMM
+// multiply-accumulate loop that bypasses kernels::active(). The scalar
+// fold into `norm` must NOT fire (plain accumulator, not an indexed
+// element), and the suppressed line proves NOLINT is honoured.
+#include <cstddef>
+
+namespace trkx {
+
+void bad_matmul(const float* a, const float* b, float* c, std::size_t m,
+                std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t p = 0; p < k; ++p)
+        c[i * n + j] += a[i * k + p] * b[p * n + j];
+}
+
+float ok_scalar_fold(const float* a, const float* b, std::size_t n) {
+  float norm = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) norm += a[i] * b[i];
+  return norm;
+}
+
+void ok_suppressed(float* acc, const float* v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    // NOLINT(trkx-kernel-dispatch): fixture proves suppression works
+    acc[i] += v[i] * 2.0f;
+}
+
+}  // namespace trkx

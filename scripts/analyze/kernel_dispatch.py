@@ -1,0 +1,63 @@
+"""kernel-dispatch pass: hot-loop kernels stay behind the dispatch table.
+
+PR 7 moved every multiply-accumulate hot loop (GEMM family, SpMM,
+reductions, Adam) into ``src/tensor/kernels/``, where each kernel exists
+twice — scalar reference and AVX2 — behind the runtime-dispatched
+``kernels::active()`` table. A hand-rolled ``c[i] += a[i] * b[i]`` loop
+anywhere else silently reintroduces a scalar hot path that the SIMD
+tables, the equivalence tests, and the roofline bench never see.
+
+Rules:
+
+    trkx-kernel-dispatch   indexed multiply-accumulate (``x[...] += .. *
+                           ..`` / ``x(...) += .. * ..``) outside
+                           ``src/tensor/kernels/`` — route it through
+                           ``kernels::active()`` or add a NOLINT stating
+                           why no contiguous-row kernel applies (e.g.
+                           Gustavson's column-indexed sparse accumulator
+                           in spgemm.cpp).
+
+Detection is deliberately narrow — the left side must be an indexed
+element (``]`` or ``)`` before the ``+=``) and the right side must
+contain a genuine multiply (an operand character before the ``*``, so
+pointer dereferences like ``+= *p`` do not fire). Scalar reductions into
+a plain accumulator (``sum += a[i] * b[i]``) are left alone: those are
+loss/metric folds, not the O(n·f) kernels the dispatch layer owns.
+"""
+
+import os
+import re
+
+from .common import Finding
+
+RULES = {
+    "trkx-kernel-dispatch":
+        "hand-rolled multiply-accumulate outside src/tensor/kernels/ "
+        "(route through kernels::active() or NOLINT with a reason)",
+}
+
+# "x[...] +=" or "x(...) +=" followed by a multiply whose left operand is
+# a value (word char, ']' or ')') — not a unary dereference.
+MUL_ACC = re.compile(r"[\]\)]\s*\+=\s*[^;]*?[\w\)\]]\s*\*")
+
+
+def is_exempt(rel):
+    rel = rel.replace(os.sep, "/")
+    # The kernel layer itself is the one legitimate home for these loops.
+    return rel.startswith("src/tensor/kernels/")
+
+
+def run(tree):
+    findings = []
+    for sf in tree.files():
+        if is_exempt(sf.rel):
+            continue
+        for i, code in enumerate(sf.code):
+            if not MUL_ACC.search(code):
+                continue
+            if sf.has_nolint(i, "trkx-kernel-dispatch"):
+                continue
+            findings.append(Finding(
+                sf.rel, i + 1, "trkx-kernel-dispatch",
+                RULES["trkx-kernel-dispatch"]))
+    return findings

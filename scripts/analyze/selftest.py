@@ -21,10 +21,11 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from analyze import conventions, layering, numeric_safety, omp_sharing
+from analyze import (conventions, kernel_dispatch, layering, numeric_safety,
+                     omp_sharing)
 from analyze.common import SourceTree
 
-PASSES = (omp_sharing, layering, numeric_safety, conventions)
+PASSES = (omp_sharing, layering, numeric_safety, kernel_dispatch, conventions)
 
 
 def load_expected(path):

@@ -4,7 +4,13 @@
 #
 # Configurations:
 #   release      RelWithDebInfo build + full ctest suite (tier-1 gate)
+#   simd         full ctest suite re-run against the release build with
+#                the kernel dispatch pinned (TRKX_SIMD=scalar, then
+#                TRKX_SIMD=avx2 when the host supports it) — every test
+#                must pass on both tables, not just the auto-resolved one
 #   asan-ubsan   TRKX_SANITIZE=address;undefined, suite minus perf-smoke
+#                (the memory planner's arena is default-on, so ASan also
+#                covers plan record/replay and arena guard bands)
 #   tsan-stress  TRKX_SANITIZE=thread, tsan-stress labelled tests
 #   chaos        fault-injection leg: chaos-labelled ctest suite, then a
 #                TRKX_FAULTS matrix (I/O error, delay, rank-kill) driven
@@ -15,7 +21,7 @@
 #   lint-tidy    scripts/lint.py (+ headers) and clang-tidy if installed
 #   perf         scripts/trkx-bench quick profile against the release
 #                build, gated by scripts/check_regression.py against the
-#                committed BENCH_PR6.json trajectory; the summary carries
+#                committed BENCH_PR7.json trajectory; the summary carries
 #                the regression count and per-bench verdicts
 #
 # Usage:
@@ -94,6 +100,35 @@ build_and_test() {  # build_and_test <name> <ctest-args...> -- <cmake-args...>
 
 if wants release; then
   build_and_test release -- -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if wants simd; then
+  # One build, the suite run once per pinned dispatch table. TRKX_SIMD
+  # overrides the auto cpuid resolution, so this proves the scalar and
+  # AVX2 kernel tables both pass every test — equivalence beyond the
+  # targeted ULP tests in kernels_test. Hosts without AVX2+FMA run the
+  # scalar lap only (TRKX_SIMD=avx2 would be a fatal config error there).
+  t0=$(date +%s)
+  dir=build-ci/simd
+  status=pass detail="$dir"
+  mkdir -p "$dir"
+  if cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       > "$dir/configure.log" 2>&1 &&
+     cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1; then
+    (cd "$dir" && TRKX_SIMD=scalar ctest --output-on-failure -j "$JOBS" \
+       > ctest-scalar.log 2>&1) ||
+      { status=fail; detail="ctest: $dir/ctest-scalar.log"; }
+    if grep -q avx2 /proc/cpuinfo 2> /dev/null; then
+      (cd "$dir" && TRKX_SIMD=avx2 ctest --output-on-failure -j "$JOBS" \
+         > ctest-avx2.log 2>&1) ||
+        { status=fail; detail="ctest: $dir/ctest-avx2.log"; }
+    else
+      echo "[ci-matrix] simd: host lacks AVX2, scalar lap only"
+    fi
+  else
+    status=fail detail="build: $dir/build.log"
+  fi
+  record simd "$status" "$(( $(date +%s) - t0 ))" "$detail"
 fi
 
 if wants asan-ubsan; then
@@ -182,7 +217,7 @@ if wants perf; then
      cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1; then
     if python3 scripts/trkx-bench --build-dir "$dir" --profile quick \
          --out "$dir/BENCH.json" > "$perf_log" 2>&1; then
-      python3 scripts/check_regression.py BENCH_PR6.json "$dir/BENCH.json" \
+      python3 scripts/check_regression.py BENCH_PR7.json "$dir/BENCH.json" \
         --report "$dir/regression.json" >> "$perf_log" 2>&1 || status=fail
       if [ -f "$dir/regression.json" ]; then
         regressions=$(python3 -c "import json; \

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "sparse/spgemm.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "util/numerics.hpp"
 
 namespace trkx {
@@ -179,69 +180,32 @@ Var Tape::layer_norm(Var x, Var gamma, Var beta, float eps) {
   const std::size_t rows = xv.rows(), cols = xv.cols();
   TRKX_CHECK(gamma.value().rows() == 1 && gamma.value().cols() == cols);
   TRKX_CHECK(beta.value().rows() == 1 && beta.value().cols() == cols);
-  // Save per-row mean and inverse stddev for the backward pass.
-  auto mean = std::make_shared<std::vector<float>>(rows);
+  // Save per-row inverse stddev and x_hat for the backward pass.
   auto inv_std = std::make_shared<std::vector<float>>(rows);
-  Matrix normed(rows, cols);  // x_hat, pre-affine
-  for (std::size_t i = 0; i < rows; ++i) {
-    const float* xr = xv.data() + i * cols;
-    float m = 0.0f;
-    for (std::size_t j = 0; j < cols; ++j) m += xr[j];
-    m /= static_cast<float>(cols);
-    float var = 0.0f;
-    for (std::size_t j = 0; j < cols; ++j) var += (xr[j] - m) * (xr[j] - m);
-    var /= static_cast<float>(cols);
-    const float is = 1.0f / std::sqrt(var + eps);
-    (*mean)[i] = m;
-    (*inv_std)[i] = is;
-    float* nr = normed.data() + i * cols;
-    for (std::size_t j = 0; j < cols; ++j) nr[j] = (xr[j] - m) * is;
-  }
+  auto xhat = std::make_shared<Matrix>(rows, cols);
   Matrix out(rows, cols);
-  const float* pg = gamma.value().data();
-  const float* pb = beta.value().data();
-  for (std::size_t i = 0; i < rows; ++i) {
-    const float* nr = normed.data() + i * cols;
-    float* orow = out.data() + i * cols;
-    for (std::size_t j = 0; j < cols; ++j)
-      orow[j] = nr[j] * pg[j] + pb[j];
-  }
-  auto xhat = std::make_shared<Matrix>(std::move(normed));
+  kernels::active().layer_norm_fwd(xv.data(), gamma.value().data(),
+                                   beta.value().data(), out.data(),
+                                   xhat->data(), inv_std->data(), rows, cols,
+                                   eps);
   const bool rg = node(x).requires_grad || node(gamma).requires_grad ||
                   node(beta).requires_grad;
   Tape* t = this;
   return emit(std::move(out), rg, "layer_norm",
               [t, x, gamma, beta, xhat, inv_std, cols](Node& n) {
     const std::size_t rows = n.grad.rows();
-    const float* pg = gamma.value().data();
     if (t->node(gamma).requires_grad) {
-      Matrix dg(1, cols, 0.0f);
-      for (std::size_t i = 0; i < rows; ++i)
-        for (std::size_t j = 0; j < cols; ++j)
-          dg(0, j) += n.grad(i, j) * (*xhat)(i, j);
-      t->accumulate(gamma, dg);
+      // Same products, same row-order per-column accumulation as the
+      // historical explicit loop.
+      t->accumulate(gamma, trkx::colwise_sum(trkx::hadamard(n.grad, *xhat)));
     }
     if (t->node(beta).requires_grad) t->accumulate(beta, colwise_sum(n.grad));
     if (t->node(x).requires_grad) {
       Matrix dx(rows, cols);
-      TRKX_CHECK(cols > 0);
-      const float inv_cols = 1.0f / static_cast<float>(cols);
-      // Standard layer-norm backward per row:
       // dx = (is/cols) * (cols*dy*g - sum(dy*g) - xhat * sum(dy*g*xhat))
-      for (std::size_t i = 0; i < rows; ++i) {
-        float sum_dyg = 0.0f, sum_dyg_xhat = 0.0f;
-        for (std::size_t j = 0; j < cols; ++j) {
-          const float dyg = n.grad(i, j) * pg[j];
-          sum_dyg += dyg;
-          sum_dyg_xhat += dyg * (*xhat)(i, j);
-        }
-        const float is = (*inv_std)[i];
-        for (std::size_t j = 0; j < cols; ++j) {
-          const float dyg = n.grad(i, j) * pg[j];
-          dx(i, j) = is * (dyg - inv_cols * sum_dyg -
-                           (*xhat)(i, j) * inv_cols * sum_dyg_xhat);
-        }
-      }
+      kernels::active().layer_norm_bwd_dx(n.grad.data(), gamma.value().data(),
+                                          xhat->data(), inv_std->data(),
+                                          dx.data(), rows, cols);
       t->accumulate(x, dx);
     }
   });

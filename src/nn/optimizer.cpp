@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "tensor/kernels/kernels.hpp"
 #include "util/error.hpp"
 
 namespace trkx {
@@ -117,23 +118,15 @@ void Adam::step() {
   const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
   const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
   TRKX_CHECK(bias1 > 0.0f && bias2 > 0.0f);  // betas < 1, t_ >= 1
-  const float inv_bias1 = 1.0f / bias1;
-  const float inv_bias2 = 1.0f / bias2;
+  const kernels::AdamStep step{options_.lr,           b1,
+                               b2,                    options_.eps,
+                               options_.weight_decay, 1.0f / bias1,
+                               1.0f / bias2};
   std::size_t i = 0;
   for (auto& p : store_->params()) {
-    float* w = p.value.data();
-    const float* g = p.grad.data();
-    float* m = m_[i].data();
-    float* v = v_[i].data();
+    kernels::active().adam_update(p.value.data(), p.grad.data(),
+                                  m_[i].data(), v_[i].data(), p.size(), step);
     ++i;
-    for (std::size_t j = 0; j < p.size(); ++j) {
-      const float grad = g[j] + options_.weight_decay * w[j];
-      m[j] = b1 * m[j] + (1.0f - b1) * grad;
-      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
-      const float mhat = m[j] * inv_bias1;
-      const float vhat = v[j] * inv_bias2;
-      w[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
-    }
   }
 }
 

@@ -58,43 +58,68 @@ std::vector<std::vector<std::uint32_t>> MatrixShadowSampler::run_levels(
   for (std::size_t r = 0; r < num_roots; ++r) root_rngs.push_back(rng.split());
 
   WallTimer timer;
+  const bool fused = config_.fused_sampling && !config_.generic_spgemm;
   for (std::size_t level = 0; level < config_.depth; ++level) {
     if (frontier.empty()) break;
-    // P = Q·A: each row is one frontier vertex's neighbourhood. Q has one
-    // nonzero per row, so the product is a row selection of A; the
-    // generic_spgemm path runs the same product through the general
-    // kernel (identical result, used for validation and as the paper's
-    // literal formulation).
-    timer.reset();
-    CsrMatrix p;
-    {
-      TRKX_TRACE_SPAN("shadow.spgemm", "sample");
-      if (config_.generic_spgemm) {
-        const CsrMatrix q = CsrMatrix::selection(n, frontier);
-        p = spgemm(q, sym_adj_);
-      } else {
-        p = sym_adj_.select_rows(frontier);
-      }
-    }
-    metrics().counter("sample.spgemm_calls").add(1);
-    metrics().counter("sample.frontier_rows").add(frontier.size());
-    if (stats) {
-      stats->spgemm_seconds += timer.seconds();
-      ++stats->spgemm_calls;
-      stats->frontier_rows += frontier.size();
-    }
-
-    timer.reset();
     CsrMatrix sampled;
-    {
-      TRKX_TRACE_SPAN("shadow.normalise_draw", "sample");
-      p.normalize_rows();
-      sampled = sample_rows(p, config_.fanout, row_root, root_rngs);
-    }
-    metrics().counter("sample.sampled_nnz").add(sampled.nnz());
-    if (stats) {
-      stats->sample_seconds += timer.seconds();
-      stats->sampled_nnz += sampled.nnz();
+    if (fused) {
+      // Fused dataflow: row extraction (P = Q·A ≡ row selection of A),
+      // row normalisation, and the neighbour draw all happen in one pass
+      // over the adjacency's CSR rows — P is never materialised. Samples
+      // are bit-identical to the unfused path below.
+      timer.reset();
+      {
+        TRKX_TRACE_SPAN("shadow.fused_draw", "sample");
+        sampled = sample_neighbors_fused(sym_adj_, frontier, config_.fanout,
+                                         row_root, root_rngs);
+      }
+      metrics().counter("sample.spgemm_calls").add(1);
+      metrics().counter("sample.frontier_rows").add(frontier.size());
+      metrics().counter("sample.sampled_nnz").add(sampled.nnz());
+      if (stats) {
+        // The whole fused pass is draw time; extraction cost no longer
+        // exists as a separate phase.
+        stats->sample_seconds += timer.seconds();
+        ++stats->spgemm_calls;
+        stats->frontier_rows += frontier.size();
+        stats->sampled_nnz += sampled.nnz();
+      }
+    } else {
+      // P = Q·A: each row is one frontier vertex's neighbourhood. Q has
+      // one nonzero per row, so the product is a row selection of A; the
+      // generic_spgemm path runs the same product through the general
+      // kernel (identical result, used for validation and as the paper's
+      // literal formulation).
+      timer.reset();
+      CsrMatrix p;
+      {
+        TRKX_TRACE_SPAN("shadow.spgemm", "sample");
+        if (config_.generic_spgemm) {
+          const CsrMatrix q = CsrMatrix::selection(n, frontier);
+          p = spgemm(q, sym_adj_);
+        } else {
+          p = sym_adj_.select_rows(frontier);
+        }
+      }
+      metrics().counter("sample.spgemm_calls").add(1);
+      metrics().counter("sample.frontier_rows").add(frontier.size());
+      if (stats) {
+        stats->spgemm_seconds += timer.seconds();
+        ++stats->spgemm_calls;
+        stats->frontier_rows += frontier.size();
+      }
+
+      timer.reset();
+      {
+        TRKX_TRACE_SPAN("shadow.normalise_draw", "sample");
+        p.normalize_rows();
+        sampled = sample_rows(p, config_.fanout, row_root, root_rngs);
+      }
+      metrics().counter("sample.sampled_nnz").add(sampled.nnz());
+      if (stats) {
+        stats->sample_seconds += timer.seconds();
+        stats->sampled_nnz += sampled.nnz();
+      }
     }
 
     // Record draws in F and expand the next Q (one nonzero per draw).

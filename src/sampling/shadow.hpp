@@ -19,6 +19,12 @@ struct ShadowConfig {
   /// nonzero per row (Q·A ≡ row selection), which is how a tuned
   /// implementation realises the same algebra.
   bool generic_spgemm = false;
+  /// Matrix sampler fast path only: fuse row extraction, row
+  /// normalisation, and neighbour drawing into a single pass over the
+  /// adjacency's CSR rows (no intermediate P matrix). Bit-identical
+  /// samples; ignored when generic_spgemm is set (that path exists to
+  /// exercise the unfused algebra).
+  bool fused_sampling = true;
 };
 
 /// One sampled minibatch: the disjoint union of every batch vertex's

@@ -8,16 +8,20 @@ namespace trkx {
 
 namespace {
 
-/// Draw up to `s` distinct columns of row `r` into `out` (sorted).
-void sample_row(const CsrMatrix& probs, std::size_t r, std::size_t s,
-                Rng& rng, std::vector<std::uint32_t>& out) {
-  const std::uint64_t begin = probs.row_ptr()[r];
-  const std::uint64_t end = probs.row_ptr()[r + 1];
-  const std::size_t nnz = end - begin;
+/// Draw up to `s` distinct entries of one stored row (cols/vals, nnz
+/// entries) into `out` (sorted). When `scale` is true, every stored value
+/// is read as val * inv — this is how the fused path applies
+/// normalize_rows() on the fly without materialising the scaled row; the
+/// float product rounds exactly as the eager `val_[k] *= inv` would.
+void sample_span(const std::uint32_t* cols, const float* vals,
+                 std::size_t nnz, bool scale, float inv, std::size_t s,
+                 Rng& rng, std::vector<std::uint32_t>& out) {
+  const auto value_at = [&](std::size_t k) {
+    return scale ? vals[k] * inv : vals[k];
+  };
   if (nnz <= s) {
     // Keep the whole row (already column-sorted in CSR).
-    for (std::uint64_t k = begin; k < end; ++k)
-      out.push_back(probs.col_idx()[k]);
+    out.insert(out.end(), cols, cols + nnz);
     return;
   }
   // Detect the uniform case (all stored values equal) — ShaDow rows are
@@ -25,9 +29,9 @@ void sample_row(const CsrMatrix& probs, std::size_t r, std::size_t s,
   // without replacement there. Otherwise fall back to weighted draws
   // with rejection on duplicates.
   bool uniform = true;
-  const float v0 = probs.values()[begin];
-  for (std::uint64_t k = begin + 1; k < end; ++k) {
-    if (probs.values()[k] != v0) {
+  const float v0 = value_at(0);
+  for (std::size_t k = 1; k < nnz; ++k) {
+    if (value_at(k) != v0) {
       uniform = false;
       break;
     }
@@ -37,17 +41,16 @@ void sample_row(const CsrMatrix& probs, std::size_t r, std::size_t s,
     auto offsets = rng.sample_without_replacement(
         static_cast<std::uint32_t>(nnz), static_cast<std::uint32_t>(s));
     picked.reserve(s);
-    for (std::uint32_t off : offsets)
-      picked.push_back(probs.col_idx()[begin + off]);
+    for (std::uint32_t off : offsets) picked.push_back(cols[off]);
   } else {
     // Weighted without replacement via Efraimidis–Spirakis keys:
     // take the s largest u^(1/w). Deterministic given the RNG stream.
     std::vector<std::pair<double, std::uint32_t>> keys;
     keys.reserve(nnz);
-    for (std::uint64_t k = begin; k < end; ++k) {
-      const double w = std::max(1e-30, static_cast<double>(probs.values()[k]));
+    for (std::size_t k = 0; k < nnz; ++k) {
+      const double w = std::max(1e-30, static_cast<double>(value_at(k)));
       const double u = std::max(1e-300, rng.uniform());
-      keys.emplace_back(std::log(u) / w, probs.col_idx()[k]);
+      keys.emplace_back(std::log(u) / w, cols[k]);
     }
     std::partial_sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(s),
                       keys.end(), [](const auto& a, const auto& b) {
@@ -60,10 +63,40 @@ void sample_row(const CsrMatrix& probs, std::size_t r, std::size_t s,
   out.insert(out.end(), picked.begin(), picked.end());
 }
 
+/// Draw up to `s` distinct columns of row `r` into `out` (sorted).
+void sample_row(const CsrMatrix& probs, std::size_t r, std::size_t s,
+                Rng& rng, std::vector<std::uint32_t>& out) {
+  const std::uint64_t begin = probs.row_ptr()[r];
+  const std::size_t nnz = probs.row_ptr()[r + 1] - begin;
+  sample_span(probs.col_idx().data() + begin, probs.values().data() + begin,
+              nnz, /*scale=*/false, 1.0f, s, rng, out);
+}
+
+/// One fused frontier row: extract row `v` of `adj`, normalise it, and
+/// sample — without materialising the extracted or normalised row.
+/// Bit-identical to select_rows + normalize_rows + sample_row: the row
+/// sum uses the same double accumulator over the same stored order, the
+/// same `!(sum > 0)` degenerate guard, and the same float `val * inv`
+/// rounding.
+void sample_fused_row(const CsrMatrix& adj, std::uint32_t v, std::size_t s,
+                      Rng& rng, std::vector<std::uint32_t>& out) {
+  const std::uint64_t begin = adj.row_ptr()[v];
+  const std::uint64_t end = adj.row_ptr()[v + 1];
+  const std::size_t nnz = end - begin;
+  const float* vals = adj.values().data() + begin;
+  double sum = 0.0;
+  for (std::size_t k = 0; k < nnz; ++k) sum += vals[k];
+  const bool scale = sum > 0.0;  // normalize_rows leaves degenerate rows raw
+  // NOLINT(trkx-div-guard): divides only when scale, i.e. sum > 0
+  const float inv = scale ? static_cast<float>(1.0 / sum) : 1.0f;
+  sample_span(adj.col_idx().data() + begin, vals, nnz, scale, inv, s, rng,
+              out);
+}
+
 /// Assemble the 0/1 CSR result from per-row sampled column lists.
-CsrMatrix assemble(const CsrMatrix& probs,
+CsrMatrix assemble(std::size_t cols,
                    std::vector<std::vector<std::uint32_t>>& row_cols) {
-  const std::size_t rows = probs.rows();
+  const std::size_t rows = row_cols.size();
   std::vector<std::uint64_t> row_ptr(rows + 1, 0);
   std::size_t total = 0;
   for (const auto& rc : row_cols) total += rc.size();
@@ -74,8 +107,26 @@ CsrMatrix assemble(const CsrMatrix& probs,
     row_ptr[r + 1] = col.size();
   }
   std::vector<float> val(col.size(), 1.0f);
-  return CsrMatrix::from_csr(rows, probs.cols(), std::move(row_ptr),
-                             std::move(col), std::move(val));
+  return CsrMatrix::from_csr(rows, cols, std::move(row_ptr), std::move(col),
+                             std::move(val));
+}
+
+/// Contiguous [begin, end) row ranges per group id, validating that the
+/// group vector is nondecreasing and every id has a stream.
+std::vector<std::pair<std::size_t, std::size_t>> group_ranges(
+    const std::vector<std::uint32_t>& group, std::size_t num_rngs) {
+  const std::size_t rows = group.size();
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (std::size_t r = 0; r < rows;) {
+    const std::uint32_t g = group[r];
+    TRKX_CHECK(g < num_rngs);
+    std::size_t e = r + 1;
+    while (e < rows && group[e] == g) ++e;
+    TRKX_CHECK(ranges.empty() || group[ranges.back().first] < g);
+    ranges.emplace_back(r, e);
+    r = e;
+  }
+  return ranges;
 }
 
 }  // namespace
@@ -85,7 +136,7 @@ CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s, Rng& rng) {
   const std::size_t rows = probs.rows();
   std::vector<std::vector<std::uint32_t>> row_cols(rows);
   for (std::size_t r = 0; r < rows; ++r) sample_row(probs, r, s, rng, row_cols[r]);
-  return assemble(probs, row_cols);
+  return assemble(probs.cols(), row_cols);
 }
 
 CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s,
@@ -94,18 +145,7 @@ CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s,
   TRKX_CHECK(s > 0);
   const std::size_t rows = probs.rows();
   TRKX_CHECK(group.size() == rows);
-
-  // Contiguous [begin, end) row ranges per group id.
-  std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  for (std::size_t r = 0; r < rows;) {
-    const std::uint32_t g = group[r];
-    TRKX_CHECK(g < rngs.size());
-    std::size_t e = r + 1;
-    while (e < rows && group[e] == g) ++e;
-    TRKX_CHECK(ranges.empty() || group[ranges.back().first] < g);
-    ranges.emplace_back(r, e);
-    r = e;
-  }
+  const auto ranges = group_ranges(group, rngs.size());
 
   std::vector<std::vector<std::uint32_t>> row_cols(rows);
 #pragma omp parallel for schedule(dynamic) default(none) \
@@ -117,7 +157,31 @@ CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s,
     for (std::size_t r = rb; r < re; ++r)
       sample_row(probs, r, s, rg, row_cols[r]);
   }
-  return assemble(probs, row_cols);
+  return assemble(probs.cols(), row_cols);
+}
+
+CsrMatrix sample_neighbors_fused(const CsrMatrix& adj,
+                                 const std::vector<std::uint32_t>& frontier,
+                                 std::size_t s,
+                                 const std::vector<std::uint32_t>& group,
+                                 std::vector<Rng>& rngs) {
+  TRKX_CHECK(s > 0);
+  const std::size_t rows = frontier.size();
+  TRKX_CHECK(group.size() == rows);
+  for (std::uint32_t v : frontier) TRKX_CHECK(v < adj.rows());
+  const auto ranges = group_ranges(group, rngs.size());
+
+  std::vector<std::vector<std::uint32_t>> row_cols(rows);
+#pragma omp parallel for schedule(dynamic) default(none) \
+    shared(ranges, rngs, group, adj, frontier, row_cols) firstprivate(s)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(ranges.size());
+       ++i) {
+    const auto [rb, re] = ranges[static_cast<std::size_t>(i)];
+    Rng& rg = rngs[group[rb]];
+    for (std::size_t r = rb; r < re; ++r)
+      sample_fused_row(adj, frontier[r], s, rg, row_cols[r]);
+  }
+  return assemble(adj.cols(), row_cols);
 }
 
 }  // namespace trkx

@@ -27,4 +27,21 @@ CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s,
                       const std::vector<std::uint32_t>& group,
                       std::vector<Rng>& rngs);
 
+/// Fused row-extract → normalise → sample: for each frontier vertex v,
+/// draws up to `s` distinct neighbours from row v of `adj`, weighting by
+/// the row-normalised stored values — in ONE pass over the CSR row,
+/// without materialising the extracted or normalised intermediate
+/// matrices. Bit-identical to
+///   sample_rows(select_rows(adj, frontier).normalize_rows(), s, group,
+///               rngs)
+/// (same double row-sum order, same degenerate-row guard, same float
+/// scaling, same RNG stream consumption). Grouping semantics match the
+/// grouped sample_rows; the result has frontier.size() rows and
+/// adj.cols() columns, values all 1.
+CsrMatrix sample_neighbors_fused(const CsrMatrix& adj,
+                                 const std::vector<std::uint32_t>& frontier,
+                                 std::size_t s,
+                                 const std::vector<std::uint32_t>& group,
+                                 std::vector<Rng>& rngs);
+
 }  // namespace trkx

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "tensor/kernels/kernels.hpp"
+
 namespace trkx {
 
 CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
@@ -38,6 +40,8 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
             flag[j] = 1;
             touched.push_back(j);
           }
+          // Gustavson's sparse accumulator scatters by column index.
+          // NOLINT(trkx-kernel-dispatch): no contiguous-row kernel applies
           acc[j] += av * b.values()[kb];
         }
       }
@@ -70,18 +74,10 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
 
 Matrix spmm(const CsrMatrix& a, const Matrix& x) {
   TRKX_CHECK_MSG(a.cols() == x.rows(), "spmm shape mismatch");
-  const std::size_t m = a.rows(), f = x.cols();
-  Matrix y(m, f, 0.0f);
-#pragma omp parallel for schedule(dynamic, 64) default(none) \
-    shared(y, a, x) firstprivate(m, f)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* yrow = y.data() + i * f;
-    for (std::uint64_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {
-      const float av = a.values()[k];
-      const float* xrow = x.data() + a.col_idx()[k] * f;
-      for (std::size_t j = 0; j < f; ++j) yrow[j] += av * xrow[j];
-    }
-  }
+  Matrix y(a.rows(), x.cols(), 0.0f);
+  kernels::active().spmm(a.row_ptr().data(), a.col_idx().data(),
+                         a.values().data(), x.data(), y.data(), a.rows(),
+                         x.cols());
   return y;
 }
 

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trkx {
+namespace kernels {
+
+/// One fused Adam update's hyperparameters. Bias corrections are
+/// precomputed by the caller (they depend on the step count) so the
+/// kernel itself stays purely elementwise.
+struct AdamStep {
+  float lr;
+  float beta1;
+  float beta2;
+  float eps;
+  float weight_decay;
+  float inv_bias1;
+  float inv_bias2;
+};
+
+/// One ISA's implementation of every hot kernel. Two tables exist —
+/// scalar (the reference, numerically identical to the historical loops
+/// in ops.cpp/tape.cpp/optimizer.cpp) and AVX2 (explicitly vectorized,
+/// FMA-contracted only where reassociation is allowed). Callers route
+/// through active(); tests and benches may pin a table directly.
+///
+/// Numerics contract, enforced by tests/kernels_test.cpp:
+///   - bit-identical across tables: row_gather, row_scatter_add (and so
+///     segment_sum), every ew_* kernel, colwise_sum, adam_update — these
+///     are elementwise or preserve the scalar accumulation order exactly,
+///     and the AVX2 build never FMA-contracts them;
+///   - ULP-bounded (reassociated reductions / FMA): gemm, gemm_nt,
+///     gemm_tn, spmm, rowwise_sum, layer_norm_fwd, layer_norm_bwd_dx.
+///
+/// GEMM/SpMM outputs marked "accumulating" must be zero-filled by the
+/// caller; the kernel adds into them.
+struct KernelTable {
+  const char* name;
+
+  /// c (m×n, accumulating) += a (m×k) · b (k×n).
+  void (*gemm)(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n);
+  /// c (m×n, overwritten) = a (m×k) · b (n×k)ᵀ.
+  void (*gemm_nt)(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n);
+  /// c (m×n, accumulating) += a (k×m)ᵀ · b (k×n).
+  void (*gemm_tn)(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n);
+  /// y (rows×f, accumulating) += CSR(row_ptr, col_idx, val) · x (·×f).
+  void (*spmm)(const std::uint64_t* row_ptr, const std::uint32_t* col_idx,
+               const float* val, const float* x, float* y, std::size_t rows,
+               std::size_t f);
+
+  /// out[i, :] = x[idx[i], :]; indices pre-validated by the caller.
+  void (*row_gather)(const float* x, const std::uint32_t* idx, float* out,
+                     std::size_t n_idx, std::size_t cols);
+  /// dst[idx[i], :] += src[i, :]; serial over source rows (collisions).
+  void (*row_scatter_add)(float* dst, const std::uint32_t* idx,
+                          const float* src, std::size_t n_rows,
+                          std::size_t cols);
+
+  void (*ew_add)(const float* a, const float* b, float* o, std::size_t n);
+  void (*ew_sub)(const float* a, const float* b, float* o, std::size_t n);
+  void (*ew_mul)(const float* a, const float* b, float* o, std::size_t n);
+  void (*ew_scale)(const float* a, float s, float* o, std::size_t n);
+  /// a += b.
+  void (*ew_add_inplace)(float* a, const float* b, std::size_t n);
+  /// a += s * b (mul-then-add, never FMA: stays bit-identical to scalar).
+  void (*ew_axpy)(float* a, float s, const float* b, std::size_t n);
+
+  /// o (1×cols, accumulating) += column sums of a (rows×cols), in row
+  /// order — the exact accumulation order of the historical serial loop.
+  void (*colwise_sum)(const float* a, float* o, std::size_t rows,
+                      std::size_t cols);
+  /// o[i] = sum of row i (overwritten).
+  void (*rowwise_sum)(const float* a, float* o, std::size_t rows,
+                      std::size_t cols);
+
+  /// Per-row layer norm: writes y = xhat*gamma + beta, the pre-affine
+  /// xhat, and per-row 1/sqrt(var + eps).
+  void (*layer_norm_fwd)(const float* x, const float* gamma,
+                         const float* beta, float* y, float* xhat,
+                         float* inv_std, std::size_t rows, std::size_t cols,
+                         float eps);
+  /// dx for layer norm given upstream dy, the saved xhat and inv_std.
+  void (*layer_norm_bwd_dx)(const float* dy, const float* gamma,
+                            const float* xhat, const float* inv_std,
+                            float* dx, std::size_t rows, std::size_t cols);
+
+  /// Fused Adam: updates w, m, v in place from gradient g.
+  void (*adam_update)(float* w, const float* g, float* m, float* v,
+                      std::size_t n, const AdamStep& s);
+};
+
+enum class SimdMode { kAuto = 0, kScalar, kAvx2 };
+
+/// The dispatch-selected table. Resolved once, lazily: TRKX_SIMD env
+/// (auto|avx2|scalar; anything else is a fatal config error) then cpuid.
+/// TRKX_SIMD=avx2 on a host without AVX2+FMA is a fatal error; auto
+/// silently falls back to scalar there.
+const KernelTable& active();
+
+/// The reference table (always safe to call).
+const KernelTable& scalar_table();
+/// The AVX2 table. Always linked; calling its kernels on a host without
+/// AVX2+FMA raises SIGILL — check host_has_avx2() first.
+const KernelTable& avx2_table();
+
+/// True iff this host supports AVX2 and FMA.
+bool host_has_avx2();
+
+/// The currently requested mode (kAuto until overridden). active().name
+/// tells which ISA kAuto resolved to.
+SimdMode mode();
+/// Test/bench hook: repoint active() (overrides TRKX_SIMD).
+void set_mode(SimdMode m);
+
+}  // namespace kernels
+}  // namespace trkx

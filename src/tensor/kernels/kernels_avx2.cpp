@@ -1,0 +1,19 @@
+// AVX2+FMA instantiation of the kernel bodies. This translation unit is
+// the only one compiled with -mavx2 -mfma (see src/tensor/CMakeLists.txt);
+// it is always linked, and the dispatch table guards execution, so the
+// binary runs on any x86-64 host. -ffp-contract=off keeps the compiler
+// from FMA-contracting the scalar tail loops and the kernels documented
+// as bit-identical — FMA enters only through explicit _mm256_fmadd_ps.
+
+#define TRKX_KERNELS_AVX2 1
+#define TRKX_KERNELS_NS avx2_impl
+#define TRKX_KERNELS_NAME "avx2"
+#include "tensor/kernels/kernels_body.hpp"
+
+namespace trkx {
+namespace kernels {
+
+const KernelTable& avx2_table() { return avx2_impl::table(); }
+
+}  // namespace kernels
+}  // namespace trkx

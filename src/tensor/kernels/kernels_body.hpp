@@ -1,0 +1,598 @@
+#pragma once
+
+// Shared kernel bodies, compiled once per ISA. Each translation unit
+// defines the parameter macros before including this header:
+//
+//   TRKX_KERNELS_NS    namespace for this ISA's symbols (scalar_impl, ...)
+//   TRKX_KERNELS_AVX2  1 to emit AVX2+FMA intrinsic paths, 0 for scalar
+//   TRKX_KERNELS_NAME  display name stored in the KernelTable
+//
+// The AVX2 TU is compiled with -mavx2 -mfma -ffp-contract=off: FMA enters
+// only through explicit _mm256_fmadd_ps, so the scalar tail loops and the
+// kernels documented as bit-identical (see kernels.hpp) never get
+// auto-contracted away from the scalar reference's mul-then-add rounding.
+//
+// The scalar bodies reproduce the historical loops from ops.cpp /
+// tape.cpp / optimizer.cpp token for token (loop order, k-tiling,
+// zero-skips, accumulator widths), so dispatching to the scalar table is
+// numerically invisible.
+
+#ifndef TRKX_KERNELS_NS
+// Standalone-header compilation (scripts/check_static.sh) only; real TUs
+// always define the macros first.
+#define TRKX_KERNELS_NS standalone_impl
+#define TRKX_KERNELS_AVX2 0
+#define TRKX_KERNELS_NAME "standalone"
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "tensor/kernels/kernels.hpp"
+#include "util/error.hpp"
+
+#if TRKX_KERNELS_AVX2
+#include <immintrin.h>
+#endif
+
+namespace trkx {
+namespace kernels {
+namespace TRKX_KERNELS_NS {
+
+/// Micro-kernel tile size for the k-loop blocking in gemm (one tile of B
+/// rows stays in L1; hidden dims here are ≤ 256 so simple blocking wins).
+constexpr std::size_t kTile = 64;
+/// Per-task elementwise chunk: large enough to amortise OpenMP dispatch,
+/// small enough to split pipeline-sized vectors across cores.
+constexpr std::size_t kEwBlock = 8192;
+
+#if TRKX_KERNELS_AVX2
+/// Horizontal sum of one 8-lane register (reassociated: ULP territory).
+inline float hsum8(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  __m128 sh = _mm_movehl_ps(lo, lo);
+  lo = _mm_add_ps(lo, sh);
+  sh = _mm_movehdup_ps(lo);
+  lo = _mm_add_ss(lo, sh);
+  return _mm_cvtss_f32(lo);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// Row primitives. Each has one AVX2 and one scalar body; OpenMP lives in
+// the kernel wrappers below, never here.
+// ---------------------------------------------------------------------
+
+/// c[0..n) += a * b[0..n). FMA in the AVX2 lanes (GEMM/SpMM family is
+/// ULP-bounded, not bit-identical); the tail is plain mul-then-add.
+inline void mac_row(float* c, const float* b, float a, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m256 c0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b + j),
+                                      _mm256_loadu_ps(c + j));
+    const __m256 c1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b + j + 8),
+                                      _mm256_loadu_ps(c + j + 8));
+    _mm256_storeu_ps(c + j, c0);
+    _mm256_storeu_ps(c + j + 8, c1);
+  }
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(c + j, _mm256_fmadd_ps(va, _mm256_loadu_ps(b + j),
+                                            _mm256_loadu_ps(c + j)));
+  }
+  for (; j < n; ++j) c[j] += a * b[j];
+#else
+  for (std::size_t j = 0; j < n; ++j) c[j] += a * b[j];
+#endif
+}
+
+/// Dot product of two contiguous rows (reassociated in the AVX2 build).
+inline float dot_row(const float* a, const float* b, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 8),
+                           _mm256_loadu_ps(b + j + 8), acc1);
+  }
+  for (; j + 8 <= n; j += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j),
+                           acc0);
+  }
+  float acc = hsum8(_mm256_add_ps(acc0, acc1));
+  for (; j < n; ++j) acc += a[j] * b[j];
+  return acc;
+#else
+  float acc = 0.0f;
+  for (std::size_t j = 0; j < n; ++j) acc += a[j] * b[j];
+  return acc;
+#endif
+}
+
+/// Sum of one row (reassociated in the AVX2 build).
+inline float sum_row(const float* a, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  __m256 acc8 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    acc8 = _mm256_add_ps(acc8, _mm256_loadu_ps(a + j));
+  }
+  float acc = hsum8(acc8);
+  for (; j < n; ++j) acc += a[j];
+  return acc;
+#else
+  float acc = 0.0f;
+  for (std::size_t j = 0; j < n; ++j) acc += a[j];
+  return acc;
+#endif
+}
+
+/// Sum of (a[j] - m)^2 over one row (reassociated in the AVX2 build).
+inline float sum_sq_diff(const float* a, float m, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  const __m256 vm = _mm256_set1_ps(m);
+  __m256 acc8 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + j), vm);
+    acc8 = _mm256_fmadd_ps(d, d, acc8);
+  }
+  float acc = hsum8(acc8);
+  for (; j < n; ++j) acc += (a[j] - m) * (a[j] - m);
+  return acc;
+#else
+  float acc = 0.0f;
+  for (std::size_t j = 0; j < n; ++j) acc += (a[j] - m) * (a[j] - m);
+  return acc;
+#endif
+}
+
+/// o = a + b (elementwise, exact: identical rounding on both ISAs).
+inline void vadd(const float* a, const float* b, float* o, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(o + j, _mm256_add_ps(_mm256_loadu_ps(a + j),
+                                          _mm256_loadu_ps(b + j)));
+  }
+  for (; j < n; ++j) o[j] = a[j] + b[j];
+#else
+  for (std::size_t j = 0; j < n; ++j) o[j] = a[j] + b[j];
+#endif
+}
+
+/// o = a - b (exact).
+inline void vsub(const float* a, const float* b, float* o, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(o + j, _mm256_sub_ps(_mm256_loadu_ps(a + j),
+                                          _mm256_loadu_ps(b + j)));
+  }
+  for (; j < n; ++j) o[j] = a[j] - b[j];
+#else
+  for (std::size_t j = 0; j < n; ++j) o[j] = a[j] - b[j];
+#endif
+}
+
+/// o = a * b (exact).
+inline void vmul(const float* a, const float* b, float* o, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(o + j, _mm256_mul_ps(_mm256_loadu_ps(a + j),
+                                          _mm256_loadu_ps(b + j)));
+  }
+  for (; j < n; ++j) o[j] = a[j] * b[j];
+#else
+  for (std::size_t j = 0; j < n; ++j) o[j] = a[j] * b[j];
+#endif
+}
+
+/// o = a * s (exact).
+inline void vscale(const float* a, float s, float* o, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(o + j, _mm256_mul_ps(_mm256_loadu_ps(a + j), vs));
+  }
+  for (; j < n; ++j) o[j] = a[j] * s;
+#else
+  for (std::size_t j = 0; j < n; ++j) o[j] = a[j] * s;
+#endif
+}
+
+/// a += b (exact).
+inline void vadd_inplace(float* a, const float* b, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(a + j, _mm256_add_ps(_mm256_loadu_ps(a + j),
+                                          _mm256_loadu_ps(b + j)));
+  }
+  for (; j < n; ++j) a[j] += b[j];
+#else
+  for (std::size_t j = 0; j < n; ++j) a[j] += b[j];
+#endif
+}
+
+/// a += s * b. Deliberately mul-then-add (no FMA) so the result stays
+/// bit-identical to the scalar reference — gradient accumulation feeds
+/// the bit-identical-resume checkpoint guarantee.
+inline void vaxpy(float* a, float s, const float* b, std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 prod = _mm256_mul_ps(vs, _mm256_loadu_ps(b + j));
+    _mm256_storeu_ps(a + j, _mm256_add_ps(_mm256_loadu_ps(a + j), prod));
+  }
+  for (; j < n; ++j) a[j] += s * b[j];
+#else
+  for (std::size_t j = 0; j < n; ++j) a[j] += s * b[j];
+#endif
+}
+
+/// o = a * g + b (exact: mul then add, no FMA — the layer-norm affine).
+inline void vmuladd3(const float* a, const float* g, const float* b, float* o,
+                     std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(a + j),
+                                      _mm256_loadu_ps(g + j));
+    _mm256_storeu_ps(o + j, _mm256_add_ps(prod, _mm256_loadu_ps(b + j)));
+  }
+  for (; j < n; ++j) o[j] = a[j] * g[j] + b[j];
+#else
+  for (std::size_t j = 0; j < n; ++j) o[j] = a[j] * g[j] + b[j];
+#endif
+}
+
+/// o = (a - m) * s (exact — the layer-norm normalisation).
+inline void vsubmul(const float* a, float m, float s, float* o,
+                    std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  const __m256 vm = _mm256_set1_ps(m);
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(
+        o + j, _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(a + j), vm), vs));
+  }
+  for (; j < n; ++j) o[j] = (a[j] - m) * s;
+#else
+  for (std::size_t j = 0; j < n; ++j) o[j] = (a[j] - m) * s;
+#endif
+}
+
+/// One layer-norm backward row: dx = is * (dy*g - inv_cols*sum(dy*g)
+/// - xhat * inv_cols * sum(dy*g*xhat)), matching the historical scalar
+/// expression's association exactly in the tails.
+inline void lnorm_bwd_row(const float* dyr, const float* g, const float* xh,
+                          float is, float inv_cols, float* dxr,
+                          std::size_t n) {
+#if TRKX_KERNELS_AVX2
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 dyg = _mm256_mul_ps(_mm256_loadu_ps(dyr + j),
+                                     _mm256_loadu_ps(g + j));
+    acc1 = _mm256_add_ps(acc1, dyg);
+    acc2 = _mm256_fmadd_ps(dyg, _mm256_loadu_ps(xh + j), acc2);
+  }
+  float sum_dyg = hsum8(acc1);
+  float sum_dyg_xhat = hsum8(acc2);
+  for (; j < n; ++j) {
+    const float dyg = dyr[j] * g[j];
+    sum_dyg += dyg;
+    sum_dyg_xhat += dyg * xh[j];
+  }
+  const float b = inv_cols * sum_dyg;
+  const __m256 vb = _mm256_set1_ps(b);
+  const __m256 vic = _mm256_set1_ps(inv_cols);
+  const __m256 vs2 = _mm256_set1_ps(sum_dyg_xhat);
+  const __m256 vis = _mm256_set1_ps(is);
+  for (j = 0; j + 8 <= n; j += 8) {
+    const __m256 dyg = _mm256_mul_ps(_mm256_loadu_ps(dyr + j),
+                                     _mm256_loadu_ps(g + j));
+    const __m256 c =
+        _mm256_mul_ps(_mm256_mul_ps(_mm256_loadu_ps(xh + j), vic), vs2);
+    _mm256_storeu_ps(
+        dxr + j,
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_sub_ps(dyg, vb), c), vis));
+  }
+  for (; j < n; ++j) {
+    const float dyg = dyr[j] * g[j];
+    dxr[j] = is * (dyg - b - xh[j] * inv_cols * sum_dyg_xhat);
+  }
+#else
+  float sum_dyg = 0.0f, sum_dyg_xhat = 0.0f;
+  for (std::size_t j = 0; j < n; ++j) {
+    const float dyg = dyr[j] * g[j];
+    sum_dyg += dyg;
+    sum_dyg_xhat += dyg * xh[j];
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const float dyg = dyr[j] * g[j];
+    dxr[j] = is * (dyg - inv_cols * sum_dyg -
+                   xh[j] * inv_cols * sum_dyg_xhat);
+  }
+#endif
+}
+
+/// One Adam block. Every operation is elementwise and correctly rounded
+/// (mul/add/sqrt/div), applied in the exact order of the historical
+/// scalar loop — so the AVX2 path is bit-identical to scalar and the
+/// optimizer-state checkpoints stay bit-exact across dispatch modes.
+inline void adam_block(float* w, const float* g, float* m, float* v,
+                       std::size_t n, float lr, float b1, float b2, float eps,
+                       float wd, float ib1, float ib2) {
+#if TRKX_KERNELS_AVX2
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 vb1 = _mm256_set1_ps(b1);
+  const __m256 vb2 = _mm256_set1_ps(b2);
+  const __m256 vb1c = _mm256_set1_ps(1.0f - b1);
+  const __m256 vb2c = _mm256_set1_ps(1.0f - b2);
+  const __m256 veps = _mm256_set1_ps(eps);
+  const __m256 vwd = _mm256_set1_ps(wd);
+  const __m256 vib1 = _mm256_set1_ps(ib1);
+  const __m256 vib2 = _mm256_set1_ps(ib2);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 vw = _mm256_loadu_ps(w + j);
+    const __m256 vg = _mm256_loadu_ps(g + j);
+    const __m256 grad = _mm256_add_ps(vg, _mm256_mul_ps(vwd, vw));
+    const __m256 vm = _mm256_add_ps(_mm256_mul_ps(vb1, _mm256_loadu_ps(m + j)),
+                                    _mm256_mul_ps(vb1c, grad));
+    const __m256 vv = _mm256_add_ps(
+        _mm256_mul_ps(vb2, _mm256_loadu_ps(v + j)),
+        _mm256_mul_ps(_mm256_mul_ps(vb2c, grad), grad));
+    _mm256_storeu_ps(m + j, vm);
+    _mm256_storeu_ps(v + j, vv);
+    const __m256 mhat = _mm256_mul_ps(vm, vib1);
+    const __m256 vhat = _mm256_mul_ps(vv, vib2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+    vw = _mm256_sub_ps(vw, _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom));
+    _mm256_storeu_ps(w + j, vw);
+  }
+  for (; j < n; ++j) {
+    const float grad = g[j] + wd * w[j];
+    m[j] = b1 * m[j] + (1.0f - b1) * grad;
+    v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+    const float mhat = m[j] * ib1;
+    const float vhat = v[j] * ib2;
+    w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+#else
+  for (std::size_t j = 0; j < n; ++j) {
+    const float grad = g[j] + wd * w[j];
+    m[j] = b1 * m[j] + (1.0f - b1) * grad;
+    v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+    const float mhat = m[j] * ib1;
+    const float vhat = v[j] * ib2;
+    w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------
+// KernelTable entry points: shape loops + OpenMP, primitives per row.
+// ---------------------------------------------------------------------
+
+inline void gemm(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n) {
+  // i-k-j order with k-tiling and zero-skip, as the historical matmul.
+#pragma omp parallel for schedule(static) default(none) shared(a, b, c) \
+    firstprivate(m, k, n)
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+      const std::size_t k1 = std::min(k0 + kTile, k);
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        mac_row(c + i * n, b + kk * n, aik, n);
+      }
+    }
+  }
+}
+
+inline void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, b, c) \
+    firstprivate(m, k, n)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = dot_row(arow, b + j * k, k);
+  }
+}
+
+inline void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, b, c) \
+    firstprivate(m, k, n)
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aki = a[kk * m + i];
+      if (aki == 0.0f) continue;
+      mac_row(c + i * n, b + kk * n, aki, n);
+    }
+  }
+}
+
+inline void spmm(const std::uint64_t* row_ptr, const std::uint32_t* col_idx,
+                 const float* val, const float* x, float* y, std::size_t rows,
+                 std::size_t f) {
+#pragma omp parallel for schedule(dynamic, 64) default(none) \
+    shared(row_ptr, col_idx, val, x, y) firstprivate(rows, f)
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* yrow = y + i * f;
+    for (std::uint64_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk) {
+      mac_row(yrow, x + col_idx[kk] * f, val[kk], f);
+    }
+  }
+}
+
+inline void row_gather(const float* x, const std::uint32_t* idx, float* out,
+                       std::size_t n_idx, std::size_t cols) {
+#pragma omp parallel for schedule(static) default(none) shared(x, idx, out) \
+    firstprivate(n_idx, cols)
+  for (std::size_t i = 0; i < n_idx; ++i) {
+    std::memcpy(out + i * cols, x + idx[i] * cols, cols * sizeof(float));
+  }
+}
+
+inline void row_scatter_add(float* dst, const std::uint32_t* idx,
+                            const float* src, std::size_t n_rows,
+                            std::size_t cols) {
+  // Serial over src rows: scatter targets collide, and the graphs here
+  // have high-degree vertices, so per-row atomics would be slower.
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    vadd_inplace(dst + idx[i] * cols, src + i * cols, cols);
+  }
+}
+
+inline void ew_add(const float* a, const float* b, float* o, std::size_t n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, b, o) \
+    firstprivate(n)
+  for (std::size_t i0 = 0; i0 < n; i0 += kEwBlock) {
+    vadd(a + i0, b + i0, o + i0, std::min(std::size_t{kEwBlock}, n - i0));
+  }
+}
+
+inline void ew_sub(const float* a, const float* b, float* o, std::size_t n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, b, o) \
+    firstprivate(n)
+  for (std::size_t i0 = 0; i0 < n; i0 += kEwBlock) {
+    vsub(a + i0, b + i0, o + i0, std::min(std::size_t{kEwBlock}, n - i0));
+  }
+}
+
+inline void ew_mul(const float* a, const float* b, float* o, std::size_t n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, b, o) \
+    firstprivate(n)
+  for (std::size_t i0 = 0; i0 < n; i0 += kEwBlock) {
+    vmul(a + i0, b + i0, o + i0, std::min(std::size_t{kEwBlock}, n - i0));
+  }
+}
+
+inline void ew_scale(const float* a, float s, float* o, std::size_t n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, o) \
+    firstprivate(n, s)
+  for (std::size_t i0 = 0; i0 < n; i0 += kEwBlock) {
+    vscale(a + i0, s, o + i0, std::min(std::size_t{kEwBlock}, n - i0));
+  }
+}
+
+inline void ew_add_inplace(float* a, const float* b, std::size_t n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, b) \
+    firstprivate(n)
+  for (std::size_t i0 = 0; i0 < n; i0 += kEwBlock) {
+    vadd_inplace(a + i0, b + i0, std::min(std::size_t{kEwBlock}, n - i0));
+  }
+}
+
+inline void ew_axpy(float* a, float s, const float* b, std::size_t n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, b) \
+    firstprivate(n, s)
+  for (std::size_t i0 = 0; i0 < n; i0 += kEwBlock) {
+    vaxpy(a + i0, s, b + i0, std::min(std::size_t{kEwBlock}, n - i0));
+  }
+}
+
+inline void colwise_sum(const float* a, float* o, std::size_t rows,
+                        std::size_t cols) {
+  // Serial in row order, vectorized across columns: per-column
+  // accumulation order matches the historical scalar loop exactly.
+  for (std::size_t i = 0; i < rows; ++i) {
+    vadd_inplace(o, a + i * cols, cols);
+  }
+}
+
+inline void rowwise_sum(const float* a, float* o, std::size_t rows,
+                        std::size_t cols) {
+#pragma omp parallel for schedule(static) default(none) shared(a, o) \
+    firstprivate(rows, cols)
+  for (std::size_t i = 0; i < rows; ++i) {
+    o[i] = sum_row(a + i * cols, cols);
+  }
+}
+
+inline void layer_norm_fwd(const float* x, const float* gamma,
+                           const float* beta, float* y, float* xhat,
+                           float* inv_std, std::size_t rows, std::size_t cols,
+                           float eps) {
+  TRKX_CHECK(cols > 0);
+#pragma omp parallel for schedule(static) default(none) \
+    shared(x, gamma, beta, y, xhat, inv_std) firstprivate(rows, cols, eps)
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* xr = x + i * cols;
+    float m = sum_row(xr, cols);
+    m /= static_cast<float>(cols);  // NOLINT(trkx-div-guard): cols > 0 checked at entry
+    float var = sum_sq_diff(xr, m, cols);
+    var /= static_cast<float>(cols);  // NOLINT(trkx-div-guard): cols > 0 checked at entry
+    const float is = 1.0f / std::sqrt(var + eps);
+    inv_std[i] = is;
+    float* nr = xhat + i * cols;
+    vsubmul(xr, m, is, nr, cols);
+    vmuladd3(nr, gamma, beta, y + i * cols, cols);
+  }
+}
+
+inline void layer_norm_bwd_dx(const float* dy, const float* gamma,
+                              const float* xhat, const float* inv_std,
+                              float* dx, std::size_t rows, std::size_t cols) {
+  TRKX_CHECK(cols > 0);
+  const float inv_cols = 1.0f / static_cast<float>(cols);
+#pragma omp parallel for schedule(static) default(none) \
+    shared(dy, gamma, xhat, inv_std, dx) firstprivate(rows, cols, inv_cols)
+  for (std::size_t i = 0; i < rows; ++i) {
+    lnorm_bwd_row(dy + i * cols, gamma, xhat + i * cols, inv_std[i],
+                  inv_cols, dx + i * cols, cols);
+  }
+}
+
+inline void adam_update(float* w, const float* g, float* m, float* v,
+                        std::size_t n, const AdamStep& s) {
+  const float lr = s.lr;
+  const float b1 = s.beta1;
+  const float b2 = s.beta2;
+  const float eps = s.eps;
+  const float wd = s.weight_decay;
+  const float ib1 = s.inv_bias1;
+  const float ib2 = s.inv_bias2;
+#pragma omp parallel for schedule(static) default(none) shared(w, g, m, v) \
+    firstprivate(n, lr, b1, b2, eps, wd, ib1, ib2)
+  for (std::size_t i0 = 0; i0 < n; i0 += kEwBlock) {
+    adam_block(w + i0, g + i0, m + i0, v + i0, std::min(std::size_t{kEwBlock}, n - i0),
+               lr, b1, b2, eps, wd, ib1, ib2);
+  }
+}
+
+/// This ISA's table (one static instance per TU).
+inline const KernelTable& table() {
+  static const KernelTable t{
+      TRKX_KERNELS_NAME, &gemm,    &gemm_nt,        &gemm_tn,
+      &spmm,             &row_gather, &row_scatter_add,
+      &ew_add,           &ew_sub,  &ew_mul,         &ew_scale,
+      &ew_add_inplace,   &ew_axpy, &colwise_sum,    &rowwise_sum,
+      &layer_norm_fwd,   &layer_norm_bwd_dx, &adam_update,
+  };
+  return t;
+}
+
+}  // namespace TRKX_KERNELS_NS
+}  // namespace kernels
+}  // namespace trkx

@@ -1,0 +1,17 @@
+// Scalar reference instantiation of the kernel bodies. Compiled with the
+// project's baseline flags (no -mavx2/-mfma), so these loops generate the
+// same code — and the same rounding — as the historical hot loops they
+// replaced in ops.cpp / tape.cpp / optimizer.cpp.
+
+#define TRKX_KERNELS_AVX2 0
+#define TRKX_KERNELS_NS scalar_impl
+#define TRKX_KERNELS_NAME "scalar"
+#include "tensor/kernels/kernels_body.hpp"
+
+namespace trkx {
+namespace kernels {
+
+const KernelTable& scalar_table() { return scalar_impl::table(); }
+
+}  // namespace kernels
+}  // namespace trkx

@@ -4,39 +4,17 @@
 #include <cmath>
 #include <cstring>
 
-namespace trkx {
+#include "tensor/kernels/kernels.hpp"
 
-namespace {
-/// Micro-kernel tile size for the k-loop blocking in matmul. Chosen to keep
-/// one tile of B rows in L1; not autotuned — the matrices here are small
-/// (hidden dim ≤ 256) so a simple blocking suffices.
-constexpr std::size_t kTile = 64;
-}  // namespace
+namespace trkx {
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   TRKX_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch "
                                            << a.shape_str() << " x "
                                            << b.shape_str());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix c(m, n, 0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j loop order with k-tiling: unit-stride inner loop over both B and C.
-#pragma omp parallel for schedule(static) default(none) shared(pa, pb, pc) \
-    firstprivate(m, k, n)
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
-      const std::size_t k1 = std::min(k0 + kTile, k);
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const float aik = pa[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        float* crow = pc + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  }
+  Matrix c(a.rows(), b.cols(), 0.0f);
+  kernels::active().gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                         b.cols());
   return c;
 }
 
@@ -44,24 +22,9 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   TRKX_CHECK_MSG(a.cols() == b.cols(), "matmul_nt shape mismatch "
                                            << a.shape_str() << " x "
                                            << b.shape_str() << "^T");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Matrix c(m, n, 0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Both A rows and B rows are contiguous: dot-product form.
-#pragma omp parallel for schedule(static) default(none) shared(pa, pb, pc) \
-    firstprivate(m, k, n)
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
+  Matrix c(a.rows(), b.rows(), 0.0f);
+  kernels::active().gemm_nt(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                            b.rows());
   return c;
 }
 
@@ -69,23 +32,9 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   TRKX_CHECK_MSG(a.rows() == b.rows(), "matmul_tn shape mismatch "
                                            << a.shape_str() << "^T x "
                                            << b.shape_str());
-  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
-  Matrix c(m, n, 0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Parallelise over output rows (columns of A) to avoid write conflicts.
-#pragma omp parallel for schedule(static) default(none) shared(pa, pb, pc) \
-    firstprivate(m, k, n)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aki = pa[kk * m + i];
-      if (aki == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Matrix c(a.cols(), b.cols(), 0.0f);
+  kernels::active().gemm_tn(a.data(), b.data(), c.data(), a.cols(), a.rows(),
+                            b.cols());
   return c;
 }
 
@@ -100,39 +49,46 @@ Matrix transpose(const Matrix& a) {
 }
 
 Matrix add(const Matrix& a, const Matrix& b) {
-  return apply2(a, b, [](float x, float y) { return x + y; });
+  TRKX_CHECK_MSG(a.same_shape(b), "add shape mismatch " << a.shape_str()
+                                                        << " vs "
+                                                        << b.shape_str());
+  Matrix out(a.rows(), a.cols());
+  kernels::active().ew_add(a.data(), b.data(), out.data(), a.size());
+  return out;
 }
 
 Matrix sub(const Matrix& a, const Matrix& b) {
-  return apply2(a, b, [](float x, float y) { return x - y; });
+  TRKX_CHECK_MSG(a.same_shape(b), "sub shape mismatch " << a.shape_str()
+                                                        << " vs "
+                                                        << b.shape_str());
+  Matrix out(a.rows(), a.cols());
+  kernels::active().ew_sub(a.data(), b.data(), out.data(), a.size());
+  return out;
 }
 
 Matrix hadamard(const Matrix& a, const Matrix& b) {
-  return apply2(a, b, [](float x, float y) { return x * y; });
+  TRKX_CHECK_MSG(a.same_shape(b), "hadamard shape mismatch "
+                                      << a.shape_str() << " vs "
+                                      << b.shape_str());
+  Matrix out(a.rows(), a.cols());
+  kernels::active().ew_mul(a.data(), b.data(), out.data(), a.size());
+  return out;
 }
 
 Matrix scale(const Matrix& a, float s) {
-  return apply(a, [s](float x) { return x * s; });
+  Matrix out(a.rows(), a.cols());
+  kernels::active().ew_scale(a.data(), s, out.data(), a.size());
+  return out;
 }
 
 void add_inplace(Matrix& a, const Matrix& b) {
   TRKX_CHECK(a.same_shape(b));
-  float* pa = a.data();
-  const float* pb = b.data();
-  const std::size_t n = a.size();
-#pragma omp parallel for schedule(static) default(none) shared(pa, pb) \
-    firstprivate(n)
-  for (std::size_t i = 0; i < n; ++i) pa[i] += pb[i];
+  kernels::active().ew_add_inplace(a.data(), b.data(), a.size());
 }
 
 void axpy_inplace(Matrix& a, float s, const Matrix& b) {
   TRKX_CHECK(a.same_shape(b));
-  float* pa = a.data();
-  const float* pb = b.data();
-  const std::size_t n = a.size();
-#pragma omp parallel for schedule(static) default(none) shared(pa, pb) \
-    firstprivate(n, s)
-  for (std::size_t i = 0; i < n; ++i) pa[i] += s * pb[i];
+  kernels::active().ew_axpy(a.data(), s, b.data(), a.size());
 }
 
 Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
@@ -154,25 +110,13 @@ Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
 
 Matrix colwise_sum(const Matrix& a) {
   Matrix out(1, a.cols(), 0.0f);
-  float* po = out.data();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < a.cols(); ++j) po[j] += arow[j];
-  }
+  kernels::active().colwise_sum(a.data(), out.data(), a.rows(), a.cols());
   return out;
 }
 
 Matrix rowwise_sum(const Matrix& a) {
   Matrix out(a.rows(), 1, 0.0f);
-  const std::size_t r = a.rows(), c = a.cols();
-#pragma omp parallel for schedule(static) default(none) shared(a, out) \
-    firstprivate(r, c)
-  for (std::size_t i = 0; i < r; ++i) {
-    const float* arow = a.data() + i * c;
-    float acc = 0.0f;
-    for (std::size_t j = 0; j < c; ++j) acc += arow[j];
-    out(i, 0) = acc;
-  }
+  kernels::active().rowwise_sum(a.data(), out.data(), a.rows(), a.cols());
   return out;
 }
 
@@ -239,20 +183,15 @@ Matrix slice_rows(const Matrix& a, std::size_t start, std::size_t len) {
 }
 
 Matrix row_gather(const Matrix& x, const std::vector<std::uint32_t>& index) {
-  // Validate outside the parallel region: exceptions may not cross an
-  // OpenMP boundary.
+  // Validate before dispatching: exceptions may not cross the kernel's
+  // internal OpenMP boundary.
   for (std::uint32_t idx : index) {
     TRKX_CHECK_MSG(idx < x.rows(),
                    "row_gather index " << idx << " out of range " << x.rows());
   }
   Matrix out(index.size(), x.cols());
-  const std::size_t c = x.cols(), n = index.size();
-#pragma omp parallel for schedule(static) default(none) shared(out, x, index) \
-    firstprivate(n, c)
-  for (std::size_t i = 0; i < n; ++i) {
-    std::memcpy(out.data() + i * c, x.data() + index[i] * c,
-                c * sizeof(float));
-  }
+  kernels::active().row_gather(x.data(), index.data(), out.data(),
+                               index.size(), x.cols());
   return out;
 }
 
@@ -260,17 +199,13 @@ void row_scatter_add(Matrix& dst, const std::vector<std::uint32_t>& index,
                      const Matrix& src) {
   TRKX_CHECK(index.size() == src.rows());
   TRKX_CHECK(dst.cols() == src.cols());
-  const std::size_t c = dst.cols();
-  // Serial over src rows: scatter targets collide, and the graphs here have
-  // high-degree vertices, so per-row atomics would be slower than this loop.
-  for (std::size_t i = 0; i < index.size(); ++i) {
-    TRKX_CHECK_MSG(index[i] < dst.rows(), "row_scatter_add index "
-                                              << index[i] << " out of range "
-                                              << dst.rows());
-    float* drow = dst.data() + index[i] * c;
-    const float* srow = src.data() + i * c;
-    for (std::size_t j = 0; j < c; ++j) drow[j] += srow[j];
+  for (std::uint32_t idx : index) {
+    TRKX_CHECK_MSG(idx < dst.rows(), "row_scatter_add index "
+                                         << idx << " out of range "
+                                         << dst.rows());
   }
+  kernels::active().row_scatter_add(dst.data(), index.data(), src.data(),
+                                    index.size(), dst.cols());
 }
 
 Matrix segment_sum(const Matrix& y, const std::vector<std::uint32_t>& index,

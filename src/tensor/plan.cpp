@@ -1,0 +1,582 @@
+#include "tensor/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+// Same ASan interlock as pool.cpp: arena bytes are poisoned except while
+// a planned buffer is live, so a use-after-release through the planner
+// faults immediately instead of reading recycled data.
+#if defined(__SANITIZE_ADDRESS__)
+#define TRKX_PLAN_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TRKX_PLAN_ASAN 1
+#endif
+#endif
+#ifndef TRKX_PLAN_ASAN
+#define TRKX_PLAN_ASAN 0
+#endif
+#if TRKX_PLAN_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace trkx {
+namespace {
+
+constexpr std::size_t kAlign = 64;        // slot alignment (cache line)
+constexpr std::size_t kGuard = 64;        // poisoned gap between slots
+constexpr std::size_t kMaxPlans = 8;      // per-thread plan cache (LRU)
+constexpr int kMaxArenas = 16;            // global registry capacity
+constexpr std::size_t kMaxEvents = std::size_t{1} << 17;
+constexpr int kGraveyardSweeps = 2;       // idle sweeps before arena free
+
+void plan_poison(void* p, std::size_t bytes) {
+#if TRKX_PLAN_ASAN
+  __asan_poison_memory_region(p, bytes);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+void plan_unpoison(void* p, std::size_t bytes) {
+#if TRKX_PLAN_ASAN
+  __asan_unpoison_memory_region(p, bytes);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+std::size_t align_up(std::size_t v) { return (v + (kAlign - 1)) & ~(kAlign - 1); }
+
+bool read_plan_enabled() {
+  if (const char* env = std::getenv("TRKX_MEM_PLAN")) {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+  return true;
+}
+
+std::atomic<bool> g_plan_enabled{read_plan_enabled()};
+
+// ---------------------------------------------------------------------
+// Global arena registry. Releases of planner memory can arrive on any
+// code path (including after a plan died mid-step), so every release
+// first asks "is this pointer inside a live arena?". The registry is a
+// fixed lock-free slot array: near-free to scan when no arenas exist,
+// and bounded so a runaway plan count disables planning rather than
+// growing shared state. Arena lifetime is owner-thread-managed with a
+// deferred-free graveyard (see ThreadPlans) so in-flight registry reads
+// never see a freed arena.
+// ---------------------------------------------------------------------
+
+struct ArenaSlot {
+  std::atomic<bool> used{false};
+  std::atomic<char*> base{nullptr};
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::int64_t> outstanding{0};
+};
+
+ArenaSlot g_arenas[kMaxArenas];
+std::atomic<int> g_num_arenas{0};
+std::atomic<std::uint64_t> g_arena_bytes{0};
+std::atomic<std::uint64_t> g_plan_reuses{0};
+std::atomic<std::uint64_t> g_replans{0};
+
+int register_arena(char* base, std::size_t size) {
+  for (int i = 0; i < kMaxArenas; ++i) {
+    bool expect = false;
+    if (g_arenas[i].used.compare_exchange_strong(expect, true,
+                                                 std::memory_order_acq_rel)) {
+      g_arenas[i].size.store(size, std::memory_order_relaxed);
+      g_arenas[i].outstanding.store(0, std::memory_order_relaxed);
+      // base is the publish: readers acquire-load it before touching size.
+      g_arenas[i].base.store(base, std::memory_order_release);
+      g_num_arenas.fetch_add(1, std::memory_order_relaxed);
+      g_arena_bytes.fetch_add(size, std::memory_order_relaxed);
+      return i;
+    }
+  }
+  return -1;
+}
+
+void unregister_arena(int slot) {
+  const std::size_t size = g_arenas[slot].size.load(std::memory_order_relaxed);
+  g_arenas[slot].base.store(nullptr, std::memory_order_release);
+  g_arenas[slot].size.store(0, std::memory_order_relaxed);
+  g_arenas[slot].used.store(false, std::memory_order_release);
+  g_num_arenas.fetch_sub(1, std::memory_order_relaxed);
+  g_arena_bytes.fetch_sub(size, std::memory_order_relaxed);
+}
+
+int find_arena(const void* p) {
+  for (int i = 0; i < kMaxArenas; ++i) {
+    const char* b = g_arenas[i].base.load(std::memory_order_acquire);
+    if (b == nullptr) continue;
+    const std::size_t sz = g_arenas[i].size.load(std::memory_order_relaxed);
+    if (p >= b && p < b + sz) return i;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------
+// Plans and the per-thread planner state.
+// ---------------------------------------------------------------------
+
+struct Event {
+  enum Kind : std::uint8_t { kAcqArena, kAcqPool, kRel };
+  Kind kind;
+  std::size_t bytes;   // the original request size (pool rounds itself)
+  std::size_t offset;  // arena offset (kAcqArena / kRel only)
+};
+
+struct Plan {
+  std::uint64_t sig = 0;
+  std::vector<Event> events;
+  std::size_t arena_size = 0;
+  char* arena = nullptr;
+  int arena_slot = -1;
+  std::uint64_t last_use = 0;
+  bool dead = false;
+};
+
+/// First-fit free-interval allocator over an unbounded arena; the high
+/// watermark after simulating the whole event stream is the arena size.
+class IntervalAlloc {
+ public:
+  std::size_t alloc(std::size_t len) {
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].len >= len) {
+        const std::size_t off = free_[i].off;
+        free_[i].off += len;
+        free_[i].len -= len;
+        if (free_[i].len == 0) free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+        return off;
+      }
+    }
+    const std::size_t off = tail_;
+    tail_ += len;
+    return off;
+  }
+
+  void release(std::size_t off, std::size_t len) {
+    // Insert sorted and coalesce with neighbours.
+    std::size_t i = 0;
+    while (i < free_.size() && free_[i].off < off) ++i;
+    free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(i), {off, len});
+    if (i + 1 < free_.size() && free_[i].off + free_[i].len == free_[i + 1].off) {
+      free_[i].len += free_[i + 1].len;
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i + 1));
+    }
+    if (i > 0 && free_[i - 1].off + free_[i - 1].len == free_[i].off) {
+      free_[i - 1].len += free_[i].len;
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (!free_.empty() && free_.back().off + free_.back().len == tail_) {
+      tail_ = free_.back().off;
+      free_.pop_back();
+    }
+  }
+
+  std::size_t watermark() const { return watermark_; }
+  void note_watermark() { watermark_ = std::max(watermark_, tail_); }
+
+ private:
+  struct Iv {
+    std::size_t off, len;
+  };
+  std::vector<Iv> free_;
+  std::size_t tail_ = 0;
+  std::size_t watermark_ = 0;
+};
+
+enum class Phase { kIdle, kRecord, kReplay };
+
+struct RecSlot {
+  std::size_t bytes = 0;
+  std::size_t acq_event = 0;
+  bool released = false;
+};
+
+struct Recording {
+  struct RecEvent {
+    bool is_acquire;
+    std::size_t slot;
+  };
+  std::vector<RecEvent> events;
+  std::vector<RecSlot> slots;
+  std::unordered_map<const void*, std::size_t> open;  // live ptr -> slot
+  bool overflowed = false;
+
+  void reset() {
+    events.clear();
+    slots.clear();
+    open.clear();
+    overflowed = false;
+  }
+};
+
+struct ThreadPlans {
+  Phase phase = Phase::kIdle;
+  std::uint64_t tick = 0;
+
+  Recording rec;
+  std::uint64_t rec_sig = 0;
+
+  Plan* cur = nullptr;
+  std::size_t cursor = 0;
+  bool diverged = false;
+
+  std::vector<Plan*> plans;                      // owned, ≤ kMaxPlans
+  std::vector<std::pair<Plan*, int>> graveyard;  // dead plans, idle sweeps seen
+
+  ~ThreadPlans();
+};
+
+thread_local bool t_plans_dead = false;
+
+void destroy_plan(Plan* plan) {
+  if (plan->arena != nullptr) {
+    plan_unpoison(plan->arena, plan->arena_size);
+    if (plan->arena_slot >= 0) unregister_arena(plan->arena_slot);
+    ::operator delete(plan->arena);
+    plan->arena = nullptr;
+  }
+  delete plan;
+}
+
+/// Free graveyard plans whose arenas have been idle (no outstanding
+/// pointers) for kGraveyardSweeps consecutive sweeps. The deferral keeps
+/// a registry slot alive across the window in which another thread may
+/// still be routing a release through find_arena().
+void sweep_graveyard(ThreadPlans& tp) {
+  for (std::size_t i = 0; i < tp.graveyard.size();) {
+    auto& [plan, sweeps] = tp.graveyard[i];
+    const bool idle =
+        plan->arena == nullptr || plan->arena_slot < 0 ||
+        g_arenas[plan->arena_slot].outstanding.load(
+            std::memory_order_acquire) == 0;
+    sweeps = idle ? sweeps + 1 : 0;
+    if (sweeps >= kGraveyardSweeps) {
+      destroy_plan(plan);
+      tp.graveyard.erase(tp.graveyard.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void retire_plan(ThreadPlans& tp, Plan* plan) {
+  plan->dead = true;
+  tp.plans.erase(std::remove(tp.plans.begin(), tp.plans.end(), plan),
+                 tp.plans.end());
+  tp.graveyard.emplace_back(plan, 0);
+}
+
+ThreadPlans::~ThreadPlans() {
+  // Free what can be freed; leak arenas that still have live pointers
+  // (their registry slots stay valid so stray releases keep routing).
+  for (Plan* plan : plans) graveyard.emplace_back(plan, 0);
+  plans.clear();
+  for (auto& [plan, sweeps] : graveyard) {
+    (void)sweeps;
+    const bool idle =
+        plan->arena == nullptr || plan->arena_slot < 0 ||
+        g_arenas[plan->arena_slot].outstanding.load(
+            std::memory_order_acquire) == 0;
+    if (idle) destroy_plan(plan);
+  }
+  graveyard.clear();
+  t_plans_dead = true;
+}
+
+ThreadPlans* local_plans() {
+  if (t_plans_dead) return nullptr;
+  thread_local ThreadPlans tp;
+  return &tp;
+}
+
+/// Turn a finished recording into a plan: acquisitions with no in-scope
+/// release escape to the pool; everything else gets a first-fit arena
+/// offset from its liveness interval.
+Plan* build_plan(std::uint64_t sig, Recording& rec) {
+  if (rec.overflowed || rec.events.empty()) return nullptr;
+  // Escapes: still-open pointers never saw their release in scope, so
+  // they must be pool-served (their lifetime is not plannable).
+  std::vector<bool> escaped(rec.slots.size(), false);
+  for (const auto& [ptr, slot] : rec.open) {
+    (void)ptr;
+    escaped[slot] = true;
+  }
+
+  IntervalAlloc alloc;
+  std::vector<std::size_t> slot_offset(rec.slots.size(), 0);
+  std::vector<Event> events;
+  events.reserve(rec.events.size());
+  bool any_arena = false;
+  for (const auto& re : rec.events) {
+    const std::size_t bytes = rec.slots[re.slot].bytes;
+    if (re.is_acquire) {
+      if (escaped[re.slot]) {
+        events.push_back({Event::kAcqPool, bytes, 0});
+      } else {
+        const std::size_t len = align_up(bytes) + kGuard;
+        const std::size_t off = alloc.alloc(len);
+        alloc.note_watermark();
+        slot_offset[re.slot] = off;
+        events.push_back({Event::kAcqArena, bytes, off});
+        any_arena = true;
+      }
+    } else {
+      const std::size_t off = slot_offset[re.slot];
+      events.push_back({Event::kRel, bytes, off});
+      alloc.release(off, align_up(bytes) + kGuard);
+    }
+  }
+  if (!any_arena) return nullptr;
+
+  Plan* plan = new Plan;  // NOLINT(trkx-naked-new): owned by ThreadPlans, freed in destroy_plan
+  plan->sig = sig;
+  plan->events = std::move(events);
+  plan->arena_size = alloc.watermark();
+  return plan;
+}
+
+void start_replay(ThreadPlans& tp, Plan* plan) {
+  if (plan->arena == nullptr) {
+    plan->arena = static_cast<char*>(::operator new(plan->arena_size));
+    plan->arena_slot = register_arena(plan->arena, plan->arena_size);
+    if (plan->arena_slot < 0) {
+      // Registry full: too many live arenas to track releases safely.
+      ::operator delete(plan->arena);
+      plan->arena = nullptr;
+      retire_plan(tp, plan);
+      return;
+    }
+    plan_poison(plan->arena, plan->arena_size);
+  }
+  tp.phase = Phase::kReplay;
+  tp.cur = plan;
+  tp.cursor = 0;
+  tp.diverged = false;
+}
+
+void diverge(ThreadPlans& tp) {
+  tp.diverged = true;
+  // The rest of the step is pool-served; outstanding arena pointers
+  // drain through the registry as their owners release them.
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------
+
+MemoryPlanner::Scope::Scope(std::uint64_t signature) {
+  if (!g_plan_enabled.load(std::memory_order_relaxed)) return;
+  ThreadPlans* tp = local_plans();
+  if (tp == nullptr || tp->phase != Phase::kIdle) return;
+  active_ = true;
+  ++tp->tick;
+  sweep_graveyard(*tp);
+
+  for (Plan* plan : tp->plans) {
+    if (plan->sig == signature && !plan->dead) {
+      plan->last_use = tp->tick;
+      start_replay(*tp, plan);
+      return;
+    }
+  }
+  tp->rec.reset();
+  tp->rec_sig = signature;
+  tp->phase = Phase::kRecord;
+}
+
+MemoryPlanner::Scope::~Scope() {
+  if (!active_) return;
+  ThreadPlans* tp = local_plans();
+  if (tp == nullptr) return;
+  if (tp->phase == Phase::kRecord) {
+    tp->phase = Phase::kIdle;
+    Plan* plan = build_plan(tp->rec_sig, tp->rec);
+    tp->rec.reset();
+    if (plan != nullptr) {
+      plan->last_use = tp->tick;
+      if (tp->plans.size() >= kMaxPlans) {
+        auto lru = std::min_element(tp->plans.begin(), tp->plans.end(),
+                                    [](const Plan* a, const Plan* b) {
+                                      return a->last_use < b->last_use;
+                                    });
+        Plan* victim = *lru;
+        retire_plan(*tp, victim);
+      }
+      tp->plans.push_back(plan);
+    }
+  } else if (tp->phase == Phase::kReplay) {
+    Plan* plan = tp->cur;
+    tp->phase = Phase::kIdle;
+    tp->cur = nullptr;
+    if (!tp->diverged && tp->cursor == plan->events.size()) {
+      g_plan_reuses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      retire_plan(*tp, plan);
+      g_replans.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t MemoryPlanner::fingerprint(
+    std::initializer_list<std::uint64_t> dims) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (std::uint64_t d : dims) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (d >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+bool MemoryPlanner::enabled() {
+  return g_plan_enabled.load(std::memory_order_relaxed);
+}
+
+void MemoryPlanner::set_enabled(bool on) {
+  g_plan_enabled.store(on, std::memory_order_relaxed);
+}
+
+MemoryPlanner::Stats MemoryPlanner::stats() {
+  Stats s;
+  s.arena_bytes = g_arena_bytes.load(std::memory_order_relaxed);
+  s.plan_reuses = g_plan_reuses.load(std::memory_order_relaxed);
+  s.replans = g_replans.load(std::memory_order_relaxed);
+  return s;
+}
+
+void MemoryPlanner::reset_stats() {
+  g_plan_reuses.store(0, std::memory_order_relaxed);
+  g_replans.store(0, std::memory_order_relaxed);
+}
+
+void MemoryPlanner::clear_thread_plans() {
+  ThreadPlans* tp = local_plans();
+  if (tp == nullptr || tp->phase != Phase::kIdle) return;
+  for (Plan* plan : tp->plans) tp->graveyard.emplace_back(plan, 0);
+  tp->plans.clear();
+  for (std::size_t i = 0; i < tp->graveyard.size();) {
+    Plan* plan = tp->graveyard[i].first;
+    const bool idle =
+        plan->arena == nullptr || plan->arena_slot < 0 ||
+        g_arenas[plan->arena_slot].outstanding.load(
+            std::memory_order_acquire) == 0;
+    if (idle) {
+      destroy_plan(plan);
+      tp->graveyard.erase(tp->graveyard.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+namespace plan_detail {
+
+void* plan_acquire(std::size_t bytes) {
+  if (t_plans_dead) return nullptr;
+  ThreadPlans* tp = local_plans();
+  if (tp == nullptr || tp->phase != Phase::kReplay || tp->diverged) {
+    return nullptr;
+  }
+  Plan* plan = tp->cur;
+  if (tp->cursor >= plan->events.size()) {
+    diverge(*tp);
+    return nullptr;
+  }
+  const Event& ev = plan->events[tp->cursor];
+  if (ev.kind == Event::kRel || ev.bytes != bytes) {
+    diverge(*tp);
+    return nullptr;
+  }
+  ++tp->cursor;
+  if (ev.kind == Event::kAcqPool) return nullptr;
+  char* p = plan->arena + ev.offset;
+  plan_unpoison(p, bytes);
+  g_arenas[plan->arena_slot].outstanding.fetch_add(
+      1, std::memory_order_acq_rel);
+  return p;
+}
+
+void plan_record(void* p, std::size_t bytes) {
+  if (t_plans_dead || p == nullptr) return;
+  ThreadPlans* tp = local_plans();
+  if (tp == nullptr || tp->phase != Phase::kRecord || tp->rec.overflowed) {
+    return;
+  }
+  Recording& rec = tp->rec;
+  if (rec.events.size() >= kMaxEvents) {
+    rec.overflowed = true;
+    return;
+  }
+  const std::size_t slot = rec.slots.size();
+  rec.slots.push_back({bytes, rec.events.size(), false});
+  rec.events.push_back({true, slot});
+  rec.open[p] = slot;
+}
+
+bool plan_release(void* p, std::size_t bytes) {
+  // Arena-range pointers must never reach the pool or the system
+  // allocator, replaying or not (a plan that died mid-step leaves its
+  // pointers draining through here).
+  if (g_num_arenas.load(std::memory_order_relaxed) > 0) {
+    const int ar = find_arena(p);
+    if (ar >= 0) {
+      ThreadPlans* tp = t_plans_dead ? nullptr : local_plans();
+      if (tp != nullptr && tp->phase == Phase::kReplay && !tp->diverged &&
+          tp->cur->arena_slot == ar) {
+        Plan* plan = tp->cur;
+        if (tp->cursor < plan->events.size()) {
+          const Event& ev = plan->events[tp->cursor];
+          if (ev.kind == Event::kRel && ev.bytes == bytes &&
+              plan->arena + ev.offset == p) {
+            ++tp->cursor;
+            plan_poison(p, bytes);
+            g_arenas[ar].outstanding.fetch_sub(1, std::memory_order_acq_rel);
+            return true;
+          }
+        }
+        diverge(*tp);
+      }
+      plan_poison(p, bytes);
+      g_arenas[ar].outstanding.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  if (t_plans_dead || p == nullptr) return false;
+  ThreadPlans* tp = local_plans();
+  if (tp == nullptr || tp->phase != Phase::kRecord || tp->rec.overflowed) {
+    return false;
+  }
+  Recording& rec = tp->rec;
+  auto it = rec.open.find(p);
+  if (it == rec.open.end()) return false;  // foreign: invisible to the plan
+  const std::size_t slot = it->second;
+  rec.open.erase(it);
+  if (rec.slots[slot].bytes != bytes ||
+      rec.events.size() >= kMaxEvents) {
+    rec.overflowed = true;
+    return false;
+  }
+  rec.slots[slot].released = true;
+  rec.events.push_back({false, slot});
+  return false;
+}
+
+}  // namespace plan_detail
+}  // namespace trkx
