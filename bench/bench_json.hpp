@@ -21,12 +21,12 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/manifest.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace trkx {
@@ -58,8 +58,7 @@ class BenchJsonWriter {
   /// else "" (disabled).
   static std::string resolve_path(const std::string& cli_value) {
     if (!cli_value.empty()) return cli_value;
-    const char* env = std::getenv("TRKX_BENCH_JSON");
-    return env != nullptr ? env : "";
+    return env::get_string("TRKX_BENCH_JSON");
   }
 
   Series& series(const std::string& name) {

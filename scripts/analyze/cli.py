@@ -14,17 +14,29 @@ Passes and their scopes:
                     route through the kernels::active() dispatch table
     conventions     src/ + tests/ + bench/   the original project-lint
                     rules, plus the bench JSON-registration rule
+    lock-order      src/            cross-TU lock-acquisition graph:
+                    order inversions, blocking ops under locks
+    throw-boundary  src/            throwing paths inside OpenMP
+                    regions / thread entries without a barrier
+    env-registry    src/ + bench/ + examples/   TRKX_* knobs must route
+                    through the trkx::env registry
+
+The last three are *cross-TU* passes: they run over per-file facts
+(scripts/analyze/facts.py) joined into a whole-program index.
+``--facts-out FILE`` dumps that fact database as JSON for offline
+inspection.
 
 Suppression: ``NOLINT(<rule>): reason`` on the offending line or the
 line directly above it; bare ``NOLINT`` blankets the line.
 """
 
 import argparse
+import json
 import os
 import sys
 
-from . import (conventions, kernel_dispatch, layering, numeric_safety,
-               omp_sharing)
+from . import (conventions, env_registry, facts, kernel_dispatch, layering,
+               lock_order, numeric_safety, omp_sharing, throw_boundary)
 from .common import SourceTree
 
 # pass name -> (module, subdirs it runs over)
@@ -34,6 +46,9 @@ PASSES = {
     "numeric-safety": (numeric_safety, ("src",)),
     "kernel-dispatch": (kernel_dispatch, ("src",)),
     "conventions": (conventions, ("src", "tests", "bench")),
+    "lock-order": (lock_order, ("src",)),
+    "throw-boundary": (throw_boundary, ("src",)),
+    "env-registry": (env_registry, ("src", "bench", "examples")),
 }
 
 
@@ -61,6 +76,12 @@ def main(argv=None):
     parser.add_argument("--compiler",
                         default=os.environ.get("CXX", "c++"),
                         help="compiler for --check-headers")
+    parser.add_argument("--facts-out", default=None, metavar="FILE",
+                        help="dump the cross-TU fact database (src/) as "
+                             "JSON to FILE ('-' for stdout)")
+    parser.add_argument("--counts-out", default=None, metavar="FILE",
+                        help="write per-pass finding counts as a JSON "
+                             "object (feeds the ci_matrix summary)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -79,15 +100,30 @@ def main(argv=None):
     root = args.root or default_root()
     trees = {}
     findings = []
+    counts = {}
     n_files = 0
     for name in names:
         mod, subdirs = PASSES[name]
         if subdirs not in trees:
             trees[subdirs] = SourceTree(root, subdirs)
         tree = trees[subdirs]
-        findings.extend(mod.run(tree))
+        pass_findings = mod.run(tree)
+        counts[name] = len(pass_findings)
+        findings.extend(pass_findings)
     if args.check_headers and "conventions" in names:
         conventions.check_headers(root, args.compiler, findings)
+    if args.facts_out:
+        tree = trees.setdefault(("src",), SourceTree(root, ("src",)))
+        payload = facts.Project.for_tree(tree).to_json()
+        if args.facts_out == "-":
+            print(payload)
+        else:
+            with open(args.facts_out, "w", encoding="utf-8") as f:
+                f.write(payload + "\n")
+    if args.counts_out:
+        with open(args.counts_out, "w", encoding="utf-8") as f:
+            json.dump(counts, f, sort_keys=True)
+            f.write("\n")
     for tree in trees.values():
         n_files = max(n_files, sum(1 for _ in tree.rel_paths()))
 

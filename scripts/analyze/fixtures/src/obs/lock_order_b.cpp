@@ -1,0 +1,16 @@
+// The other half of the seeded cross-TU lock-order inversion: this TU
+// holds g_pool_mutex while calling log_stats(), which acquires
+// g_stats_mutex in src/util/lock_order_a.cpp — the opposite order from
+// update_stats() there. Neither TU is wrong in isolation; only the
+// joined lock graph has the cycle.
+#include "util/fixture_locks.hpp"
+
+namespace trkx {
+
+void drain_pool() {
+  LockGuard pool(g_pool_mutex);
+  log_stats();  // seeded: trkx-lock-order (acquires g_stats_mutex)
+  (void)pool;
+}
+
+}  // namespace trkx

@@ -1,0 +1,29 @@
+// Seeded thread-boundary fixtures: a thread entry that can throw with
+// no barrier (flags trkx-throw-thread) next to the two sanctioned
+// shapes (a catch-all inside the entry, and a non-throwing entry).
+
+namespace trkx {
+
+void risky_entry() {
+  TRKX_CHECK(false);
+}
+
+void safe_entry() {
+  try {
+    TRKX_CHECK(false);
+  } catch (...) {
+  }
+}
+
+void spawn_unguarded() {
+  std::vector<std::thread> workers;
+  workers.emplace_back([] { risky_entry(); });  // seeded: trkx-throw-thread
+  for (auto& w : workers) w.join();
+}
+
+void spawn_guarded() {
+  std::thread worker([] { safe_entry(); });
+  worker.join();
+}
+
+}  // namespace trkx

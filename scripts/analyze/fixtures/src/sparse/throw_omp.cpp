@@ -1,0 +1,42 @@
+// Seeded throw-boundary fixtures: three OpenMP parallel regions with a
+// throwing body. Only the middle one follows the sanctioned shape
+// (ExceptionBarrier::run around the body + rethrow() after the region);
+// the first has no barrier at all, the third captures but never
+// rethrows — both must flag trkx-throw-omp.
+
+namespace trkx {
+
+void scatter_unguarded(std::vector<float>& out, std::size_t n) {
+#pragma omp parallel for default(none) shared(out, n)
+  for (std::size_t i = 0; i < n; ++i) {
+    TRKX_CHECK(i < out.size());
+    out[i] = 1.0f;
+  }
+}
+
+void scatter_guarded(std::vector<float>& out, std::size_t n) {
+  ExceptionBarrier barrier;
+#pragma omp parallel for default(none) shared(out, n, barrier)
+  for (std::size_t i = 0; i < n; ++i) {
+    barrier.run([&, i] {
+      TRKX_CHECK(i < out.size());
+      out[i] = 1.0f;
+    });
+  }
+  barrier.rethrow();
+}
+
+void scatter_swallowed(std::vector<float>& out, std::size_t n) {
+  ExceptionBarrier barrier;
+#pragma omp parallel for default(none) shared(out, n, barrier)
+  for (std::size_t i = 0; i < n; ++i) {
+    barrier.run([&, i] {
+      TRKX_CHECK(i < out.size());
+      out[i] = 1.0f;
+    });
+  }
+  // seeded: no barrier.rethrow() after the region — the captured
+  // exception is silently dropped.
+}
+
+}  // namespace trkx

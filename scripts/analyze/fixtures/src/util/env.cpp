@@ -1,0 +1,15 @@
+// Fixture mirror of the trkx::env knob registry. The env-registry pass
+// path-matches src/util/env.cpp and parses the kKnobs rows below as the
+// registered set for this tree — accessor calls elsewhere in the
+// fixtures are validated against exactly these names.
+
+namespace trkx::env {
+namespace {
+
+constexpr Knob kKnobs[] = {
+    {"TRKX_FIXTURE_LIMIT", "8", "Fixture knob: iteration cap"},
+    {"TRKX_FIXTURE_MODE", "auto", "Fixture knob: dispatch mode"},
+};
+
+}  // namespace
+}  // namespace trkx::env

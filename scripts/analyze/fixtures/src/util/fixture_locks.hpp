@@ -1,0 +1,17 @@
+// Shared mutex declarations for the cross-TU lock-order fixtures.
+// Two TUs (src/util/lock_order_a.cpp and src/obs/lock_order_b.cpp)
+// acquire these in opposite orders — the inversion is only visible to
+// a pass that joins facts across files.
+#pragma once
+
+namespace trkx {
+
+struct Mutex {};
+
+extern Mutex g_stats_mutex;
+extern Mutex g_pool_mutex;
+
+void update_stats();
+void log_stats();
+
+}  // namespace trkx

@@ -1,0 +1,33 @@
+// Half of the seeded cross-TU lock-order inversion: this TU acquires
+// g_stats_mutex BEFORE g_pool_mutex. The other half (src/obs/
+// lock_order_b.cpp) holds g_pool_mutex while calling log_stats() below,
+// closing the cycle through the call graph.
+#include "util/fixture_locks.hpp"
+
+namespace trkx {
+
+Mutex g_stats_mutex;
+Mutex g_pool_mutex;
+
+void update_stats() {
+  LockGuard stats(g_stats_mutex);
+  LockGuard pool(g_pool_mutex);  // seeded: trkx-lock-order (cycle)
+  (void)pool;
+  (void)stats;
+}
+
+// Acquires g_stats_mutex on behalf of callers; drain_pool() in the obs
+// TU calls this while holding g_pool_mutex.
+void log_stats() {
+  LockGuard stats(g_stats_mutex);
+  (void)stats;
+}
+
+// Seeded: a stream flush while the stats lock is held.
+void slow_flush(std::ostream& os) {
+  LockGuard stats(g_stats_mutex);
+  os.flush();  // seeded: trkx-lock-blocking
+  (void)stats;
+}
+
+}  // namespace trkx

@@ -1,0 +1,148 @@
+"""lock-order pass: whole-program lock-acquisition discipline.
+
+Phase 2 of the cross-TU analyzer (see facts.py). Builds the global
+lock-acquisition graph — an edge A -> B wherever lock B is acquired
+while A is held, either directly in one function or transitively
+through a call — and reports:
+
+    trkx-lock-order     an acquisition edge that participates in a
+                        cycle of the global graph (two code paths
+                        disagree about acquisition order — a deadlock
+                        waiting for the right interleaving), including
+                        self-edges (re-acquiring a non-recursive
+                        trkx::Mutex already held on this path).
+    trkx-lock-blocking  a blocking operation performed while a lock is
+                        held: condvar waits on *other* locks, joins,
+                        sleeps, file I/O and collectives (transitively,
+                        through calls), plus log macros and stream
+                        flushes (directly only). Blocking under a lock
+                        turns every reader of that lock into a hostage
+                        of the slow operation.
+
+Exemption: ``cv.wait(lock)`` releases exactly the UniqueLock it is
+passed, so a wait on the innermost held lock is the sanctioned condvar
+idiom and is not flagged — but waiting while an *outer* different lock
+is held still is.
+
+Lock identity is heuristic (documented in facts.lock_id): class-
+qualified members, global ``g_*`` mutexes, file-scoped everything else.
+Distinct instances of one class share an identity — like Clang TSA,
+instance aliasing is out of scope; NOLINT with a reason where ordering
+is proven by construction (e.g. address-ordered double acquisition).
+"""
+
+from . import facts
+from .common import Finding
+
+RULES = {
+    "trkx-lock-order": "lock acquisition order inverted between two "
+                       "code paths (cycle in the project lock graph)",
+    "trkx-lock-blocking": "blocking operation (wait/join/sleep/IO/"
+                          "collective/log) while holding a lock",
+}
+
+
+def _edges(proj):
+    """{(A, B): [(file, line, how)]} — B acquired while A held."""
+    edges = {}
+
+    def add(a, b, file, line, how):
+        sites = edges.setdefault((a, b), [])
+        if (file, line, how) not in sites:
+            sites.append((file, line, how))
+
+    for ff in proj.functions:
+        for acq in ff.locks:
+            held = facts.lock_id(acq.expr, ff)
+            for other in ff.locks:
+                if other is acq or not (
+                        acq.line < other.line <= acq.scope_end):
+                    continue
+                add(held, facts.lock_id(other.expr, ff),
+                    ff.file, other.line, "nested acquisition")
+            for callee, li, is_method in ff.calls:
+                if not (acq.line < li <= acq.scope_end):
+                    continue
+                for lid, path in proj.call_locks(
+                        ff, callee, is_method).items():
+                    add(held, lid, ff.file, li, f"via {path}")
+    return edges
+
+
+def _cycle_edges(edges):
+    adj = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+
+    reach_memo = {}
+
+    def reaches(src, dst):
+        key = (src, dst)
+        if key in reach_memo:
+            return reach_memo[key]
+        seen = set()
+        stack = [src]
+        found = False
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                found = True
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adj.get(node, ()))
+        reach_memo[key] = found
+        return found
+
+    return {(a, b) for a, b in edges if a == b or reaches(b, a)}
+
+
+def run(tree):
+    proj = facts.Project.for_tree(tree)
+    findings = []
+
+    edges = _edges(proj)
+    for (a, b) in sorted(_cycle_edges(edges)):
+        for file, line, how in edges[(a, b)]:
+            sf = tree.file(file)
+            if sf.has_nolint(line, "trkx-lock-order"):
+                continue
+            if a == b:
+                msg = (f"'{a}' re-acquired while already held ({how}); "
+                       "trkx::Mutex is non-recursive — this deadlocks")
+            else:
+                msg = (f"'{b}' acquired while '{a}' is held ({how}), but "
+                       "another path acquires them in the opposite order")
+            findings.append(Finding(file, line + 1, "trkx-lock-order", msg))
+
+    for ff in proj.functions:
+        for acq in ff.locks:
+            held = facts.lock_id(acq.expr, ff)
+            # Direct blocking sites under this lock.
+            for kind, strength, li, lockvar in ff.blocking:
+                if not (acq.line < li <= acq.scope_end):
+                    continue
+                if kind == "condvar-wait" and lockvar == acq.var:
+                    continue  # the wait releases exactly this lock
+                sf = tree.file(ff.file)
+                if sf.has_nolint(li, "trkx-lock-blocking"):
+                    continue
+                findings.append(Finding(
+                    ff.file, li + 1, "trkx-lock-blocking",
+                    f"{kind} while holding '{held}' in {ff.qual}; "
+                    "move it outside the lock scope"))
+            # Calls under this lock that transitively block.
+            for callee, li, is_method in ff.calls:
+                if not (acq.line < li <= acq.scope_end):
+                    continue
+                sub = proj.call_blocks(ff, callee, is_method)
+                if not sub:
+                    continue
+                sf = tree.file(ff.file)
+                if not sf.has_nolint(li, "trkx-lock-blocking"):
+                    findings.append(Finding(
+                        ff.file, li + 1, "trkx-lock-blocking",
+                        f"call blocks ({sub[0]} via {sub[1]}) while "
+                        f"holding '{held}'"))
+    return findings

@@ -21,11 +21,12 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from analyze import (conventions, kernel_dispatch, layering, numeric_safety,
-                     omp_sharing)
+from analyze import (conventions, env_registry, kernel_dispatch, layering,
+                     lock_order, numeric_safety, omp_sharing, throw_boundary)
 from analyze.common import SourceTree
 
-PASSES = (omp_sharing, layering, numeric_safety, kernel_dispatch, conventions)
+PASSES = (omp_sharing, layering, numeric_safety, kernel_dispatch, conventions,
+          lock_order, throw_boundary, env_registry)
 
 
 def load_expected(path):

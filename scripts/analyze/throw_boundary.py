@@ -1,0 +1,117 @@
+"""throw-boundary pass: exceptions must not cross OpenMP or thread edges.
+
+Phase 2 of the cross-TU analyzer (see facts.py). An exception that
+propagates out of an OpenMP parallel region or out of a thread entry
+function hits a ``noexcept`` boundary and calls ``std::terminate`` —
+the whole process dies with no catchable error, which in a long
+training run means losing hours of work to one malformed event.
+
+    trkx-throw-omp     a statement inside ``#pragma omp parallel``
+                       whose execution can throw (directly or through
+                       any callee, resolved cross-TU) without an
+                       enclosing catch-all or trkx::ExceptionBarrier
+                       ``run()`` callback; also a region that uses a
+                       barrier but never calls ``rethrow()`` afterwards
+                       (the error would be silently swallowed).
+    trkx-throw-thread  a ``std::thread`` launch (or emplace_back into a
+                       thread vector) whose entry path can throw with
+                       no barrier between the throw and the thread
+                       boundary.
+
+The sanctioned shape is src/util/parallel_guard.hpp: wrap the loop
+body in ``barrier.run([&] { ... })``, poll ``barrier.cancelled()`` to
+short-circuit remaining iterations, and call ``barrier.rethrow()`` on
+the spawning thread after the join / region end.
+
+The throw model covers ``throw``, TRKX_CHECK / TRKX_CHECK_MSG,
+``throw_check_failure`` and ``rethrow_exception``; std::bad_alloc is
+excluded by policy. Call resolution is by simple name (same class
+first), so a region calling only opaque third-party code is invisible
+— under-approximation by design.
+"""
+
+from . import facts
+from .common import Finding
+
+RULES = {
+    "trkx-throw-omp": "throwing path inside an OpenMP parallel region "
+                      "without an exception barrier (std::terminate)",
+    "trkx-throw-thread": "thread entry path can throw with no barrier "
+                         "before the thread boundary (std::terminate)",
+}
+
+
+def _in_any(li, extents):
+    return any(s <= li <= e for s, e in extents)
+
+
+def _region_findings(tree, proj, ff):
+    out = []
+    sf = tree.file(ff.file)
+    guards = ff.guard_extents(proj.barrier_names)
+    for pragma_line, body_end in ff.omp_regions:
+        if sf.has_nolint(pragma_line, "trkx-throw-omp"):
+            continue
+        region = (pragma_line + 1, body_end)
+        path = None
+        for li in ff.throw_lines:
+            if region[0] <= li <= region[1] and not _in_any(li, guards):
+                path = f"direct throw at line {li + 1}"
+                break
+        if path is None:
+            for callee, li, is_method in ff.calls:
+                if not (region[0] <= li <= region[1]) or _in_any(li, guards):
+                    continue
+                sub = proj.call_throws(ff, callee, is_method)
+                if sub:
+                    path = f"call at line {li + 1} throws via {sub}"
+                    break
+        if path:
+            out.append(Finding(
+                ff.file, pragma_line + 1, "trkx-throw-omp",
+                f"omp parallel region in {ff.qual} can throw ({path}); "
+                "wrap the body in ExceptionBarrier::run and rethrow() "
+                "after the region"))
+            continue
+        # Region uses a barrier but the captured error is never
+        # surfaced: rethrow() must follow the region in this function.
+        region_runs = [(recv, s, e) for recv, s, e in ff.run_extents
+                       if region[0] <= s <= region[1]
+                       and (recv in proj.barrier_names
+                            or recv.rstrip("_").endswith("barrier"))]
+        if region_runs and not any(li > body_end for li in ff.rethrow_lines):
+            out.append(Finding(
+                ff.file, pragma_line + 1, "trkx-throw-omp",
+                f"omp parallel region in {ff.qual} captures exceptions in "
+                f"'{region_runs[0][0]}' but never calls rethrow() after "
+                "the region — errors are silently swallowed"))
+    return out
+
+
+def _thread_findings(tree, proj, ff):
+    out = []
+    sf = tree.file(ff.file)
+    for li, recv, callees in ff.thread_sites:
+        if recv != "std::thread" and recv not in proj.thread_vec_names:
+            continue  # emplace_back into something that isn't threads
+        if sf.has_nolint(li, "trkx-throw-thread"):
+            continue
+        for callee, is_method in callees:
+            hit = proj.call_throws(ff, callee, is_method)
+            if hit:
+                out.append(Finding(
+                    ff.file, li + 1, "trkx-throw-thread",
+                    f"thread entry '{callee}' can throw (via {hit}); an "
+                    "escaping exception terminates the process — capture "
+                    "it with ExceptionBarrier and rethrow() at join"))
+                break
+    return out
+
+
+def run(tree):
+    proj = facts.Project.for_tree(tree)
+    findings = []
+    for ff in proj.functions:
+        findings.extend(_region_findings(tree, proj, ff))
+        findings.extend(_thread_findings(tree, proj, ff))
+    return findings

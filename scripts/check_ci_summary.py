@@ -5,13 +5,14 @@ Usage:
     check_ci_summary.py SUMMARY.json [--require-configs a,b]
                         [--require-overall pass]
 
-Expected shape (schema v3; v2 artifacts are still accepted):
+Expected shape (schema v4; v3/v2 artifacts are still accepted):
 
-    {"schema": "trkx-ci-summary-v3",
+    {"schema": "trkx-ci-summary-v4",
      "jobs": <int>,
      "configs": [{"name": "<config>", "status": "pass"|"fail",
                   "seconds": <number>, "detail": "<string>",
                   "findings": <non-negative int, optional>,
+                  "findings_by_pass": {"<pass>": <int>, ...} optional,
                   "regressions": <non-negative int, optional>,
                   "verdicts": {"<bench>": "pass"|"fail", ...} optional},
                  ...],
@@ -21,6 +22,9 @@ v2 added the optional per-config "findings" count (the static-analysis
 legs report how many analyzer findings they saw; 0 on a clean tree).
 v3 adds the perf leg's optional "regressions" count and per-bench
 "verdicts" map (scripts/check_regression.py --report output).
+v4 adds the analyze leg's optional "findings_by_pass" map: one
+non-negative count per trkx-analyze pass (per-file and cross-TU), so a
+new noisy pass is visible in the summary, not just the total.
 
 Mirrors scripts/check_bench_json.py: schema violations are listed one per
 line and the exit code gates CI. --require-configs pins which matrix legs
@@ -32,7 +36,7 @@ import argparse
 import json
 import sys
 
-SCHEMAS = ("trkx-ci-summary-v3", "trkx-ci-summary-v2")
+SCHEMAS = ("trkx-ci-summary-v4", "trkx-ci-summary-v3", "trkx-ci-summary-v2")
 
 
 def main() -> int:
@@ -108,6 +112,21 @@ def main() -> int:
                     f'{where}: {key!r} must be a non-negative integer '
                     "when present"
                 )
+        by_pass = c.get("findings_by_pass")
+        if by_pass is not None:
+            if not isinstance(by_pass, dict) or not by_pass:
+                errors.append(
+                    f'{where}: "findings_by_pass" must be a non-empty '
+                    "object when present"
+                )
+            else:
+                for pass_name, n in by_pass.items():
+                    if (not isinstance(n, int) or isinstance(n, bool)
+                            or n < 0):
+                        errors.append(
+                            f"{where}: findings_by_pass[{pass_name!r}] "
+                            "must be a non-negative integer"
+                        )
         verdicts = c.get("verdicts")
         if verdicts is not None:
             if not isinstance(verdicts, dict):

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate the README TRKX_* knob table against the trkx::env registry.
+
+The registry in src/util/env.cpp is the single source of truth for every
+runtime environment knob; the README carries a human-readable table of
+the same rows between `<!-- trkx-env-table:begin -->` and
+`<!-- trkx-env-table:end -->` markers. This script proves the two agree
+(same knob set, same defaults, same doc strings), so docs cannot drift
+from code. Wired into ctest as `env_registry_docs`.
+
+Usage:
+    check_env_docs.py --registry REGISTRY.json --readme README.md
+    check_env_docs.py --dump-bin build/tests/env_dump --readme README.md
+    check_env_docs.py --dump-bin ... --print     # regenerate the table
+
+The registry JSON is what src/util/env.cpp's dump_registry_json() emits
+(the `env_dump` binary prints it): a list of {"name", "default", "doc"}
+objects. --print writes the canonical markdown table to stdout — paste it
+between the README markers after editing the registry.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+BEGIN = "<!-- trkx-env-table:begin -->"
+END = "<!-- trkx-env-table:end -->"
+ROW = re.compile(
+    r"^\|\s*`(?P<name>TRKX_\w+)`\s*\|\s*(?:`(?P<default>[^`]*)`|\*\(unset\)\*)"
+    r"\s*\|\s*(?P<doc>.*?)\s*\|$"
+)
+
+
+def load_registry(args):
+    if args.registry:
+        with open(args.registry, encoding="utf-8") as f:
+            return json.load(f)
+    out = subprocess.run([args.dump_bin], capture_output=True, text=True,
+                         check=True)
+    return json.loads(out.stdout)
+
+
+def render_table(registry):
+    lines = [
+        "| Knob | Default | What it does |",
+        "| --- | --- | --- |",
+    ]
+    for k in sorted(registry, key=lambda k: k["name"]):
+        default = f"`{k['default']}`" if k["default"] else "*(unset)*"
+        lines.append(f"| `{k['name']}` | {default} | {k['doc']} |")
+    return "\n".join(lines)
+
+
+def parse_readme_table(text):
+    """-> {name: (default, doc)} from the marked README region."""
+    if BEGIN not in text or END not in text:
+        return None
+    region = text.split(BEGIN, 1)[1].split(END, 1)[0]
+    rows = {}
+    for line in region.splitlines():
+        line = line.strip()
+        m = ROW.match(line)
+        if not m:
+            continue
+        default = m.group("default")
+        if default is None:
+            default = ""
+        rows[m.group("name")] = (default, m.group("doc"))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument("--registry", help="registry JSON file")
+    src.add_argument("--dump-bin", help="env_dump binary to run")
+    parser.add_argument("--readme", help="README.md to validate")
+    parser.add_argument("--print", action="store_true", dest="print_table",
+                        help="print the canonical table and exit")
+    args = parser.parse_args()
+
+    registry = load_registry(args)
+    if args.print_table:
+        print(render_table(registry))
+        return 0
+    if not args.readme:
+        print("error: --readme required unless --print", file=sys.stderr)
+        return 2
+
+    with open(args.readme, encoding="utf-8") as f:
+        text = f.read()
+    rows = parse_readme_table(text)
+    errors = []
+    if rows is None:
+        errors.append(
+            f"README is missing the {BEGIN} / {END} markers")
+        rows = {}
+
+    reg = {k["name"]: (k["default"], k["doc"]) for k in registry}
+    for name in sorted(set(reg) - set(rows)):
+        errors.append(f"knob {name} is registered but missing from the "
+                      "README table")
+    for name in sorted(set(rows) - set(reg)):
+        errors.append(f"README documents {name}, which is not in the "
+                      "trkx::env registry")
+    for name in sorted(set(reg) & set(rows)):
+        if reg[name][0] != rows[name][0]:
+            errors.append(
+                f"{name}: default mismatch — registry says "
+                f"{reg[name][0]!r}, README says {rows[name][0]!r}")
+        if reg[name][1] != rows[name][1]:
+            errors.append(
+                f"{name}: doc mismatch — registry says {reg[name][1]!r}, "
+                f"README says {rows[name][1]!r}")
+
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if errors:
+        print("hint: regenerate with check_env_docs.py --dump-bin ... "
+              "--print", file=sys.stderr)
+        return 1
+    print(f"env docs OK ({len(reg)} knobs, README table matches registry)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,11 @@
 #
 # Runs, in order (skip/select with flags):
 #   lint        scripts/lint.py + standalone-header compile check
-#   analyze     trkx-analyze: fixture selftest + all four passes
-#               (omp-sharing, layering, numeric-safety, conventions)
+#   analyze     trkx-analyze: fixture selftest + every pass — per-file
+#               (omp-sharing, layering, numeric-safety, kernel-dispatch,
+#               conventions) and cross-TU (lock-order, throw-boundary,
+#               env-registry); dumps the fact database to
+#               build-check/facts.json
 #   tidy        clang-tidy over src/ (skipped with a note if not installed)
 #   tsa         Clang -Wthread-safety -Werror build (skipped without clang)
 #   asan        ASan+UBSan build, full test suite (minus perf-smoke)
@@ -78,9 +81,11 @@ if [ "$RUN_LINT" -eq 1 ]; then
 fi
 
 if [ "$RUN_ANALYZE" -eq 1 ]; then
-  note "trkx-analyze (selftest + omp-sharing/layering/numeric-safety/conventions)"
+  note "trkx-analyze (selftest + per-file and cross-TU passes)"
   python3 scripts/analyze/selftest.py || fail "analyze-selftest"
-  python3 scripts/trkx-analyze --root . || fail "trkx-analyze"
+  mkdir -p build-check
+  python3 scripts/trkx-analyze --root . --facts-out build-check/facts.json ||
+    fail "trkx-analyze"
 fi
 
 if [ "$RUN_TIDY" -eq 1 ]; then

@@ -17,7 +17,11 @@
 #                end-to-end through the example binaries, asserting exit
 #                codes, emergency checkpoints, and clean resume
 #   analyze      trkx-analyze (fixture selftest + all passes over the
-#                real tree); the summary carries its findings count
+#                real tree, including the cross-TU lock-order /
+#                throw-boundary / env-registry passes); the summary
+#                carries the total findings count, a per-pass
+#                findings_by_pass map, and the leg dumps the cross-TU
+#                fact database to build-ci/facts.json
 #   lint-tidy    scripts/lint.py (+ headers) and clang-tidy if installed
 #   perf         scripts/trkx-bench quick profile against the release
 #                build, gated by scripts/check_regression.py against the
@@ -56,13 +60,14 @@ export TSAN_OPTIONS="halt_on_error=1:suppressions=$SUPP/tsan.supp"
 
 mkdir -p build-ci
 NAMES=() STATUSES=() SECONDS_LIST=() DETAILS=() FINDINGS_LIST=()
-REGRESSIONS_LIST=() VERDICTS_LIST=()
+REGRESSIONS_LIST=() VERDICTS_LIST=() BY_PASS_LIST=()
 
 record() {  # record <name> <status> <seconds> <detail> [findings]
-            #        [regressions] [verdicts-json]
+            #        [regressions] [verdicts-json] [findings-by-pass-json]
   NAMES+=("$1"); STATUSES+=("$2"); SECONDS_LIST+=("$3"); DETAILS+=("$4")
   FINDINGS_LIST+=("${5:-}")
   REGRESSIONS_LIST+=("${6:-}"); VERDICTS_LIST+=("${7:-}")
+  BY_PASS_LIST+=("${8:-}")
   printf '[ci-matrix] %-12s %-5s (%ss) %s\n' "$1" "$2" "$3" "$4"
 }
 
@@ -241,11 +246,20 @@ if wants analyze; then
   analyze_log=build-ci/analyze.log
   status=pass
   python3 scripts/analyze/selftest.py > "$analyze_log" 2>&1 || status=fail
-  python3 scripts/trkx-analyze --root . >> "$analyze_log" 2>&1 || status=fail
+  # One run over the real tree: all passes (per-file + cross-TU), the
+  # per-pass finding counts for the summary, and the phase-1 fact
+  # database for offline inspection.
+  python3 scripts/trkx-analyze --root . \
+    --facts-out build-ci/facts.json \
+    --counts-out build-ci/analyze_counts.json \
+    >> "$analyze_log" 2>&1 || status=fail
   # Findings print one per line as "path:line: [rule] message".
   findings=$(grep -c ': \[[a-z-]*\] ' "$analyze_log" || true)
+  by_pass=""
+  [ -f build-ci/analyze_counts.json ] && \
+    by_pass=$(cat build-ci/analyze_counts.json)
   record analyze "$status" "$(( $(date +%s) - t0 ))" "$analyze_log" \
-    "$findings"
+    "$findings" "" "" "$by_pass"
 fi
 
 if wants lint-tidy; then
@@ -271,7 +285,7 @@ fi
 # ---- summary JSON ----
 FAILED=0
 {
-  printf '{\n  "schema": "trkx-ci-summary-v3",\n'
+  printf '{\n  "schema": "trkx-ci-summary-v4",\n'
   printf '  "jobs": %s,\n' "$JOBS"
   printf '  "configs": [\n'
   for i in "${!NAMES[@]}"; do
@@ -282,6 +296,8 @@ FAILED=0
       extra="$extra, \"regressions\": ${REGRESSIONS_LIST[$i]}"
     [ -n "${VERDICTS_LIST[$i]}" ] && \
       extra="$extra, \"verdicts\": ${VERDICTS_LIST[$i]}"
+    [ -n "${BY_PASS_LIST[$i]}" ] && \
+      extra="$extra, \"findings_by_pass\": ${BY_PASS_LIST[$i]}"
     printf '    {"name": "%s", "status": "%s", "seconds": %s, "detail": "%s"%s}%s\n' \
       "${NAMES[$i]}" "${STATUSES[$i]}" "${SECONDS_LIST[$i]}" \
       "${DETAILS[$i]}" "$extra" \

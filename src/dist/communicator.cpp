@@ -6,6 +6,7 @@
 #include <cstring>
 #include <thread>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -17,12 +18,8 @@ namespace {
 
 /// Collective timeout from TRKX_COMM_TIMEOUT_MS (0 / unset = no timeout).
 double env_comm_timeout_seconds() {
-  const char* env = std::getenv("TRKX_COMM_TIMEOUT_MS");
-  if (env == nullptr || *env == '\0') return 0.0;
-  char* end = nullptr;
-  const double ms = std::strtod(env, &end);
-  if (end == env || ms <= 0.0) return 0.0;
-  return ms / 1000.0;
+  const double ms = env::get_double("TRKX_COMM_TIMEOUT_MS");
+  return ms > 0.0 ? ms / 1000.0 : 0.0;
 }
 
 }  // namespace

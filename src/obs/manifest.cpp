@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "util/annotations.hpp"
+#include "util/env.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -106,9 +107,8 @@ std::uint64_t run_fingerprint() {
 RunManifest RunManifest::collect(const std::string& tool) {
   RunManifest m;
   m.tool = tool.empty() ? run_tool() : tool;
-  const char* sha_env = std::getenv("TRKX_GIT_SHA");
-  m.git_sha = (sha_env != nullptr && *sha_env != '\0') ? sha_env
-                                                       : TRKX_GIT_SHA;
+  const std::string sha_env = env::get_string("TRKX_GIT_SHA");
+  m.git_sha = !sha_env.empty() ? sha_env : TRKX_GIT_SHA;
   m.build_type = TRKX_BUILD_TYPE;
 #ifdef __VERSION__
   m.compiler = __VERSION__;

@@ -1,6 +1,5 @@
 #include "obs/report.hpp"
 
-#include <cstdlib>
 #include <exception>
 
 #include "obs/manifest.hpp"
@@ -8,6 +7,7 @@
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 
 namespace trkx {
@@ -16,18 +16,13 @@ namespace {
 std::string flag_or_env(const ArgParser& args, const std::string& flag,
                         const char* env) {
   std::string v = args.get(flag, "");
-  if (v.empty()) {
-    if (const char* e = std::getenv(env); e && *e) v = e;
-  }
+  if (v.empty()) v = env::get_string(env);
   return v;
 }
 
 int period_flag_or_env(const ArgParser& args) {
   int v = args.get_int("timeseries-period-ms", 0);
-  if (v <= 0) {
-    if (const char* e = std::getenv("TRKX_TIMESERIES_MS"); e && *e)
-      v = std::atoi(e);
-  }
+  if (v <= 0) v = static_cast<int>(env::get_int("TRKX_TIMESERIES_MS"));
   return v > 0 ? v : 200;
 }
 

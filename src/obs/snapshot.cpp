@@ -106,29 +106,40 @@ void MetricsSnapshotter::add_sampler(const std::string& name,
 }
 
 void MetricsSnapshotter::start(const Options& options) {
+  TRKX_CHECK_MSG(!options.path.empty(),
+                 "metrics snapshotter needs an output path");
+  if (running()) {
+    // Early out before the open below truncates the live output file.
+    TRKX_WARN << "metrics snapshotter already running; start() ignored";
+    return;
+  }
+  // Open the stream and write the header before taking the lock: file
+  // I/O (and the log warning below) must not happen while mutex_ is held.
+  auto os = std::make_unique<std::ofstream>(options.path);
+  TRKX_CHECK_MSG(os->good(),
+                 "metrics snapshotter: cannot open " << options.path);
+  if (options.manifest_header) {
+    *os << "{\"manifest\": " << RunManifest::collect().to_json() << "}\n";
+  }
+  bool already_running = false;
   {
     UniqueLock lock(mutex_);
     if (running_) {
-      TRKX_WARN << "metrics snapshotter already running; start() ignored";
-      return;
+      already_running = true;
+    } else {
+      options_ = options;
+      out_ = std::move(os);
+      running_ = true;
+      stop_requested_ = false;
+      samples_ = 0;
+      start_ns_ = steady_ns();
+      last_sample_ns_ = 0;
+      last_counters_.clear();
     }
-    TRKX_CHECK_MSG(!options.path.empty(),
-                   "metrics snapshotter needs an output path");
-    auto os = std::make_unique<std::ofstream>(options.path);
-    TRKX_CHECK_MSG(os->good(),
-                   "metrics snapshotter: cannot open " << options.path);
-    if (options.manifest_header) {
-      *os << "{\"manifest\": " << RunManifest::collect().to_json()
-          << "}\n";
-    }
-    options_ = options;
-    out_ = std::move(os);
-    running_ = true;
-    stop_requested_ = false;
-    samples_ = 0;
-    start_ns_ = steady_ns();
-    last_sample_ns_ = 0;
-    last_counters_.clear();
+  }
+  if (already_running) {
+    TRKX_WARN << "metrics snapshotter already running; start() ignored";
+    return;
   }
   thread_ = std::thread([this] { run_loop(); });
 }
@@ -146,8 +157,10 @@ void MetricsSnapshotter::stop() {
     UniqueLock lock(mutex_);
     os = out_.get();
   }
-  // Final sample so short runs always leave at least one data line.
-  if (os != nullptr) write_line(*os);
+  // Final sample so short runs always leave at least one data line —
+  // unless the sampling thread already died, in which case another
+  // write would likely hit the same failure.
+  if (os != nullptr && !thread_barrier_.cancelled()) write_line(*os);
   std::string path;
   std::uint64_t n = 0;
   {
@@ -158,23 +171,30 @@ void MetricsSnapshotter::stop() {
     n = samples_;
   }
   TRKX_INFO << "wrote " << n << " time-series samples to " << path;
+  // Surface a sampling-thread death to the caller now that state is
+  // consistent; the thread entry itself must never throw.
+  thread_barrier_.rethrow();
 }
 
 void MetricsSnapshotter::run_loop() {
-  while (true) {
-    std::ostream* os = nullptr;
-    int period_ms = 200;
-    {
+  // Thread entry point: an escaping exception would be std::terminate.
+  // Capture into the barrier instead; stop() rethrows on its caller.
+  thread_barrier_.run([this] {
+    while (true) {
+      std::ostream* os = nullptr;
+      int period_ms = 200;
+      {
+        UniqueLock lock(mutex_);
+        if (stop_requested_) return;
+        period_ms = options_.period_ms > 0 ? options_.period_ms : 200;
+        os = out_.get();
+      }
+      if (os != nullptr) write_line(*os);
       UniqueLock lock(mutex_);
       if (stop_requested_) return;
-      period_ms = options_.period_ms > 0 ? options_.period_ms : 200;
-      os = out_.get();
+      wake_.wait_for(lock, std::chrono::milliseconds(period_ms));
     }
-    if (os != nullptr) write_line(*os);
-    UniqueLock lock(mutex_);
-    if (stop_requested_) return;
-    wake_.wait_for(lock, std::chrono::milliseconds(period_ms));
-  }
+  });
 }
 
 void MetricsSnapshotter::sample_to(std::ostream& os) { write_line(os); }
@@ -194,57 +214,65 @@ void MetricsSnapshotter::write_line(std::ostream& os) {
   const MetricsRegistry::Dump dump = metrics().dump();
   const std::uint64_t now = steady_ns();
 
-  LockGuard lock(mutex_);
-  if (start_ns_ == 0) start_ns_ = now;  // standalone sample_to() use
-  const double t_ms =
-      static_cast<double>(now - start_ns_) / 1e6;
-  const double dt_s =
-      last_sample_ns_ == 0
-          ? 0.0
-          : static_cast<double>(now - last_sample_ns_) / 1e9;
+  // Format the whole line into a local buffer under the lock, then write
+  // it out after releasing: `os` is a file stream, and blocking on disk
+  // while holding mutex_ would stall running()/samples()/add_sampler().
+  std::ostringstream line;
+  {
+    LockGuard lock(mutex_);
+    if (start_ns_ == 0) start_ns_ = now;  // standalone sample_to() use
+    const double t_ms =
+        static_cast<double>(now - start_ns_) / 1e6;
+    const double dt_s =
+        last_sample_ns_ == 0
+            ? 0.0
+            : static_cast<double>(now - last_sample_ns_) / 1e9;
 
-  os << "{\"t_ms\": " << json_number(t_ms) << ", \"counters\": {";
-  bool first = true;
-  for (const auto& [name, v] : dump.counters) {
-    os << (first ? "" : ", ") << "\"" << name << "\": " << v;
-    first = false;
+    line << "{\"t_ms\": " << json_number(t_ms) << ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, v] : dump.counters) {
+      line << (first ? "" : ", ") << "\"" << name << "\": " << v;
+      first = false;
+    }
+    line << "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, v] : dump.gauges) {
+      line << (first ? "" : ", ") << "\"" << name
+           << "\": " << json_number(v);
+      first = false;
+    }
+    // Per-counter rates since the previous tick: this is where cumulative
+    // stage counters (pipeline.<stage>.events) become events/sec curves.
+    line << "}, \"rates\": {";
+    first = true;
+    for (const auto& [name, v] : dump.counters) {
+      const auto it = last_counters_.find(name);
+      if (it == last_counters_.end() || dt_s <= 0.0 || v < it->second)
+        continue;
+      const double rate = static_cast<double>(v - it->second) / dt_s;
+      line << (first ? "" : ", ") << "\"" << name << "\": "
+           << json_number(rate);
+      first = false;
+    }
+    line << "}, \"histograms\": {";
+    first = true;
+    for (const auto& [name, s] : dump.histograms) {
+      line << (first ? "" : ", ") << "\"" << name << "\": {\"count\": "
+           << s.count << ", \"sum\": " << json_number(s.sum)
+           << ", \"p50\": " << json_number(s.percentile(50))
+           << ", \"p95\": " << json_number(s.percentile(95))
+           << ", \"p99\": " << json_number(s.percentile(99)) << "}";
+      first = false;
+    }
+    line << "}}\n";
+
+    last_counters_.clear();
+    for (const auto& [name, v] : dump.counters) last_counters_[name] = v;
+    last_sample_ns_ = now;
+    ++samples_;
   }
-  os << "}, \"gauges\": {";
-  first = true;
-  for (const auto& [name, v] : dump.gauges) {
-    os << (first ? "" : ", ") << "\"" << name << "\": " << json_number(v);
-    first = false;
-  }
-  // Per-counter rates since the previous tick: this is where cumulative
-  // stage counters (pipeline.<stage>.events) become events/sec curves.
-  os << "}, \"rates\": {";
-  first = true;
-  for (const auto& [name, v] : dump.counters) {
-    const auto it = last_counters_.find(name);
-    if (it == last_counters_.end() || dt_s <= 0.0 || v < it->second)
-      continue;
-    const double rate = static_cast<double>(v - it->second) / dt_s;
-    os << (first ? "" : ", ") << "\"" << name << "\": "
-       << json_number(rate);
-    first = false;
-  }
-  os << "}, \"histograms\": {";
-  first = true;
-  for (const auto& [name, s] : dump.histograms) {
-    os << (first ? "" : ", ") << "\"" << name << "\": {\"count\": "
-       << s.count << ", \"sum\": " << json_number(s.sum)
-       << ", \"p50\": " << json_number(s.percentile(50))
-       << ", \"p95\": " << json_number(s.percentile(95))
-       << ", \"p99\": " << json_number(s.percentile(99)) << "}";
-    first = false;
-  }
-  os << "}}\n";
+  os << line.str();
   os.flush();
-
-  last_counters_.clear();
-  for (const auto& [name, v] : dump.counters) last_counters_[name] = v;
-  last_sample_ns_ = now;
-  ++samples_;
 }
 
 MetricsSnapshotter& MetricsSnapshotter::global() {

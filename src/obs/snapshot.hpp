@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/annotations.hpp"
+#include "util/parallel_guard.hpp"
 
 namespace trkx {
 
@@ -41,7 +42,10 @@ class MetricsSnapshotter {
   /// Open the stream, write the manifest header, start the thread.
   /// No-op (with a warning) if already running.
   void start(const Options& options);
-  /// Take one final sample, join the thread, close the stream.
+  /// Take one final sample, join the thread, close the stream. If the
+  /// sampling thread died on an exception, it is rethrown here (on the
+  /// caller's thread) after the stream is closed — the thread entry point
+  /// itself never lets one escape (that would be std::terminate).
   void stop();
   bool running() const;
 
@@ -89,6 +93,8 @@ class MetricsSnapshotter {
   std::uint64_t last_sample_ns_ TRKX_GUARDED_BY(mutex_) = 0;
   std::map<std::string, std::function<void()>> samplers_
       TRKX_GUARDED_BY(mutex_);
+  /// Captures an exception thrown on the sampling thread; stop() rethrows.
+  ExceptionBarrier thread_barrier_;
 };
 
 }  // namespace trkx

@@ -9,6 +9,7 @@
 
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/thread_id.hpp"
 
@@ -139,12 +140,9 @@ struct EnvAutoCapture {
     // Touch the leaked singletons so they outlive this object.
     TraceSession& session = TraceSession::global();
     MetricsRegistry::global();
-    if (const char* t = std::getenv("TRKX_TRACE"); t && *t) {
-      trace_path = t;
-      session.start();
-    }
-    if (const char* m = std::getenv("TRKX_METRICS"); m && *m)
-      metrics_path = m;
+    trace_path = env::get_string("TRKX_TRACE");
+    if (!trace_path.empty()) session.start();
+    metrics_path = env::get_string("TRKX_METRICS");
   }
   ~EnvAutoCapture() {
     // Runs during static teardown: swallow write failures (bad path) —

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "util/parallel_guard.hpp"
+
 namespace trkx {
 
 namespace {
@@ -148,15 +150,22 @@ CsrMatrix sample_rows(const CsrMatrix& probs, std::size_t s,
   const auto ranges = group_ranges(group, rngs.size());
 
   std::vector<std::vector<std::uint32_t>> row_cols(rows);
+  // An exception escaping the omp region would be std::terminate; the
+  // barrier captures the first one and rethrows it after the join.
+  ExceptionBarrier barrier;
 #pragma omp parallel for schedule(dynamic) default(none) \
-    shared(ranges, rngs, group, probs, row_cols) firstprivate(s)
+    shared(ranges, rngs, group, probs, row_cols, barrier) firstprivate(s)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(ranges.size());
        ++i) {
-    const auto [rb, re] = ranges[static_cast<std::size_t>(i)];
-    Rng& rg = rngs[group[rb]];
-    for (std::size_t r = rb; r < re; ++r)
-      sample_row(probs, r, s, rg, row_cols[r]);
+    if (barrier.cancelled()) continue;
+    barrier.run([&, i] {
+      const auto [rb, re] = ranges[static_cast<std::size_t>(i)];
+      Rng& rg = rngs[group[rb]];
+      for (std::size_t r = rb; r < re; ++r)
+        sample_row(probs, r, s, rg, row_cols[r]);
+    });
   }
+  barrier.rethrow();
   return assemble(probs.cols(), row_cols);
 }
 
@@ -168,19 +177,29 @@ CsrMatrix sample_neighbors_fused(const CsrMatrix& adj,
   TRKX_CHECK(s > 0);
   const std::size_t rows = frontier.size();
   TRKX_CHECK(group.size() == rows);
-  for (std::uint32_t v : frontier) TRKX_CHECK(v < adj.rows());
   const auto ranges = group_ranges(group, rngs.size());
 
   std::vector<std::vector<std::uint32_t>> row_cols(rows);
+  // Frontier bounds are validated inside the loop (no extra O(rows)
+  // pre-pass), so this body genuinely throws: the barrier turns what
+  // would be std::terminate into a catchable trkx::Error after the join.
+  ExceptionBarrier barrier;
 #pragma omp parallel for schedule(dynamic) default(none) \
-    shared(ranges, rngs, group, adj, frontier, row_cols) firstprivate(s)
+    shared(ranges, rngs, group, adj, frontier, row_cols, barrier) \
+    firstprivate(s)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(ranges.size());
        ++i) {
-    const auto [rb, re] = ranges[static_cast<std::size_t>(i)];
-    Rng& rg = rngs[group[rb]];
-    for (std::size_t r = rb; r < re; ++r)
-      sample_fused_row(adj, frontier[r], s, rg, row_cols[r]);
+    if (barrier.cancelled()) continue;
+    barrier.run([&, i] {
+      const auto [rb, re] = ranges[static_cast<std::size_t>(i)];
+      Rng& rg = rngs[group[rb]];
+      for (std::size_t r = rb; r < re; ++r) {
+        TRKX_CHECK(frontier[r] < adj.rows());
+        sample_fused_row(adj, frontier[r], s, rg, row_cols[r]);
+      }
+    });
   }
+  barrier.rethrow();
   return assemble(adj.cols(), row_cols);
 }
 

@@ -1,9 +1,8 @@
 #include "tensor/kernels/kernels.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace trkx {
@@ -15,13 +14,12 @@ std::atomic<const KernelTable*> g_active{nullptr};
 std::atomic<int> g_mode{static_cast<int>(SimdMode::kAuto)};
 
 SimdMode mode_from_env() {
-  const char* env = std::getenv("TRKX_SIMD");
-  if (env == nullptr || env[0] == '\0') return SimdMode::kAuto;
-  if (std::strcmp(env, "auto") == 0) return SimdMode::kAuto;
-  if (std::strcmp(env, "scalar") == 0) return SimdMode::kScalar;
-  if (std::strcmp(env, "avx2") == 0) return SimdMode::kAvx2;
+  const std::string mode = env::get_string("TRKX_SIMD");
+  if (mode == "auto") return SimdMode::kAuto;
+  if (mode == "scalar") return SimdMode::kScalar;
+  if (mode == "avx2") return SimdMode::kAvx2;
   TRKX_CHECK_MSG(false, "TRKX_SIMD must be auto, avx2 or scalar; got '"
-                            << env << "'");
+                            << mode << "'");
   return SimdMode::kAuto;
 }
 

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <new>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/env.hpp"
 
 // Same ASan interlock as pool.cpp: arena bytes are poisoned except while
 // a planned buffer is live, so a use-after-release through the planner
@@ -55,12 +56,7 @@ void plan_unpoison(void* p, std::size_t bytes) {
 
 std::size_t align_up(std::size_t v) { return (v + (kAlign - 1)) & ~(kAlign - 1); }
 
-bool read_plan_enabled() {
-  if (const char* env = std::getenv("TRKX_MEM_PLAN")) {
-    return !(env[0] == '0' && env[1] == '\0');
-  }
-  return true;
-}
+bool read_plan_enabled() { return env::get_bool("TRKX_MEM_PLAN"); }
 
 std::atomic<bool> g_plan_enabled{read_plan_enabled()};
 

@@ -4,11 +4,11 @@
 
 #include "tensor/plan.hpp"
 #include <cstdint>
-#include <cstdlib>
 #include <new>
 #include <vector>
 
 #include "util/annotations.hpp"
+#include "util/env.hpp"
 
 // ASan manual poisoning: blocks parked on a free list are poisoned so a
 // use-after-release through the pool faults immediately instead of being
@@ -88,19 +88,12 @@ Registry& registry() {
 }
 
 std::size_t read_max_cached_bytes() {
-  if (const char* env = std::getenv("TRKX_POOL_MAX_MB")) {
-    const long mb = std::atol(env);
-    if (mb >= 0) return static_cast<std::size_t>(mb) << 20;
-  }
+  const long mb = env::get_int("TRKX_POOL_MAX_MB");
+  if (mb >= 0) return static_cast<std::size_t>(mb) << 20;
   return std::size_t{128} << 20;
 }
 
-bool read_enabled() {
-  if (const char* env = std::getenv("TRKX_TENSOR_POOL")) {
-    return !(env[0] == '0' && env[1] == '\0');
-  }
-  return true;
-}
+bool read_enabled() { return env::get_bool("TRKX_TENSOR_POOL"); }
 
 std::atomic<bool> g_enabled{read_enabled()};
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "util/annotations.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -167,9 +168,9 @@ void Registry::arm_from_string(const std::string& text) {
 }
 
 void Registry::arm_from_env() {
-  const char* env = std::getenv("TRKX_FAULTS");
-  if (env != nullptr && *env != '\0') {
-    arm_from_string(env);
+  const std::string spec = env::get_string("TRKX_FAULTS");
+  if (!spec.empty()) {
+    arm_from_string(spec);
     TRKX_INFO << "fault: armed " << armed_count() << " spec(s) from TRKX_FAULTS";
   }
 }

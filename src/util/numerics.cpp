@@ -1,16 +1,12 @@
 #include "util/numerics.hpp"
 
-#include <cstdlib>
-#include <cstring>
+#include "util/env.hpp"
 
 namespace trkx {
 
 namespace {
 
-bool env_default() {
-  const char* v = std::getenv("TRKX_CHECK_NUMERICS");
-  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
-}
+bool env_default() { return env::get_bool("TRKX_CHECK_NUMERICS"); }
 
 bool& flag() {
   static bool on = env_default();

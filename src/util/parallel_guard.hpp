@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "util/annotations.hpp"
+
+namespace trkx {
+
+/// Exception barrier for OpenMP parallel regions and detached threads.
+///
+/// An exception that escapes an `#pragma omp parallel` structured block —
+/// or a thread entry function — is std::terminate by the standard, so a
+/// TRKX_CHECK failure inside a parallel sampler loop would kill the whole
+/// process instead of surfacing as a catchable trkx::Error. The barrier
+/// restores normal error flow: every worker wraps its body in run(),
+/// which captures the *first* exception thrown (later ones are dropped —
+/// they are almost always the same root cause repeated per thread), and
+/// the spawning thread calls rethrow() after the region joins.
+///
+///   ExceptionBarrier barrier;
+///   #pragma omp parallel for ... shared(barrier, ...)
+///   for (...) {
+///     if (barrier.cancelled()) continue;   // optional early drain
+///     barrier.run([&] { /* throwing body */ });
+///   }
+///   barrier.rethrow();
+///
+/// The fast path adds one relaxed atomic load per run() call; the mutex
+/// is only touched on the throw path. The trkx-throw-boundary analyzer
+/// pass recognises `barrier.run(...)` + `barrier.rethrow()` (or an inline
+/// try/catch) as the sanctioned shape for throwing parallel bodies.
+class ExceptionBarrier {
+ public:
+  /// Invoke `fn`, capturing any exception instead of letting it escape.
+  template <typename Fn>
+  void run(Fn&& fn) noexcept {
+    try {
+      std::forward<Fn>(fn)();
+    } catch (...) {
+      capture(std::current_exception());
+    }
+  }
+
+  /// Store `e` as the barrier's exception if none is held yet. For code
+  /// that already has its own try/catch (e.g. a thread run loop).
+  void capture(std::exception_ptr e) noexcept {
+    if (e == nullptr) return;
+    LockGuard lock(mutex_);
+    if (first_ == nullptr) {
+      first_ = std::move(e);
+      armed_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// True once any worker has thrown. Cheap (one relaxed load): loop
+  /// bodies may poll it to skip useless work once the region is doomed.
+  bool cancelled() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Rethrow the captured exception, if any, and clear the barrier.
+  /// Call on the spawning thread after the region / join.
+  void rethrow() {
+    if (!armed_.load(std::memory_order_acquire)) return;
+    std::exception_ptr e;
+    {
+      LockGuard lock(mutex_);
+      e = std::exchange(first_, nullptr);
+      armed_.store(false, std::memory_order_release);
+    }
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  mutable Mutex mutex_;
+  std::exception_ptr first_ TRKX_GUARDED_BY(mutex_);
+};
+
+}  // namespace trkx

@@ -1,0 +1,13 @@
+// Dumps the trkx::env knob registry as JSON on stdout. Consumed by
+// scripts/check_env_docs.py (ctest env_registry_docs) to prove the README
+// knob table matches the registry, and available to any tooling that
+// wants the machine-readable knob list.
+#include <iostream>
+
+#include "util/env.hpp"
+
+int main() {
+  // NOLINT(trkx-io): this tool's contract IS stdout JSON
+  trkx::env::dump_registry_json(std::cout);
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
+#include "util/error.hpp"
 
 namespace trkx {
 namespace {
@@ -201,6 +202,26 @@ TEST(Snapshotter, StartWithoutPathFails) {
   MetricsSnapshotter::Options opt;  // no path
   EXPECT_THROW(snap.start(opt), std::exception);
   EXPECT_FALSE(snap.running());
+}
+
+TEST(Snapshotter, SamplingThreadExceptionSurfacesInStop) {
+  // A sampler hook that throws kills the sampling thread's tick. The
+  // run_loop exception barrier must capture it (not std::terminate) and
+  // stop() rethrows it on the caller.
+  const std::string path = "flight_recorder_throw.jsonl";
+  MetricsSnapshotter snap;
+  snap.add_sampler("bomb", [] {
+    throw Error("sampler hook exploded");
+  });
+  MetricsSnapshotter::Options opt;
+  opt.path = path;
+  opt.period_ms = 5;
+  snap.start(opt);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_THROW(snap.stop(), Error);
+  // The barrier cleared on rethrow: the snapshotter is reusable.
+  EXPECT_FALSE(snap.running());
+  std::remove(path.c_str());
 }
 
 }  // namespace

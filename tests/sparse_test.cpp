@@ -7,6 +7,7 @@
 #include "sparse/sample.hpp"
 #include "sparse/spgemm.hpp"
 #include "tensor/ops.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace trkx {
@@ -284,6 +285,48 @@ TEST(SampleRowsTest, DeterministicGivenSeed) {
   CsrMatrix s1 = sample_rows(m, 4, rng1);
   CsrMatrix s2 = sample_rows(m, 4, rng2);
   EXPECT_TRUE(s1 == s2);
+}
+
+// Regression: a TRKX_CHECK failure inside the OpenMP parallel sampler
+// loop must surface as a catchable trkx::Error on the calling thread,
+// not escape the region as std::terminate. The out-of-range frontier
+// vertex trips the in-loop bounds check on whichever worker draws it.
+TEST(SampleRowsTest, ParallelCheckFailureIsCatchable) {
+  Rng mrng(15);
+  CsrMatrix adj = random_sparse(16, 16, 0.4, mrng);
+  std::vector<std::uint32_t> frontier(32);
+  std::vector<std::uint32_t> group(32);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    frontier[i] = i % 16;
+    group[i] = i / 8;  // four groups → four parallel chunks
+  }
+  frontier[19] = 999;  // past adj.rows(): throws mid-region
+  std::vector<Rng> rngs;
+  for (int g = 0; g < 4; ++g) rngs.emplace_back(100 + g);
+  EXPECT_THROW(sample_neighbors_fused(adj, frontier, 3, group, rngs),
+               Error);
+}
+
+// The fused sampler still works after a failed call: the barrier resets
+// on rethrow and nothing is left poisoned.
+TEST(SampleRowsTest, ParallelSamplerRecoversAfterFailure) {
+  Rng mrng(16);
+  CsrMatrix adj = random_sparse(12, 12, 0.5, mrng);
+  std::vector<std::uint32_t> frontier{0, 1, 2, 3, 4, 5};
+  std::vector<std::uint32_t> group{0, 0, 0, 1, 1, 1};
+  std::vector<Rng> rngs;
+  rngs.emplace_back(200);
+  rngs.emplace_back(201);
+  auto bad_frontier = frontier;
+  bad_frontier[4] = 777;
+  EXPECT_THROW(sample_neighbors_fused(adj, bad_frontier, 2, group, rngs),
+               Error);
+  std::vector<Rng> fresh;
+  fresh.emplace_back(200);
+  fresh.emplace_back(201);
+  CsrMatrix s = sample_neighbors_fused(adj, frontier, 2, group, fresh);
+  s.check_invariants();
+  EXPECT_EQ(s.rows(), frontier.size());
 }
 
 }  // namespace

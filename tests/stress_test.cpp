@@ -231,6 +231,67 @@ TEST(MetricsStressTest, SnapshotterRacesWritersAndHookRegistration) {
             static_cast<std::uint64_t>(3 * kIters));
 }
 
+// Witness for the lock order documented in DESIGN.md §6j (and checked
+// statically by the trkx-analyze lock-order pass): the snapshotter never
+// holds its mutex_ while entering MetricsRegistry — hooks, dump() and
+// stream writes all run with the snapshotter lock released. This drives
+// both mutexes from every direction at once — full start/stop lifecycle,
+// registry writers, a hook that re-enters the registry from the sampling
+// thread, control-plane polls, and a synchronous sample_to() — so a
+// future nesting in either direction surfaces as a TSan report on this
+// schedule instead of a rare production deadlock.
+TEST(MetricsStressTest, SnapshotterAndRegistryLockOrderWitness) {
+  const std::string path =
+      ::testing::TempDir() + "/trkx_lock_order_witness.jsonl";
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&stop] {
+      while (!stop.load()) {
+        metrics().counter("stress.order.count").add(1);
+        metrics().gauge("stress.order.gauge").set(1.0);
+        void* p = TensorPool::acquire(256);
+        TensorPool::release(p, 256);
+      }
+      TensorPool::clear_thread_cache();
+    });
+  }
+  for (int round = 0; round < 4; ++round) {
+    MetricsSnapshotter snap;
+    snap.add_sampler("bridge", [] {
+      // Runs on the sampling thread with the snapshotter lock released;
+      // re-entering the registry here is the documented (only) direction.
+      metrics().gauge("stress.order.hook").set(static_cast<double>(
+          metrics().counter("stress.order.count").value()));
+    });
+    snap.add_sampler("pool", [] {
+      // The gnn_train bridge: pool internals -> registry gauge, on the
+      // sampling thread — the third lock domain in the certified order.
+      const TensorPool::Stats s = TensorPool::stats();
+      metrics().gauge("stress.order.pool").set(s.hit_rate());
+    });
+    snap.start({.path = path, .period_ms = 1});
+    for (int i = 0; i < 50; ++i) {
+      // Control plane cycles the snapshotter lock while the sampling
+      // thread alternates it against the registry lock...
+      (void)snap.running();
+      (void)snap.samples();
+      snap.add_sampler("bridge2",
+                       [] { metrics().gauge("stress.order.hook2").set(1.0); });
+      // ...and this thread takes the registry lock on its own.
+      std::ostringstream os;
+      metrics().write_json(os);
+    }
+    std::ostringstream os;
+    snap.sample_to(os);  // synchronous sample racing the thread's ticks
+    snap.stop();
+    EXPECT_GE(snap.samples(), 1u);
+  }
+  stop = true;
+  for (auto& w : writers) w.join();
+  std::remove(path.c_str());
+}
+
 // ---------- Trace session ----------
 
 TEST(TraceStressTest, RecordersRaceExportAndClear) {

@@ -9,8 +9,10 @@
 #include <thread>
 
 #include "util/cli.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/parallel_guard.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -450,6 +452,98 @@ TEST(ErrorTest, CheckThrowsWithContext) {
 
 TEST(ErrorTest, CheckPassesSilently) {
   EXPECT_NO_THROW(TRKX_CHECK(2 + 2 == 4));
+}
+
+// ---------- env registry ----------
+
+TEST(EnvRegistry, KnownKnobsRegisteredAndSorted) {
+  const auto& ks = env::knobs();
+  ASSERT_FALSE(ks.empty());
+  EXPECT_TRUE(env::is_registered("TRKX_SIMD"));
+  EXPECT_TRUE(env::is_registered("TRKX_FAULTS"));
+  EXPECT_TRUE(env::is_registered("TRKX_POOL_MAX_MB"));
+  EXPECT_FALSE(env::is_registered("TRKX_NOT_A_KNOB"));
+  for (std::size_t i = 1; i < ks.size(); ++i)
+    EXPECT_LT(std::string(ks[i - 1].name), std::string(ks[i].name))
+        << "registry must stay sorted by name";
+  for (const auto& k : ks) {
+    EXPECT_TRUE(std::string(k.name).rfind("TRKX_", 0) == 0) << k.name;
+    EXPECT_NE(std::string(k.doc), "") << k.name << " needs a doc string";
+  }
+}
+
+TEST(EnvRegistry, UnregisteredKnobThrows) {
+  EXPECT_THROW(env::get_string("TRKX_NOT_A_KNOB"), Error);
+  EXPECT_THROW(env::raw("TRKX_NOT_A_KNOB"), Error);
+}
+
+TEST(EnvRegistry, TypedAccessorsAndDefaults) {
+  ::unsetenv("TRKX_POOL_MAX_MB");
+  EXPECT_EQ(env::get_int("TRKX_POOL_MAX_MB"), 128);  // registry default
+  ::setenv("TRKX_POOL_MAX_MB", "64", 1);
+  EXPECT_EQ(env::get_int("TRKX_POOL_MAX_MB"), 64);
+  ::setenv("TRKX_POOL_MAX_MB", "not-a-number", 1);
+  EXPECT_EQ(env::get_int("TRKX_POOL_MAX_MB"), 128);  // falls back
+  ::unsetenv("TRKX_POOL_MAX_MB");
+
+  ::unsetenv("TRKX_MEM_PLAN");
+  EXPECT_TRUE(env::get_bool("TRKX_MEM_PLAN"));  // default "1"
+  ::setenv("TRKX_MEM_PLAN", "0", 1);
+  EXPECT_FALSE(env::get_bool("TRKX_MEM_PLAN"));
+  ::setenv("TRKX_MEM_PLAN", "off", 1);
+  EXPECT_FALSE(env::get_bool("TRKX_MEM_PLAN"));
+  ::setenv("TRKX_MEM_PLAN", "yes", 1);
+  EXPECT_TRUE(env::get_bool("TRKX_MEM_PLAN"));
+  ::unsetenv("TRKX_MEM_PLAN");
+
+  ::setenv("TRKX_COMM_TIMEOUT_MS", "1500.5", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("TRKX_COMM_TIMEOUT_MS"), 1500.5);
+  ::unsetenv("TRKX_COMM_TIMEOUT_MS");
+  EXPECT_DOUBLE_EQ(env::get_double("TRKX_COMM_TIMEOUT_MS"), 0.0);
+
+  ::unsetenv("TRKX_SIMD");
+  EXPECT_EQ(env::get_string("TRKX_SIMD"), "auto");
+  EXPECT_FALSE(env::is_set("TRKX_SIMD"));
+}
+
+TEST(EnvRegistry, DumpIsValidSortedJson) {
+  std::ostringstream os;
+  env::dump_registry_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  // Every registered knob appears exactly once.
+  for (const auto& k : env::knobs()) {
+    const std::string needle = std::string("\"name\": \"") + k.name + "\"";
+    const std::size_t first = json.find(needle);
+    ASSERT_NE(first, std::string::npos) << k.name;
+    EXPECT_EQ(json.find(needle, first + 1), std::string::npos) << k.name;
+  }
+}
+
+TEST(ExceptionBarrier, CapturesFirstAndRethrowsOnce) {
+  ExceptionBarrier barrier;
+  EXPECT_FALSE(barrier.cancelled());
+  barrier.run([] { throw Error("first"); });
+  EXPECT_TRUE(barrier.cancelled());
+  barrier.run([] { throw Error("second"); });  // dropped: first wins
+  try {
+    barrier.rethrow();
+    FAIL() << "rethrow() did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos);
+  }
+  // Cleared after rethrow: reusable, second rethrow is a no-op.
+  EXPECT_FALSE(barrier.cancelled());
+  barrier.rethrow();
+}
+
+TEST(ExceptionBarrier, NonThrowingBodyPassesThrough) {
+  ExceptionBarrier barrier;
+  int runs = 0;
+  barrier.run([&] { ++runs; });
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(barrier.cancelled());
+  barrier.rethrow();  // nothing captured: no-op
 }
 
 }  // namespace
