@@ -1,0 +1,196 @@
+"""collective-consistency pass: every rank must execute the same
+sequence of collectives, or the laggards deadlock.
+
+Phase 2 of the cross-TU analyzer (see facts.py). A Communicator
+collective (all_reduce / broadcast / barrier / all_gather) is a
+rendezvous: a rank that skips one leaves its peers blocked until the
+TimeoutBarrier poisons them — and silently deadlocked without one.
+This pass joins the collective call sites with the per-function branch
+model and reports:
+
+    trkx-collective-divergent   a collective that only some ranks can
+                                reach: it sits in the arm of a branch
+                                whose condition mentions the rank, or
+                                after a rank-dependent conditional
+                                early exit, or in one arm of a
+                                data-dependent branch whose other arm
+                                runs a different collective sequence.
+    trkx-collective-unguarded   a collective inside a try block whose
+                                catch-all handler swallows (neither
+                                rethrows nor aborts a TimeoutBarrier):
+                                a throwing rank skips the rendezvous
+                                silently instead of unwinding into the
+                                poison path.
+
+Branch conditions are classified textually: *rank-dependent* if the
+condition mentions the rank (``rank``/``is_root``/``root``),
+*uniform* if after erasing config fields (``config.x``), the
+communicator handle itself, and literals nothing identifiable remains
+— every rank computes the same value, so differing arms are fine.
+Everything else is *data-dependent*: rank-local values that may
+disagree across ranks.
+
+The Communicator implementation files are exempt: root-rank asymmetry
+inside broadcast/all_gather is the protocol, not a bug. Elsewhere the
+precision policy from PR 8 applies — tighten the model before
+sprinkling NOLINTs, and keep intentional rank-guards (with a reason)
+visible as suppressions.
+"""
+
+import re
+
+from . import facts
+from .common import Finding
+
+RULES = {
+    "trkx-collective-divergent": "collective reachable by only some "
+                                 "ranks (rank-dependent branch/exit or "
+                                 "divergent branch arms)",
+    "trkx-collective-unguarded": "collective inside a try whose "
+                                 "catch-all swallows instead of "
+                                 "rethrowing/aborting the barrier",
+}
+
+RANK_DEP = re.compile(r"(?<![\w.])(?:rank|world_rank|is_root|root)\b")
+
+# Atoms erased before deciding a condition is rank-uniform: config
+# fields are broadcast-identical by construction, the communicator
+# handle is either set on every worker rank or on none, and literals
+# are literals.
+UNIFORM_STRIP = (
+    re.compile(r"\b\w+\s*\.\s*comm\b"),
+    re.compile(r"\bconfig\s*\.\s*\w+"),
+    re.compile(r"\bcomm\b"),
+    re.compile(r"\b(?:nullptr|true|false)\b"),
+    re.compile(r"\b\d[\w.]*\b"),
+)
+
+
+def _is_uniform(cond):
+    c = cond
+    for rx in UNIFORM_STRIP:
+        c = rx.sub("", c)
+    return not re.search(r"[A-Za-z_]\w*", c)
+
+
+def _exempt(rel):
+    return "communicator" in rel.replace("\\", "/")
+
+
+def _call_collectives(proj, ff, callee, is_method):
+    """{kind: path} of collectives this call site can reach."""
+    cands, _ = proj.targets(ff, callee, is_method)
+    if is_method and len(cands) != 1:
+        return {}
+    out = {}
+    for t in cands:
+        for kind, path in proj.collectives_reached(t).items():
+            out.setdefault(kind, path)
+    return out
+
+
+def _sites(proj, ff):
+    """Every line of ff that executes a collective: direct sites plus
+    call sites whose closure reaches one. Returns (line, kind, via)."""
+    out = [(li, kind, None) for kind, li in ff.collectives]
+    for callee, li, is_method in ff.calls:
+        for kind, path in _call_collectives(proj, ff, callee,
+                                            is_method).items():
+            out.append((li, kind, path))
+    return out
+
+
+def _innermost_arm(ff, li):
+    """(branch, 'then'|'else') of the innermost branch arm containing
+    line li, or (None, None)."""
+    best = None
+    for b in ff.branches:
+        for arm, ext in (("then", b.then_ext), ("else", b.else_ext)):
+            if ext is not None and ext[0] <= li <= ext[1]:
+                if best is None or ext[0] > best[2]:
+                    best = (b, arm, ext[0])
+    return (best[0], best[1]) if best else (None, None)
+
+
+def run(tree):
+    proj = facts.Project.for_tree(tree)
+    findings = []
+    emitted = set()
+
+    def emit(file, li, rule, msg):
+        sf = tree.file(file)
+        if sf.has_nolint(li, rule):
+            return
+        key = (file, li, rule)
+        if key in emitted:
+            return
+        emitted.add(key)
+        findings.append(Finding(file, li + 1, rule, msg))
+
+    for ff in proj.functions:
+        if _exempt(ff.file):
+            continue
+        sites = _sites(proj, ff)
+        if sites:
+            # (1) collective under a rank-dependent branch arm.
+            for li, kind, via in sorted(sites):
+                b, arm = _innermost_arm(ff, li)
+                if b is not None and RANK_DEP.search(b.cond):
+                    how = f" (via {via})" if via else ""
+                    emit(ff.file, li, "trkx-collective-divergent",
+                         f"{kind}{how} under rank-dependent condition "
+                         f"'{b.cond}' in {ff.qual}; only some ranks "
+                         "reach this rendezvous")
+            # (2) collective after a rank-dependent conditional exit.
+            for b in ff.branches:
+                if not RANK_DEP.search(b.cond):
+                    continue
+                for arm_ext, has_exit in ((b.then_ext, b.exit_then),
+                                          (b.else_ext, b.exit_else)):
+                    if arm_ext is None or not has_exit:
+                        continue
+                    for li, kind, via in sorted(sites):
+                        if li > arm_ext[1]:
+                            how = f" (via {via})" if via else ""
+                            emit(ff.file, li, "trkx-collective-divergent",
+                                 f"{kind}{how} after rank-dependent "
+                                 f"early exit under '{b.cond}' in "
+                                 f"{ff.qual}; exited ranks never "
+                                 "arrive")
+            # (3) data-dependent branch whose arms run different
+            # collective sequences.
+            for b in ff.branches:
+                if RANK_DEP.search(b.cond) or _is_uniform(b.cond):
+                    continue
+                then_kinds = sorted({k for li, k, _ in sites
+                                     if b.then_ext[0] <= li
+                                     <= b.then_ext[1]})
+                if b.else_ext is None:
+                    else_kinds = []
+                else:
+                    else_kinds = sorted({k for li, k, _ in sites
+                                         if b.else_ext[0] <= li
+                                         <= b.else_ext[1]})
+                if then_kinds != else_kinds and (then_kinds or
+                                                 else_kinds):
+                    emit(ff.file, b.line, "trkx-collective-divergent",
+                         f"branch on data-dependent '{b.cond}' in "
+                         f"{ff.qual} runs different collectives per "
+                         f"arm (then: {then_kinds or ['none']}, else: "
+                         f"{else_kinds or ['none']}); ranks that "
+                         "disagree on the condition deadlock")
+            # (4) collective under a swallowing catch-all.
+            for (ts, te), swallows in zip(ff.catch_extents,
+                                          ff.catch_swallows):
+                if not swallows:
+                    continue
+                for li, kind, via in sorted(sites):
+                    if ts <= li <= te:
+                        how = f" (via {via})" if via else ""
+                        emit(ff.file, li, "trkx-collective-unguarded",
+                             f"{kind}{how} inside a try whose "
+                             "catch-all swallows; a throwing rank "
+                             "skips the rendezvous silently — rethrow "
+                             "or abort() the TimeoutBarrier in the "
+                             "handler")
+    return findings

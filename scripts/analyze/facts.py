@@ -23,6 +23,30 @@ query: simple-name call resolution plus memoised transitive closures
 for "which locks does calling F acquire", "can calling F throw", and
 "does calling F block".
 
+PR 9 adds three more fact kinds for the dataflow passes:
+
+  * collective call sites (all_reduce / broadcast / barrier /
+    all_gather) together with a *branch model* of the enclosing
+    function: every ``if``/``else`` extent with its condition text,
+    loop extents, and conditional early exits (return/continue/break)
+    — what the collective-consistency pass needs to decide whether a
+    collective executes on every rank,
+  * allocation sites (``new`` / malloc-family / make_unique /
+    make_shared) — the hot-path pass flags these outside the
+    TensorPool / MemoryPlanner front doors,
+  * RNG provenance: every ``Rng`` definition with its origin
+    (``Rng::stream(...)`` keyed, ``split()`` of another stream,
+    sequential seed construction, ``Rng&`` parameter), every draw
+    site, and every call that hands an Rng to a callee — the
+    rng-stream pass walks these to prove sampling randomness derives
+    from a (rank, epoch, event, batch) stream key,
+
+plus ``TRKX_HOT`` annotations (util/annotations.hpp) naming the
+inference-stage entry points whose call closure must stay free of
+heap allocation and blocking, and catch-handler classification
+(does the handler rethrow/abort, or swallow?) for the
+collective-unguarded rule.
+
 Facts are regex-level, like every trkx-analyze pass: no compiler, no
 AST. Extraction is tuned to this repo's idiom (annotated lock wrappers,
 TRKX_* macros) and errs toward under-approximation, with NOLINT as the
@@ -34,6 +58,7 @@ vector would flag.
 import bisect
 import json
 import re
+from collections import deque
 
 from .common import KEYWORDS
 from .omp_sharing import PRAGMA, _join_pragma, _region_lines, parse_clauses
@@ -92,6 +117,60 @@ BLOCKING = (
     ("flush", "weak", re.compile(r"\.\s*flush\s*\(\s*\)")),
     ("log", "weak", re.compile(r"\bTRKX_(?:INFO|WARN|ERROR|DEBUG)\b")),
 )
+
+# Collective call sites. The lookbehind permits an explicit receiver
+# (``comm.all_reduce_sum(...)``) but rejects identifier tails
+# (``add_row_broadcast``). all_reduce_* variants collapse to one kind:
+# the consistency property is "same sequence of collective kinds on
+# every rank", and sum-vs-scalar is a payload detail.
+COLLECTIVE = re.compile(
+    r"(?<![\w:])(all_reduce_sum|all_reduce_scalar|all_reduce|all_gather|"
+    r"broadcast|barrier|arrive_and_wait)\s*\(")
+COLLECTIVE_KIND = {"all_reduce_sum": "all_reduce",
+                   "all_reduce_scalar": "all_reduce",
+                   "arrive_and_wait": "barrier"}
+
+# Heap-allocation sites for the hot-path pass. std::vector growth is
+# excluded by the same policy that excludes bad_alloc from the throw
+# model; TensorPool / MemoryPlanner internals are exempted at the pass
+# level as the sanctioned front doors.
+ALLOC_SITES = (
+    ("new", re.compile(r"(?<![\w:.])new\s+[A-Za-z_(]")),
+    ("malloc", re.compile(r"(?<![\w:.])(?:malloc|calloc|realloc)\s*\(")),
+    ("make_unique", re.compile(r"\bmake_unique\s*<")),
+    ("make_shared", re.compile(r"\bmake_shared\s*<")),
+)
+
+# RNG provenance. A definition's origin is one of: "stream" (keyed
+# Rng::stream), "split" (derived from another var — chase the source),
+# "seq" (sequential seed construction), "param" (Rng& argument — the
+# caller decides). Draws on an unknown ``name_`` receiver resolve to
+# "member" (sequential object state).
+RNG_DEF = re.compile(r"(?<![\w:])Rng\s+([a-z_]\w*)\s*(?=[({=;])")
+RNG_VEC_DEF = re.compile(r"\bstd::vector\s*<\s*Rng\s*>\s+(\w+)")
+RNG_PARAM = re.compile(
+    r"(?:\bstd::vector\s*<\s*Rng\s*>|(?<![\w:])Rng)\s*&\s*(\w+)")
+RNG_STREAM = re.compile(r"\bRng::stream\s*\(")
+RNG_SPLIT_FROM = re.compile(r"(\w+)\s*(?:\[[^\]]*\]\s*)?\.\s*split\s*\(")
+RNG_VEC_PUSH = re.compile(
+    r"(\w+)\s*\.\s*(?:push_back|emplace_back)\s*\(\s*(\w+)\s*\.\s*split\s*\(")
+RNG_DRAW_METHODS = frozenset(
+    "uniform uniform_index normal poisson bernoulli shuffle "
+    "sample_without_replacement next_u64 split".split())
+RNG_DRAW = re.compile(
+    r"(\w+)\s*(?:\[[^\]]*\]\s*)?\.\s*(uniform|uniform_index|normal|"
+    r"poisson|bernoulli|shuffle|sample_without_replacement|next_u64|"
+    r"split)\s*\(")
+
+# Hot-path annotation (util/annotations.hpp): marks an inference-stage
+# entry point whose transitive call closure must stay allocation- and
+# blocking-free.
+HOT = re.compile(r"\bTRKX_HOT\b")
+
+# Branch model tokens for the collective-consistency pass.
+IF_TOKEN = re.compile(r"(?<![\w.])if\s*\(")
+LOOP_TOKEN = re.compile(r"(?<![\w.])(?:for|while)\s*\(")
+EXIT_TOKEN = re.compile(r"(?<![\w.])(?:return|continue|break)\b")
 
 
 def _match(text, i, open_ch, close_ch):
@@ -200,11 +279,31 @@ class Acq:
         self.scope_end = scope_end  # 0-based inclusive
 
 
+class Branch:
+    """One ``if`` with its condition text and arm extents (0-based,
+    inclusive). ``exit_then``/``exit_else`` record whether the arm
+    contains a conditional early exit (return/continue/break)."""
+
+    __slots__ = ("cond", "line", "then_ext", "else_ext",
+                 "exit_then", "exit_else")
+
+    def __init__(self, cond, line, then_ext, else_ext,
+                 exit_then, exit_else):
+        self.cond = cond
+        self.line = line
+        self.then_ext = then_ext
+        self.else_ext = else_ext
+        self.exit_then = exit_then
+        self.exit_else = exit_else
+
+
 class FunctionFacts:
     __slots__ = ("file", "name", "qual", "cls", "start", "end",
                  "calls", "locks", "throw_lines", "blocking",
                  "omp_regions", "thread_sites", "run_extents",
-                 "rethrow_lines", "catch_extents", "has_bare_rethrow")
+                 "rethrow_lines", "catch_extents", "has_bare_rethrow",
+                 "collectives", "allocs", "branches", "loops",
+                 "rng_defs", "rng_draws", "rng_pass", "catch_swallows")
 
     def __init__(self, file, name, cls, start, end):
         self.file = file
@@ -223,6 +322,14 @@ class FunctionFacts:
         self.rethrow_lines = []
         self.catch_extents = []  # (start_line, end_line) of guarded try
         self.has_bare_rethrow = False
+        self.collectives = []   # (kind, line)
+        self.allocs = []        # (kind, line)
+        self.branches = []      # [Branch]
+        self.loops = []         # (start_line, end_line)
+        self.rng_defs = {}      # var -> (origin, split_src|None, line)
+        self.rng_draws = []     # (var, method, line)
+        self.rng_pass = []      # (callee, var, line, is_method)
+        self.catch_swallows = []  # bool, parallel to catch_extents
 
     def guard_extents(self, barrier_names):
         """Line extents within which a throw cannot escape this function:
@@ -236,13 +343,15 @@ class FunctionFacts:
 
 
 class FileFacts:
-    __slots__ = ("rel", "functions", "barrier_decls", "thread_vec_decls")
+    __slots__ = ("rel", "functions", "barrier_decls", "thread_vec_decls",
+                 "hot_decls")
 
     def __init__(self, rel):
         self.rel = rel
         self.functions = []
         self.barrier_decls = set()
         self.thread_vec_decls = set()
+        self.hot_decls = set()  # quals of TRKX_HOT-annotated declarations
 
 
 def _line_offsets(code):
@@ -300,9 +409,14 @@ def _scan_functions(sf):
     for m in FUNC_CAND.finditer(text):
         if m.start() < resume:
             continue
+        # Destructors keep their '~': ``new X()`` / ``X(...)`` call sites
+        # must resolve to the constructor only, never the destructor —
+        # conflating them drags shutdown paths (stop/join in ~X) into
+        # every closure that constructs an X.
         name = re.sub(r"\s+", "", m.group(1))
-        short = name.rsplit("::", 1)[-1].lstrip("~")
-        if short in KEYWORDS or short in CONTROL or short.isupper():
+        short = name.rsplit("::", 1)[-1]
+        bare = short.lstrip("~")
+        if bare in KEYWORDS or bare in CONTROL or bare.isupper():
             continue
         j = m.start(1) - 1
         while j >= 0 and text[j] in " \t":
@@ -402,12 +516,142 @@ def _call_kind(code, start):
     return "call"
 
 
+def _stmt_extent(text, i):
+    """(start, end_exclusive) character span of the statement beginning
+    at/after text[i]: a braced block, an if/else chain (so an ``else
+    if`` arm covers the whole nested chain), or a plain statement up to
+    its ';'."""
+    n = len(text)
+    while i < n and text[i].isspace():
+        i += 1
+    if i >= n:
+        return i, i
+    if text[i] == "{":
+        close = _match(text, i, "{", "}")
+        return i, (close + 1 if close is not None else n)
+    if re.match(r"if\b", text[i:]):
+        p = text.find("(", i)
+        if p == -1:
+            return i, n
+        close = _match(text, p, "(", ")")
+        if close is None:
+            return i, n
+        _, e = _stmt_extent(text, close + 1)
+        j = e
+        while j < n and text[j].isspace():
+            j += 1
+        if (text[j:j + 4] == "else"
+                and not (j + 4 < n
+                         and (text[j + 4].isalnum() or text[j + 4] == "_"))):
+            _, e = _stmt_extent(text, j + 4)
+        return i, e
+    depth_close = {"(": ")", "{": "}", "[": "]"}
+    j = i
+    while j < n:
+        c = text[j]
+        if c in depth_close:
+            close = _match(text, j, c, depth_close[c])
+            if close is None:
+                return i, n
+            j = close + 1
+            continue
+        if c == ";":
+            return i, j + 1
+        if c == "}":
+            return i, j  # ran off the enclosing block
+        j += 1
+    return i, n
+
+
+def _extract_branches(sf, ff, text, starts):
+    """Populate ff.branches / ff.loops from the joined file text."""
+    def line_of(pos):
+        return bisect.bisect_right(starts, pos) - 1
+
+    lo = starts[ff.start]
+    hi = starts[ff.end] + len(sf.code[ff.end])
+    n = len(text)
+    for m in IF_TOKEN.finditer(text, lo, hi):
+        p = text.find("(", m.start())
+        close = _match(text, p, "(", ")")
+        if close is None:
+            continue
+        cond = re.sub(r"\s+", " ", text[p + 1:close]).strip()
+        ts, te = _stmt_extent(text, close + 1)
+        es = ee = None
+        j = te
+        while j < n and text[j].isspace():
+            j += 1
+        if (text[j:j + 4] == "else"
+                and not (j + 4 < n
+                         and (text[j + 4].isalnum() or text[j + 4] == "_"))):
+            es, ee = _stmt_extent(text, j + 4)
+        then_ext = (line_of(ts), line_of(max(ts, te - 1)))
+        else_ext = (None if es is None
+                    else (line_of(es), line_of(max(es, ee - 1))))
+        exit_then = bool(EXIT_TOKEN.search(text, ts, te))
+        exit_else = (bool(EXIT_TOKEN.search(text, es, ee))
+                     if es is not None else False)
+        ff.branches.append(Branch(cond, line_of(m.start()), then_ext,
+                                  else_ext, exit_then, exit_else))
+    for m in LOOP_TOKEN.finditer(text, lo, hi):
+        p = text.find("(", m.start())
+        close = _match(text, p, "(", ")")
+        if close is None:
+            continue
+        s, e = _stmt_extent(text, close + 1)
+        ff.loops.append((line_of(s), line_of(max(s, e - 1))))
+
+
+def _handler_swallows(sf, blk_end):
+    """True if the catch-all handler whose try block ends at blk_end
+    neither rethrows nor aborts — i.e. it swallows the exception, which
+    silently skips any collective the unwound path would have reached."""
+    window = "\n".join(sf.code[blk_end:min(blk_end + 40, len(sf.code))])
+    m = re.search(r"\bcatch\s*\(", window)
+    if not m:
+        return False
+    p = window.find("(", m.start())
+    close = _match(window, p, "(", ")")
+    if close is None:
+        return False
+    b = window.find("{", close)
+    if b == -1:
+        return False
+    bclose = _match(window, b, "{", "}")
+    body = window[b:bclose] if bclose is not None else window[b:]
+    return not re.search(r"(?<![\w.])throw\b|\brethrow|\babort\s*\(", body)
+
+
 def _extract_function_body(sf, ff, end_depths):
+    # Rng& parameters: scanned from the signature lines before the body
+    # so defs precede draws/passes lexically, as in the source.
+    for li in range(ff.start, min(ff.start + 3, ff.end) + 1):
+        for m in RNG_PARAM.finditer(sf.code[li]):
+            ff.rng_defs.setdefault(m.group(1), ("param", None, li))
     lines = range(ff.start, ff.end + 1)
     for li in lines:
         code = sf.code[li]
         if code.lstrip().startswith("#"):
             continue
+        for m in RNG_DEF.finditer(code):
+            if li == ff.start:
+                continue  # `Rng make_rng(...)` return type, not a def
+            rest = code[m.end(1):]
+            if RNG_STREAM.search(rest):
+                origin = ("stream", None, li)
+            else:
+                sm = RNG_SPLIT_FROM.search(rest)
+                origin = (("split", sm.group(1), li) if sm
+                          else ("seq", None, li))
+            ff.rng_defs.setdefault(m.group(1), origin)
+        for m in RNG_VEC_DEF.finditer(code):
+            ff.rng_defs.setdefault(m.group(1), ("seq", None, li))
+        for m in RNG_VEC_PUSH.finditer(code):
+            if m.group(1) in ff.rng_defs:
+                ff.rng_defs[m.group(1)] = ("split", m.group(2), li)
+        for m in RNG_DRAW.finditer(code):
+            ff.rng_draws.append((m.group(1), m.group(2), li))
         for m in CALL.finditer(code):
             callee = m.group(1)
             short = callee.rsplit("::", 1)[-1]
@@ -417,6 +661,26 @@ def _extract_function_body(sf, ff, end_depths):
             if kind is None:
                 continue
             ff.calls.append((callee, li, kind == "method"))
+            if ff.rng_defs and short not in RNG_DRAW_METHODS \
+                    and short not in ("Rng", "stream"):
+                # Which Rng vars this call receives (same-line args only
+                # — an under-approximation by policy).
+                paren = m.end() - 1
+                close = None
+                depth = 0
+                for idx in range(paren, len(code)):
+                    if code[idx] == "(":
+                        depth += 1
+                    elif code[idx] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            close = idx
+                            break
+                seg = code[paren:close] if close else code[paren:]
+                for var in ff.rng_defs:
+                    if re.search(rf"(?<![\w.]){re.escape(var)}\b", seg):
+                        ff.rng_pass.append((callee, var, li,
+                                            kind == "method"))
         for m in LOCK.finditer(code):
             depth = end_depths[li]
             scope_end = ff.end
@@ -442,11 +706,21 @@ def _extract_function_body(sf, ff, end_depths):
             ff.run_extents.append((m.group(1), s, e))
         if RETHROW_CALL.search(code):
             ff.rethrow_lines.append(li)
+        if li != ff.start:
+            for m in COLLECTIVE.finditer(code):
+                if _call_kind(code, m.start(1)) is None:
+                    continue
+                name = m.group(1)
+                ff.collectives.append((COLLECTIVE_KIND.get(name, name), li))
+        for kind, rx in ALLOC_SITES:
+            if rx.search(code):
+                ff.allocs.append((kind, li))
         if re.search(r"(?<!\w)try\b", code):
             blk_end = _block_extent(sf, li)
             tail = "\n".join(sf.code[blk_end:min(blk_end + 4, len(sf.code))])
             if CATCH_ALL.search(tail) or CATCH_ALL.search(code):
                 ff.catch_extents.append((li, blk_end))
+                ff.catch_swallows.append(_handler_swallows(sf, blk_end))
         if THREAD_NEW.search(code) or EMPLACE.search(code):
             recv = "std::thread" if THREAD_NEW.search(code) else \
                 EMPLACE.search(code).group(1)
@@ -476,11 +750,38 @@ def extract_file(sf):
     fx = FileFacts(sf.rel)
     fx.functions = _scan_functions(sf)
     end_depths = _line_end_depths(sf.code)
+    text = "\n".join(sf.code)
+    starts = _line_offsets(sf.code)
     for ff in fx.functions:
         _extract_function_body(sf, ff, end_depths)
-    text = "\n".join(sf.code)
+        _extract_branches(sf, ff, text, starts)
     fx.barrier_decls.update(BARRIER_DECL.findall(text))
     fx.thread_vec_decls.update(THREAD_VEC_DECL.findall(text))
+    # TRKX_HOT-annotated declarations (the definition may live in
+    # another TU; Project seeds the hot closure by qualified name).
+    classes = _class_extents(text)
+    for m in HOT.finditer(text):
+        hline = bisect.bisect_right(starts, m.start()) - 1
+        if sf.code[hline].lstrip().startswith("#"):
+            continue  # the macro's own #define
+        window_end = starts[min(hline + 2, len(sf.code) - 1)] + \
+            len(sf.code[min(hline + 2, len(sf.code) - 1)])
+        mm = FUNC_CAND.search(text, m.end(), window_end)
+        if not mm:
+            continue
+        name = re.sub(r"\s+", "", mm.group(1)).rsplit("::", 1)[-1]
+        name = name.lstrip("~")
+        if name in KEYWORDS or name in CONTROL or name.isupper():
+            continue
+        cls = ""
+        best = None
+        for cname, copen, cclose in classes:
+            if copen < m.start() < cclose:
+                if best is None or copen > best[1]:
+                    best = (cname, copen)
+        if best:
+            cls = best[0]
+        fx.hot_decls.add(f"{cls}::{name}" if cls else name)
     # OpenMP parallel regions, assigned to the containing function.
     for i, code in enumerate(sf.code):
         if not PRAGMA.match(code):
@@ -514,11 +815,13 @@ class Project:
         self.by_qual = {}
         self.barrier_names = set()
         self.thread_vec_names = set()
+        self.hot_roots = set()
         for sf in tree.files():
             fx = extract_file(sf)
             self.files[sf.rel] = fx
             self.barrier_names.update(fx.barrier_decls)
             self.thread_vec_names.update(fx.thread_vec_decls)
+            self.hot_roots.update(fx.hot_decls)
             for ff in fx.functions:
                 self.functions.append(ff)
                 self.by_short.setdefault(ff.name, []).append(ff)
@@ -526,6 +829,9 @@ class Project:
         self._throws = {}
         self._locks = {}
         self._blocks = {}
+        self._colls = {}
+        self._rngp = {}
+        self._hot = None
 
     @classmethod
     def for_tree(cls, tree):
@@ -697,6 +1003,118 @@ class Project:
         self._blocks[key] = result
         return result
 
+    def collectives_reached(self, ff, _stack=None):
+        """{collective_kind: path} reachable by calling ff. The
+        Communicator implementation itself contributes nothing: callers
+        see their own textual call site (``comm.all_reduce_sum(...)``)
+        via the COLLECTIVE regex, and walking into the implementation
+        would conflate the internal barrier/exchange sequence with the
+        caller-visible kind. Ambiguous method calls (multiple
+        candidates) do not propagate — a wrong resolution here would
+        mark arbitrary callers rank-divergent."""
+        if "communicator" in ff.file.replace("\\", "/"):
+            return {}
+        key = id(ff)
+        if key in self._colls:
+            return self._colls[key]
+        stack = _stack if _stack is not None else set()
+        if key in stack:
+            return {}
+        stack.add(key)
+        out = {}
+        for kind, li in ff.collectives:
+            out.setdefault(kind, ff.qual)
+        for callee, li, is_method in ff.calls:
+            cands, unanimous = self.targets(ff, callee, is_method)
+            if is_method and len(cands) != 1:
+                continue
+            for t in cands:
+                for k, path in self.collectives_reached(t, stack).items():
+                    out.setdefault(k, f"{ff.qual} -> {path}")
+        stack.discard(key)
+        self._colls[key] = out
+        return out
+
+    def hot_paths(self):
+        """{id(ff): (ff, path)} for every function in the transitive
+        call closure of the TRKX_HOT-annotated entry points. Plain
+        calls propagate to every candidate; explicit-receiver method
+        calls only when resolution is unambiguous (one candidate) — a
+        mis-resolved receiver would drag unrelated code into the hot
+        set."""
+        if self._hot is not None:
+            return self._hot
+        seeds = []
+        for q in sorted(self.hot_roots):
+            cands = self.by_qual.get(q)
+            if not cands:
+                cands = self.by_short.get(q.rsplit("::", 1)[-1], [])
+            seeds.extend(cands)
+        hot = {}
+        dq = deque((ff, ff.qual) for ff in seeds)
+        while dq:
+            ff, path = dq.popleft()
+            if id(ff) in hot:
+                continue
+            hot[id(ff)] = (ff, path)
+            for callee, li, is_method in ff.calls:
+                cands, _ = self.targets(ff, callee, is_method)
+                if is_method and len(cands) != 1:
+                    continue
+                for t in cands:
+                    if id(t) not in hot:
+                        dq.append((t, f"{path} -> {t.qual}"))
+        self._hot = hot
+        return hot
+
+    def rng_origin(self, ff, var):
+        """Terminal origin of an Rng variable in ff: 'stream', 'seq',
+        'param', 'member', or 'unknown' — chasing split() derivations
+        back to their source."""
+        seen = set()
+        while True:
+            if var in seen:
+                return "unknown"
+            seen.add(var)
+            d = ff.rng_defs.get(var)
+            if d is None:
+                return "member" if var.endswith("_") else "unknown"
+            origin, src, _li = d
+            if origin == "split" and src:
+                var = src
+                continue
+            return origin
+
+    def rng_param_draws(self, ff, _stack=None):
+        """True if calling ff consumes randomness from one of its own
+        Rng& parameters — directly, or by forwarding the parameter to a
+        callee that does."""
+        key = id(ff)
+        if key in self._rngp:
+            return self._rngp[key]
+        stack = _stack if _stack is not None else set()
+        if key in stack:
+            return False
+        stack.add(key)
+        result = False
+        for var, _method, _li in ff.rng_draws:
+            if self.rng_origin(ff, var) == "param":
+                result = True
+                break
+        if not result:
+            for callee, var, li, is_method in ff.rng_pass:
+                if self.rng_origin(ff, var) != "param":
+                    continue
+                cands, _ = self.targets(ff, callee, is_method)
+                if is_method and len(cands) != 1:
+                    continue
+                if any(self.rng_param_draws(t, stack) for t in cands):
+                    result = True
+                    break
+        stack.discard(key)
+        self._rngp[key] = result
+        return result
+
     # -- serialization -------------------------------------------------
 
     def to_json(self):
@@ -721,12 +1139,33 @@ class Project:
                                       [c for c, _ in callees]]
                                      for li, recv, callees
                                      in ff.thread_sites],
+                    "collectives": [[k, li + 1]
+                                    for k, li in ff.collectives],
+                    "allocs": [[k, li + 1] for k, li in ff.allocs],
+                    "branches": [{
+                        "cond": b.cond, "line": b.line + 1,
+                        "then": [b.then_ext[0] + 1, b.then_ext[1] + 1],
+                        "else": (None if b.else_ext is None else
+                                 [b.else_ext[0] + 1, b.else_ext[1] + 1]),
+                        "exit_then": b.exit_then,
+                        "exit_else": b.exit_else,
+                    } for b in ff.branches],
+                    "loops": [[s + 1, e + 1] for s, e in ff.loops],
+                    "rng_defs": {var: {"origin": o, "from": src,
+                                       "line": li + 1}
+                                 for var, (o, src, li)
+                                 in sorted(ff.rng_defs.items())},
+                    "rng_draws": [[var, meth, li + 1]
+                                  for var, meth, li in ff.rng_draws],
+                    "rng_pass": [[callee, var, li + 1]
+                                 for callee, var, li, _m in ff.rng_pass],
                 } for ff in fx.functions],
             }
         return json.dumps({
-            "schema": "trkx-facts-v1",
+            "schema": "trkx-facts-v2",
             "barrier_names": sorted(self.barrier_names),
             "thread_vector_members": sorted(self.thread_vec_names),
+            "hot_roots": sorted(self.hot_roots),
             "files": files,
         }, indent=1, sort_keys=True)
 

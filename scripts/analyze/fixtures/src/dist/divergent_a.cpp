@@ -1,0 +1,41 @@
+// Seeded collective-consistency violations. The first case is the
+// mandated two-TU shape: this TU only calls reduce_partial() under a
+// rank guard; the collective itself lives in divergent_b.cpp, so
+// neither TU is flaggable alone.
+namespace trkx {
+
+class Communicator;
+
+void reduce_partial(Communicator& comm);
+
+void fixture_rank_guarded_reduce(Communicator& comm, int rank) {
+  if (rank == 0) {
+    reduce_partial(comm);  // seeded: trkx-collective-divergent (via helper)
+  }
+}
+
+void fixture_early_exit_reduce(Communicator& comm, int rank, float x) {
+  if (rank != 0) {
+    return;
+  }
+  comm.all_reduce_sum(x);  // seeded: trkx-collective-divergent (early exit)
+}
+
+// seeded below: the branch arms run different collective kinds under a
+// data-dependent (rank-local) condition.
+void fixture_arm_mismatch(Communicator& comm, float local_loss) {
+  if (local_loss > 0.5f) {
+    comm.all_reduce_sum(local_loss);
+  } else {
+    comm.barrier();
+  }
+}
+
+void fixture_swallowed_reduce(Communicator& comm, float x) {
+  try {
+    comm.all_reduce_sum(x);  // seeded: trkx-collective-unguarded
+  } catch (...) {
+  }
+}
+
+}  // namespace trkx

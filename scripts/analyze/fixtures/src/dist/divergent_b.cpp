@@ -1,0 +1,14 @@
+// Helper half of the two-TU divergent-collective case: the collective
+// here is unconditional, so this TU contributes no finding on its own —
+// the divergence only exists at the rank-guarded call in divergent_a.cpp.
+namespace trkx {
+
+class Communicator;
+
+void reduce_partial(Communicator& comm) {
+  float local = 1.0f;
+  comm.all_reduce_sum(local);
+  (void)comm;
+}
+
+}  // namespace trkx

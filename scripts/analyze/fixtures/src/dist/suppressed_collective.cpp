@@ -1,0 +1,22 @@
+// Seeded collective violations suppressed with NOLINT(<rule>): reason —
+// this file must contribute ZERO findings (suppression proof per rule).
+namespace trkx {
+
+class Communicator;
+
+void fixture_root_only_reduce(Communicator& comm, int rank, float x) {
+  if (rank == 0) {
+    // NOLINT(trkx-collective-divergent): fixture — root-only rendezvous
+    comm.all_reduce_sum(x);
+  }
+}
+
+void fixture_swallow_with_cover(Communicator& comm, float x) {
+  try {
+    // NOLINT(trkx-collective-unguarded): fixture — peer side has timeout
+    comm.all_reduce_sum(x);
+  } catch (...) {
+  }
+}
+
+}  // namespace trkx

@@ -1,0 +1,11 @@
+// Declares the fixture hot entry point; the closure it opens reaches an
+// allocation and a blocking op two call hops away in src/tensor/.
+#pragma once
+
+namespace trkx {
+
+class Matrix;
+
+TRKX_HOT Matrix fixture_infer(const Matrix& input);
+
+}  // namespace trkx

@@ -1,0 +1,15 @@
+// Seeded rng-stream hand-off: this TU is outside sampling scope, but it
+// feeds a *sequential* Rng into the sampler defined in
+// src/sampling/raw_sampler.cpp — the cross-TU half of the rule.
+namespace trkx {
+
+class Rng;
+
+std::size_t fixture_sample_edges(std::size_t n, Rng& rng);
+
+std::size_t fixture_feed_sampler(std::size_t n) {
+  Rng rng(7);
+  return fixture_sample_edges(n, rng);  // seeded: trkx-rng-stream (hand-off)
+}
+
+}  // namespace trkx

@@ -1,0 +1,28 @@
+// Seeded rng-stream violations in sampling scope, plus the clean
+// Rng&-parameter idiom (samplers never own randomness) and a
+// suppression proof.
+namespace trkx {
+
+class Rng;
+
+std::size_t fixture_pick_index(std::size_t n) {
+  Rng rng(12345);  // seeded: trkx-rng-stream (sequential def in sampling)
+  return rng.uniform_index(n);
+}
+
+float fixture_member_jitter() {
+  return rng_.normal();  // seeded: trkx-rng-stream (member draw)
+}
+
+// Clean by design: randomness comes in as a parameter, the caller keys it.
+std::size_t fixture_sample_edges(std::size_t n, Rng& rng) {
+  return rng.uniform_index(n);
+}
+
+std::size_t fixture_legacy_shuffle(std::size_t n) {
+  // NOLINT(trkx-rng-stream): fixture — legacy corpus order, checkpointed
+  Rng rng(99);
+  return rng.uniform_index(n);
+}
+
+}  // namespace trkx

@@ -1,0 +1,20 @@
+// Bottom of the fixture hot closure: a heap allocation and a blocking
+// sleep, both reached from fixture_infer() two call hops away.
+#include <memory>
+
+namespace trkx {
+
+class Matrix;
+
+void fixture_settle() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // seeded: trkx-hot-block
+}
+
+Matrix fixture_scratch_alloc(const Matrix& input) {
+  auto scratch = std::make_unique<float[]>(64);  // seeded: trkx-hot-alloc
+  (void)scratch;
+  fixture_settle();
+  return input;
+}
+
+}  // namespace trkx

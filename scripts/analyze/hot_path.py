@@ -1,0 +1,77 @@
+"""hot-path pass: the inference stages must not allocate or block.
+
+Phase 2 of the cross-TU analyzer (see facts.py). The five inference
+stage entry points (embed -> filter -> gnn predict -> build_tracks ->
+fit_track) carry a ``TRKX_HOT`` annotation (util/annotations.hpp).
+Everything in their transitive call closure is *hot*: a p50 latency
+budget lives or dies on these frames, and the planner/pool machinery
+(PR 7) exists precisely so steady-state inference touches no
+allocator. This pass walks the closure and reports:
+
+    trkx-hot-alloc   a heap allocation (new / malloc family /
+                     make_unique / make_shared) reachable from a hot
+                     entry point outside the TensorPool/MemoryPlanner
+                     front doors — route it through the pool, or hoist
+                     it to setup.
+    trkx-hot-block   a strong blocking operation (join / sleep /
+                     file IO / collective / condvar wait) reachable
+                     from a hot entry point. ``parallel_for`` /
+                     ``wait_all`` are exempt: blocking on the worker
+                     pool is synchronous compute, not a stall.
+
+std::vector growth is exempt by the same policy that excludes
+bad_alloc from the throw model; the sanctioned allocation front doors
+(src/tensor/pool.*, src/tensor/plan.*) are exempt as the place where
+allocation is *supposed* to happen. Hot propagation follows the PR-8
+resolution discipline: plain calls propagate to every candidate,
+explicit-receiver method calls only when resolution is unambiguous.
+One-time setup inside a hot frame (first-call warmup, cache fill) is a
+NOLINT with a reason, not a model change.
+"""
+
+from . import facts
+from .common import Finding
+
+RULES = {
+    "trkx-hot-alloc": "heap allocation on a TRKX_HOT inference path "
+                      "outside the pool/planner front doors",
+    "trkx-hot-block": "blocking operation (join/sleep/IO/collective/"
+                      "pool-wait) on a TRKX_HOT inference path",
+}
+
+# Allocation front doors: the pool and planner own allocation; flagging
+# their internals would flag the fix.
+FRONT_DOORS = ("src/tensor/pool.", "src/tensor/plan.")
+
+
+def _exempt(rel):
+    r = rel.replace("\\", "/")
+    return any(r.startswith(d) for d in FRONT_DOORS)
+
+
+def run(tree):
+    proj = facts.Project.for_tree(tree)
+    findings = []
+    hot = proj.hot_paths()
+    for ff, path in sorted(hot.values(),
+                           key=lambda fp: (fp[0].file, fp[0].start)):
+        if _exempt(ff.file):
+            continue
+        sf = tree.file(ff.file)
+        for kind, li in ff.allocs:
+            if sf.has_nolint(li, "trkx-hot-alloc"):
+                continue
+            findings.append(Finding(
+                ff.file, li + 1, "trkx-hot-alloc",
+                f"{kind} on hot path {path}; route through TensorPool/"
+                "MemoryPlanner or hoist to setup"))
+        for kind, strength, li, _ in ff.blocking:
+            if strength != "strong" or kind == "pool-wait":
+                continue
+            if sf.has_nolint(li, "trkx-hot-block"):
+                continue
+            findings.append(Finding(
+                ff.file, li + 1, "trkx-hot-block",
+                f"{kind} on hot path {path}; inference frames must "
+                "not stall"))
+    return findings

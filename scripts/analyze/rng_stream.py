@@ -1,0 +1,105 @@
+"""rng-stream pass: sampling randomness must come from keyed streams.
+
+Phase 2 of the cross-TU analyzer (see facts.py). The bit-identical
+resume contract (PR 5) and the overlap-safe prefetcher (PR 2) both
+rest on one invariant: every random draw that shapes training data is
+a pure function of a ``(rank, epoch, event, batch)`` stream key via
+``Rng::stream(...)``. A *sequential* Rng — seeded once and advanced
+draw by draw — makes the draw depend on global draw order, so any
+reordering (prefetch depth, worker count, resume point) silently
+changes the data. This pass walks RNG provenance and reports:
+
+    trkx-rng-stream   sampling/training code consuming sequential RNG
+                      state: a sequential Rng defined and consumed in
+                      sampling/training scope, a draw on a sequential
+                      Rng member there, or a sequential Rng handed
+                      from anywhere in src/ to a callee that draws
+                      from its Rng& parameter.
+
+Provenance origins (facts.RNG_DEF and friends): ``stream`` (keyed),
+``split`` (chased back to its source), ``param`` (the caller decides —
+samplers taking ``Rng&`` are clean by design), ``seq`` (sequential
+construction), ``member`` (draws on an unknown ``name_`` receiver).
+Scope for in-place definitions is src/sampling/ plus any file whose
+name mentions training; elsewhere only the hand-off to a drawing
+callee is flagged, so utility code that owns a private Rng for
+non-sampling purposes stays quiet. Intentional sequential state
+(e.g. an epoch-boundary shuffle checkpointed for resume) is a NOLINT
+with the contract spelled out.
+"""
+
+import os
+
+from . import facts
+from .common import Finding
+
+RULES = {
+    "trkx-rng-stream": "sampling/training code consumes sequential "
+                       "Rng state instead of a (rank,epoch,event,"
+                       "batch) Rng::stream key",
+}
+
+SEQUENTIAL = ("seq", "member")
+
+
+def _in_scope(rel):
+    r = rel.replace("\\", "/")
+    return r.startswith("src/sampling/") or "train" in os.path.basename(r)
+
+
+def run(tree):
+    proj = facts.Project.for_tree(tree)
+    findings = []
+    emitted = set()
+
+    def emit(file, li, msg):
+        sf = tree.file(file)
+        if sf.has_nolint(li, "trkx-rng-stream"):
+            return
+        if (file, li) in emitted:
+            return
+        emitted.add((file, li))
+        findings.append(Finding(file, li + 1, "trkx-rng-stream", msg))
+
+    for ff in proj.functions:
+        if _in_scope(ff.file):
+            # Sequential Rng defined here and actually consumed
+            # (drawn from or handed onward).
+            used = {var for var, _m, _li in ff.rng_draws}
+            used.update(var for _c, var, _li, _m in ff.rng_pass)
+            for var, (origin, _src, li) in sorted(ff.rng_defs.items()):
+                if var not in used:
+                    continue
+                if proj.rng_origin(ff, var) == "seq" and origin != "param":
+                    emit(ff.file, li,
+                         f"sequential Rng '{var}' in {ff.qual}; derive "
+                         "it from Rng::stream(seed, rank, epoch, "
+                         "event, batch)")
+            # Draws on a sequential member Rng.
+            for var, meth, li in ff.rng_draws:
+                if proj.rng_origin(ff, var) == "member":
+                    emit(ff.file, li,
+                         f"draw {var}.{meth}() consumes sequential "
+                         f"member Rng state in {ff.qual}; thread a "
+                         "keyed Rng::stream through instead")
+        else:
+            # Hand-off: a sequential Rng passed to a callee that draws
+            # from its Rng& parameter (sampling by another name).
+            for callee, var, li, is_method in ff.rng_pass:
+                if proj.rng_origin(ff, var) not in SEQUENTIAL:
+                    continue
+                cands, _ = proj.targets(ff, callee, is_method)
+                if is_method and len(cands) != 1:
+                    continue
+                hit = None
+                for t in cands:
+                    if (t.file.replace("\\", "/").startswith(
+                            "src/sampling/") or proj.rng_param_draws(t)):
+                        hit = t
+                        break
+                if hit is not None:
+                    emit(ff.file, li,
+                         f"sequential Rng '{var}' handed to "
+                         f"{hit.qual} which draws from it; pass a "
+                         "keyed Rng::stream instead")
+    return findings

@@ -1,0 +1,102 @@
+"""SARIF 2.1.0 emission for trkx-analyze findings.
+
+One run, one driver ("trkx-analyze"), one rule entry per declared rule
+across the passes that ran, one result per finding. Paths are emitted
+repo-relative with a SRCROOT uriBaseId so editors and GitHub code
+scanning can anchor them. Everything trkx-analyze reports is a gating
+defect, so every result is level "error".
+
+``validate`` re-checks the structural invariants the consumers rely on
+(version string, rule-id cross references, 1-based regions); the
+selftest runs it on a file emitted over the fixture tree so the format
+cannot rot unnoticed.
+"""
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def to_sarif(findings, rules):
+    """Build the SARIF document: findings is a list of common.Finding,
+    rules a {rule_id: description} dict covering every finding."""
+    rule_ids = sorted(rules)
+    index = {rid: i for i, rid in enumerate(rule_ids)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "trkx-analyze",
+                "informationUri":
+                    "https://github.com/trkx/trkx#static-analysis",
+                "rules": [{
+                    "id": rid,
+                    "shortDescription": {"text": rules[rid]},
+                } for rid in rule_ids],
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": [{
+                "ruleId": f.rule,
+                "ruleIndex": index[f.rule],
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": f.line},
+                    },
+                }],
+            } for f in findings],
+        }],
+    }
+
+
+def write(path, findings, rules):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(findings, rules), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def validate(doc):
+    """Raise ValueError if doc is not the SARIF shape we emit."""
+    def need(cond, what):
+        if not cond:
+            raise ValueError(f"sarif: {what}")
+
+    need(doc.get("version") == SARIF_VERSION, "version != 2.1.0")
+    need(isinstance(doc.get("runs"), list) and len(doc["runs"]) == 1,
+         "expected exactly one run")
+    run = doc["runs"][0]
+    driver = run.get("tool", {}).get("driver", {})
+    need(driver.get("name") == "trkx-analyze", "driver name missing")
+    rule_list = driver.get("rules")
+    need(isinstance(rule_list, list), "driver.rules missing")
+    ids = []
+    for r in rule_list:
+        need(isinstance(r.get("id"), str) and r["id"], "rule without id")
+        need(r.get("shortDescription", {}).get("text"),
+             f"rule {r.get('id')} without description")
+        ids.append(r["id"])
+    need(ids == sorted(ids), "rules not sorted by id")
+    need(len(ids) == len(set(ids)), "duplicate rule ids")
+    for res in run.get("results", []):
+        need(res.get("ruleId") in ids,
+             f"result ruleId {res.get('ruleId')!r} not declared")
+        need(ids[res.get("ruleIndex", -1)] == res["ruleId"],
+             "ruleIndex does not match ruleId")
+        need(res.get("level") == "error", "result level != error")
+        need(res.get("message", {}).get("text"), "result without message")
+        locs = res.get("locations")
+        need(isinstance(locs, list) and len(locs) == 1,
+             "result without exactly one location")
+        phys = locs[0].get("physicalLocation", {})
+        uri = phys.get("artifactLocation", {}).get("uri", "")
+        need(bool(uri) and "\\" not in uri, "bad artifact uri")
+        line = phys.get("region", {}).get("startLine")
+        need(isinstance(line, int) and line >= 1,
+             "region.startLine must be 1-based")

@@ -5,9 +5,9 @@ Usage:
     check_ci_summary.py SUMMARY.json [--require-configs a,b]
                         [--require-overall pass]
 
-Expected shape (schema v4; v3/v2 artifacts are still accepted):
+Expected shape (schema v5; v4/v3/v2 artifacts are still accepted):
 
-    {"schema": "trkx-ci-summary-v4",
+    {"schema": "trkx-ci-summary-v5",
      "jobs": <int>,
      "configs": [{"name": "<config>", "status": "pass"|"fail",
                   "seconds": <number>, "detail": "<string>",
@@ -25,6 +25,10 @@ v3 adds the perf leg's optional "regressions" count and per-bench
 v4 adds the analyze leg's optional "findings_by_pass" map: one
 non-negative count per trkx-analyze pass (per-file and cross-TU), so a
 new noisy pass is visible in the summary, not just the total.
+v5 requires the analyze config's "findings_by_pass" (when present) to
+cover the phase-3 dataflow passes (collective-consistency, hot-path,
+rng-stream) — a summary claiming v5 can't silently drop them from the
+pass roster.
 
 Mirrors scripts/check_bench_json.py: schema violations are listed one per
 line and the exit code gates CI. --require-configs pins which matrix legs
@@ -36,7 +40,12 @@ import argparse
 import json
 import sys
 
-SCHEMAS = ("trkx-ci-summary-v4", "trkx-ci-summary-v3", "trkx-ci-summary-v2")
+SCHEMAS = ("trkx-ci-summary-v5", "trkx-ci-summary-v4", "trkx-ci-summary-v3",
+           "trkx-ci-summary-v2")
+
+# Passes a v5 analyze leg's findings_by_pass must cover (the phase-3
+# dataflow passes introduced alongside the v5 schema bump).
+V5_ANALYZE_PASSES = ("collective-consistency", "hot-path", "rng-stream")
 
 
 def main() -> int:
@@ -127,6 +136,14 @@ def main() -> int:
                             f"{where}: findings_by_pass[{pass_name!r}] "
                             "must be a non-negative integer"
                         )
+                if (doc.get("schema") == "trkx-ci-summary-v5"
+                        and name == "analyze"):
+                    for required in V5_ANALYZE_PASSES:
+                        if required not in by_pass:
+                            errors.append(
+                                f"{where}: v5 findings_by_pass must "
+                                f"include the {required!r} pass"
+                            )
         verdicts = c.get("verdicts")
         if verdicts is not None:
             if not isinstance(verdicts, dict):

@@ -6,8 +6,9 @@
 #   analyze     trkx-analyze: fixture selftest + every pass — per-file
 #               (omp-sharing, layering, numeric-safety, kernel-dispatch,
 #               conventions) and cross-TU (lock-order, throw-boundary,
-#               env-registry); dumps the fact database to
-#               build-check/facts.json
+#               env-registry, collective-consistency, hot-path,
+#               rng-stream); dumps the fact database to
+#               build-check/facts.json as its own gated step
 #   tidy        clang-tidy over src/ (skipped with a note if not installed)
 #   tsa         Clang -Wthread-safety -Werror build (skipped without clang)
 #   asan        ASan+UBSan build, full test suite (minus perf-smoke)
@@ -84,8 +85,12 @@ if [ "$RUN_ANALYZE" -eq 1 ]; then
   note "trkx-analyze (selftest + per-file and cross-TU passes)"
   python3 scripts/analyze/selftest.py || fail "analyze-selftest"
   mkdir -p build-check
-  python3 scripts/trkx-analyze --root . --facts-out build-check/facts.json ||
-    fail "trkx-analyze"
+  # The fact-DB dump is its own gated step (empty --passes runs no
+  # passes): a failed dump fails the leg even when every pass is clean,
+  # and a pass failure can't mask a missing archive.
+  python3 scripts/trkx-analyze --root . --passes '' \
+    --facts-out build-check/facts.json || fail "trkx-analyze facts dump"
+  python3 scripts/trkx-analyze --root . || fail "trkx-analyze"
 fi
 
 if [ "$RUN_TIDY" -eq 1 ]; then

@@ -18,10 +18,14 @@
 #                codes, emergency checkpoints, and clean resume
 #   analyze      trkx-analyze (fixture selftest + all passes over the
 #                real tree, including the cross-TU lock-order /
-#                throw-boundary / env-registry passes); the summary
-#                carries the total findings count, a per-pass
+#                throw-boundary / env-registry / collective-consistency /
+#                hot-path / rng-stream passes); the run is gated against
+#                the committed baseline (scripts/analyze/baseline.json)
+#                and also emits SARIF to build-ci/analyze.sarif; the
+#                summary carries the total findings count and a per-pass
 #                findings_by_pass map, and the leg dumps the cross-TU
-#                fact database to build-ci/facts.json
+#                fact database to build-ci/facts.json unconditionally,
+#                as its own gated step
 #   lint-tidy    scripts/lint.py (+ headers) and clang-tidy if installed
 #   perf         scripts/trkx-bench quick profile against the release
 #                build, gated by scripts/check_regression.py against the
@@ -246,12 +250,20 @@ if wants analyze; then
   analyze_log=build-ci/analyze.log
   status=pass
   python3 scripts/analyze/selftest.py > "$analyze_log" 2>&1 || status=fail
-  # One run over the real tree: all passes (per-file + cross-TU), the
-  # per-pass finding counts for the summary, and the phase-1 fact
-  # database for offline inspection.
-  python3 scripts/trkx-analyze --root . \
+  # The phase-1 fact database is archived unconditionally, as its own
+  # gated step (empty --passes), so a pass failure can't leave CI
+  # without the facts needed to debug it.
+  python3 scripts/trkx-analyze --root . --passes '' \
     --facts-out build-ci/facts.json \
+    >> "$analyze_log" 2>&1 || status=fail
+  # One run over the real tree: all passes (per-file + cross-TU), the
+  # per-pass finding counts for the summary, SARIF for code-scanning
+  # upload, and the committed-baseline gate (empty today; the ratchet
+  # for adopting a new pass against known debt).
+  python3 scripts/trkx-analyze --root . \
     --counts-out build-ci/analyze_counts.json \
+    --sarif build-ci/analyze.sarif \
+    --baseline scripts/analyze/baseline.json \
     >> "$analyze_log" 2>&1 || status=fail
   # Findings print one per line as "path:line: [rule] message".
   findings=$(grep -c ': \[[a-z-]*\] ' "$analyze_log" || true)
@@ -285,7 +297,7 @@ fi
 # ---- summary JSON ----
 FAILED=0
 {
-  printf '{\n  "schema": "trkx-ci-summary-v4",\n'
+  printf '{\n  "schema": "trkx-ci-summary-v5",\n'
   printf '  "jobs": %s,\n' "$JOBS"
   printf '  "configs": [\n'
   for i in "${!NAMES[@]}"; do

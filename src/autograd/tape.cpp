@@ -297,6 +297,8 @@ Var Tape::spmm(const CsrMatrix& a, Var x) {
 Var Tape::row_gather(Var x, std::vector<std::uint32_t> index) {
   Matrix out = trkx::row_gather(x.value(), index);
   Tape* t = this;
+  // Pooling shared closure state is ROADMAP work.
+  // NOLINT(trkx-hot-alloc): backward-closure index buffer outlives the frame
   auto idx = std::make_shared<std::vector<std::uint32_t>>(std::move(index));
   return emit(std::move(out), node(x).requires_grad, "row_gather", [t, x, idx](Node& n) {
     Matrix g(x.value().rows(), x.value().cols(), 0.0f);

@@ -346,17 +346,20 @@ Dataset generate_dataset(const std::string& name, const DetectorConfig& config,
   Dataset ds;
   ds.name = name;
   ds.config = config;
-  Rng rng(seed);
+  // Each event's randomness is keyed by (split, index), not split off one
+  // sequential generator state: event k of a split is bit-identical no
+  // matter how many events precede it or which thread generates it.
+  constexpr std::uint64_t kEventStreamTag = 0x4556454e54474e31ull;
   for (std::size_t i = 0; i < train_events; ++i) {
-    Rng event_rng = rng.split();
+    Rng event_rng = Rng::stream(seed ^ kEventStreamTag, 0, i);
     ds.train.push_back(generate_event(config, event_rng));
   }
   for (std::size_t i = 0; i < val_events; ++i) {
-    Rng event_rng = rng.split();
+    Rng event_rng = Rng::stream(seed ^ kEventStreamTag, 1, i);
     ds.val.push_back(generate_event(config, event_rng));
   }
   for (std::size_t i = 0; i < test_events; ++i) {
-    Rng event_rng = rng.split();
+    Rng event_rng = Rng::stream(seed ^ kEventStreamTag, 2, i);
     ds.test.push_back(generate_event(config, event_rng));
   }
   TRKX_INFO << "dataset '" << name << "': " << ds.total_events()

@@ -5,6 +5,7 @@
 
 #include "graph/graph.hpp"
 #include "nn/mlp.hpp"
+#include "util/annotations.hpp"
 
 namespace trkx {
 
@@ -57,9 +58,10 @@ class InteractionGnn {
               const Matrix& edge_features, const Graph& graph) const;
 
   /// Inference without retaining gradients: per-edge P(track edge).
-  std::vector<float> predict(const Matrix& node_features,
-                             const Matrix& edge_features,
-                             const Graph& graph) const;
+  /// Inference stage 4: TRKX_HOT — no allocation/blocking in its closure.
+  TRKX_HOT std::vector<float> predict(const Matrix& node_features,
+                                      const Matrix& edge_features,
+                                      const Graph& graph) const;
 
   const IgnnConfig& config() const { return config_; }
 

@@ -164,14 +164,14 @@ double Histogram::Snapshot::percentile(double p) const {
 Counter& MetricsRegistry::counter(const std::string& name) {
   LockGuard lock(mutex_);
   auto& slot = counters_[name];
-  if (!slot) slot.reset(new Counter(name));  // NOLINT(trkx-naked-new): private ctor (friend)
+  if (!slot) slot.reset(new Counter(name));  // NOLINT(trkx-naked-new,trkx-hot-alloc): private ctor (friend); first-call registration only
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   LockGuard lock(mutex_);
   auto& slot = gauges_[name];
-  if (!slot) slot.reset(new Gauge(name));  // NOLINT(trkx-naked-new): private ctor (friend)
+  if (!slot) slot.reset(new Gauge(name));  // NOLINT(trkx-naked-new,trkx-hot-alloc): private ctor (friend); first-call registration only
   return *slot;
 }
 
@@ -294,7 +294,7 @@ void MetricsRegistry::reset() {
 MetricsRegistry& MetricsRegistry::global() {
   // Leaked on purpose: threads may record during static teardown.
   static MetricsRegistry* g =
-      new MetricsRegistry();  // NOLINT(trkx-naked-new): leaked singleton
+      new MetricsRegistry();  // NOLINT(trkx-naked-new,trkx-hot-alloc): leaked singleton, constructed once
   // Bridge util's fault registry into obs counters. Installed here (not a
   // dedicated TU) because util cannot link obs — the layering runs obs →
   // util — and this TU is referenced by every metrics() user, so the hook

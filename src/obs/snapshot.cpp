@@ -278,7 +278,7 @@ void MetricsSnapshotter::write_line(std::ostream& os) {
 MetricsSnapshotter& MetricsSnapshotter::global() {
   // Leaked on purpose, like MetricsRegistry::global().
   static MetricsSnapshotter* g =
-      new MetricsSnapshotter();  // NOLINT(trkx-naked-new): leaked singleton
+      new MetricsSnapshotter();  // NOLINT(trkx-naked-new,trkx-hot-alloc): leaked singleton, constructed once
   return *g;
 }
 

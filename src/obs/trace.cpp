@@ -121,7 +121,7 @@ void TraceSession::write_json(const std::string& path) const {
 TraceSession& TraceSession::global() {
   // Leaked on purpose: spans may close during static teardown.
   static TraceSession* g =
-      new TraceSession();  // NOLINT(trkx-naked-new): leaked singleton
+      new TraceSession();  // NOLINT(trkx-naked-new,trkx-hot-alloc): leaked singleton, constructed once
   return *g;
 }
 

@@ -6,6 +6,7 @@
 #include "detector/generator.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
+#include "util/annotations.hpp"
 
 namespace trkx {
 
@@ -30,7 +31,8 @@ class EmbeddingModel {
                           const EmbeddingConfig& config);
 
   /// Embed all hits of an event (rows match event.hits).
-  Matrix embed(const Matrix& node_features) const;
+  /// Inference stage 1: TRKX_HOT — no allocation/blocking in its closure.
+  TRKX_HOT Matrix embed(const Matrix& node_features) const;
 
   /// Train on truth pairs: positives are consecutive same-track hits,
   /// negatives are random hit pairs. Returns per-epoch mean loss.

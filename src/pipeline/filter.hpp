@@ -6,6 +6,7 @@
 #include "detector/generator.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
+#include "util/annotations.hpp"
 
 namespace trkx {
 
@@ -37,7 +38,8 @@ class FilterModel {
   /// Drop edges of `event` scoring below keep_threshold (rebuilds the
   /// graph, labels, and edge features in place; keeps node features).
   /// Returns the number of edges removed.
-  std::size_t apply(Event& event) const;
+  /// Inference stage 3: TRKX_HOT — no allocation/blocking in its closure.
+  TRKX_HOT std::size_t apply(Event& event) const;
 
   const FilterConfig& config() const { return config_; }
   ParameterStore& store() { return store_; }

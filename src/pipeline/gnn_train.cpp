@@ -185,6 +185,9 @@ TrainResult train_full_graph(GnnModel& model, const std::vector<Event>& train,
   Adam opt(model.store, AdamOptions{.lr = config.lr});
   const float pos_weight =
       config.pos_weight > 0.0f ? config.pos_weight : auto_pos_weight(train);
+  // The full-graph baseline is single-rank with no prefetch and no
+  // mid-epoch resume, so sequential draws are confined to this function.
+  // NOLINT(trkx-rng-stream): single-rank baseline, sequential by design
   Rng rng(config.seed);
   EarlyStopping early(std::max<std::size_t>(config.early_stop_patience, 1));
   std::size_t global_step = 0;
@@ -368,6 +371,9 @@ void run_shadow_training(ShadowTrainContext ctx) {
   // by (rank, epoch, event, batch) — see Rng::stream — so the prefetch
   // pipeline can sample units in any order, on any thread, and still
   // reproduce the serial run bit for bit.
+  // Deliberately shared-sequential: every rank must shuffle the batch order
+  // identically, and the epoch-boundary state is checkpointed (PR 5).
+  // NOLINT(trkx-rng-stream): rank-shared shuffle, checkpointed for resume
   Rng batch_rng(config.seed);
   EarlyStopping early(std::max<std::size_t>(config.early_stop_patience, 1));
   std::size_t global_step = 0;

@@ -4,6 +4,7 @@
 
 #include "detector/generator.hpp"
 #include "graph/components.hpp"
+#include "util/annotations.hpp"
 
 namespace trkx {
 
@@ -47,9 +48,10 @@ struct TrackingMetrics {
 /// Build candidates from per-edge scores. A candidate matches a particle
 /// under the double-majority rule: >50 % of the candidate's hits belong to
 /// the particle AND the candidate contains >50 % of the particle's hits.
-std::vector<TrackCandidate> build_tracks(const Event& event,
-                                         const std::vector<float>& edge_scores,
-                                         const TrackBuildConfig& config);
+/// Inference stage 5: TRKX_HOT — no allocation/blocking in its closure.
+TRKX_HOT std::vector<TrackCandidate> build_tracks(
+    const Event& event, const std::vector<float>& edge_scores,
+    const TrackBuildConfig& config);
 
 /// Score candidates against truth.
 TrackingMetrics score_tracks(const Event& event,

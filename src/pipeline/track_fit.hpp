@@ -5,6 +5,7 @@
 
 #include "detector/generator.hpp"
 #include "pipeline/track_building.hpp"
+#include "util/annotations.hpp"
 
 namespace trkx {
 
@@ -36,9 +37,10 @@ struct FitResolution {
 ///    bend direction, and φ0;
 ///  * r–z plane — least-squares line z = z0 + r·cot θ, giving z0 and η.
 /// Needs ≥ 3 hits; returns nullopt for degenerate configurations.
-std::optional<FittedTrack> fit_track(const Event& event,
-                                     const TrackCandidate& candidate,
-                                     double b_field_tesla);
+/// Inference stage 6 (fit): TRKX_HOT — no allocation/blocking in its closure.
+TRKX_HOT std::optional<FittedTrack> fit_track(const Event& event,
+                                              const TrackCandidate& candidate,
+                                              double b_field_tesla);
 
 /// Fit every candidate and compare matched ones against truth.
 FitResolution evaluate_fits(const Event& event,

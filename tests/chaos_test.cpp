@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -347,6 +349,66 @@ TEST_F(ChaosTest, AllReduceFaultSiteKillsCollective) {
   } catch (...) {
   }
   EXPECT_TRUE(saw_timeout);
+}
+
+TEST_F(ChaosTest, RankDivergentCollectivePoisonsSurvivors) {
+  // Rank divergence at a collective: an injected error makes rank 1
+  // throw out of its dist.all_reduce call while rank 0 enters the
+  // reduce — the exact hazard the trkx-collective-divergent analyzer
+  // rule flags statically. The TimeoutBarrier must poison the survivor
+  // (typed CommTimeoutError) instead of leaving it parked in the
+  // barrier. Armed through TRKX_FAULTS + arm_from_env(), the operator
+  // path the CI chaos leg exercises end-to-end.
+  ASSERT_EQ(::setenv("TRKX_FAULTS", "dist.all_reduce:error:nth=1:rank=1", 1),
+            0);
+  fault::Registry::global().arm_from_env();
+  ::unsetenv("TRKX_FAULTS");
+  ASSERT_EQ(fault::Registry::global().armed_count(), 1u);
+
+  DistRuntime rt(2, {}, 5.0);
+  std::vector<std::vector<float>> bufs(2, std::vector<float>(8, 1.0f));
+  // run() rethrows the root cause (the diverged rank), never the
+  // survivors' secondary timeouts.
+  EXPECT_THROW(rt.run([&](Communicator& comm) {
+                 auto& buf = bufs[static_cast<std::size_t>(comm.rank())];
+                 comm.all_reduce_sum(
+                     std::span<float>(buf.data(), buf.size()));
+               }),
+               FaultInjectedError);
+  EXPECT_EQ(fault::Registry::global().injected("dist.all_reduce"), 1u);
+
+  // Rank 1 carries the injected root cause; surviving rank 0 was
+  // poisoned with the typed collective timeout.
+  bool rank1_injected = false;
+  try {
+    ASSERT_TRUE(rt.rank_error(1));
+    std::rethrow_exception(rt.rank_error(1));
+  } catch (const FaultInjectedError&) {
+    rank1_injected = true;
+  } catch (...) {
+  }
+  EXPECT_TRUE(rank1_injected);
+  bool rank0_timed_out = false;
+  try {
+    ASSERT_TRUE(rt.rank_error(0));
+    std::rethrow_exception(rt.rank_error(0));
+  } catch (const CommTimeoutError&) {
+    rank0_timed_out = true;
+  } catch (...) {
+  }
+  EXPECT_TRUE(rank0_timed_out);
+
+  // Disarmed, the same runtime recovers: the poisoned barrier is
+  // replaced and the collective completes on both ranks.
+  fault::Registry::global().clear();
+  std::atomic<int> ok{0};
+  rt.run([&](Communicator& comm) {
+    auto& buf = bufs[static_cast<std::size_t>(comm.rank())];
+    std::fill(buf.begin(), buf.end(), 1.0f);
+    comm.all_reduce_sum(std::span<float>(buf.data(), buf.size()));
+    if (buf[0] == 2.0f) ok.fetch_add(1);
+  });
+  EXPECT_EQ(ok.load(), 2);
 }
 
 }  // namespace
