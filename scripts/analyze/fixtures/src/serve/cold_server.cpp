@@ -1,0 +1,10 @@
+// Seeded violation for trkx-hot-root: a serve-module request path with
+// no TRKX_HOT entry point anywhere in the module — the hot-path pass
+// must notice that its alloc/block discipline has silently stopped
+// covering the serving layer.
+
+namespace trkx::serve {
+
+int cold_request_path(int request_id) { return request_id + 1; }
+
+}  // namespace trkx::serve

@@ -37,11 +37,20 @@ RULES = {
                       "outside the pool/planner front doors",
     "trkx-hot-block": "blocking operation (join/sleep/IO/collective/"
                       "pool-wait) on a TRKX_HOT inference path",
+    "trkx-hot-root": "a latency-critical module declares no TRKX_HOT "
+                     "entry point, so its request path escapes this pass",
 }
 
 # Allocation front doors: the pool and planner own allocation; flagging
 # their internals would flag the fix.
 FRONT_DOORS = ("src/tensor/pool.", "src/tensor/plan.")
+
+# Modules whose request/stage entry points must be TRKX_HOT-annotated.
+# Without a root the closure walk never sees the module, and the
+# alloc/block discipline silently stops applying to it — the serving
+# request path (ServeServer::run_request) joined the pipeline stages
+# under this contract in PR 10.
+REQUIRED_HOT_MODULES = ("src/pipeline/", "src/serve/")
 
 
 def _exempt(rel):
@@ -52,6 +61,17 @@ def _exempt(rel):
 def run(tree):
     proj = facts.Project.for_tree(tree)
     findings = []
+    for module in REQUIRED_HOT_MODULES:
+        members = sorted(rel for rel in proj.files
+                         if rel.replace("\\", "/").startswith(module))
+        if not members:
+            continue  # module absent from this tree (e.g. fixture subsets)
+        if not any(proj.files[rel].hot_decls for rel in members):
+            findings.append(Finding(
+                members[0], 1, "trkx-hot-root",
+                f"module {module} declares no TRKX_HOT entry point; "
+                "annotate its request-path entry so the hot-path "
+                "alloc/block discipline covers it"))
     hot = proj.hot_paths()
     for ff, path in sorted(hot.values(),
                            key=lambda fp: (fp[0].file, fp[0].start)):

@@ -11,6 +11,7 @@ The architecture stacks (DESIGN.md §6f):
     layer 5   io, gnn, sampling
     layer 6   dist
     layer 7   pipeline
+    layer 8   serve
 
 plus ``obs``, the observability spine: importable from any layer, itself
 allowed to include only ``util``. An include from module A to module B is
@@ -51,6 +52,7 @@ LAYERS = {
     "sampling": 5,
     "dist": 6,
     "pipeline": 7,
+    "serve": 8,
 }
 # The observability spine: anyone may include it; it may include only util.
 OBS = "obs"
@@ -165,7 +167,7 @@ def run(tree):
                     f"'{a}' (layer {LAYERS[a]}) must not include '{b}' "
                     f"(layer {LAYERS[b]}): the order is util -> tensor -> "
                     "sparse -> graph/autograd -> detector/nn -> "
-                    "io/gnn/sampling -> dist -> pipeline"))
+                    "io/gnn/sampling -> dist -> pipeline -> serve"))
 
     adj = {}
     for src_rel, _, dst_rel in edges:

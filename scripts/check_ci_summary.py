@@ -5,16 +5,17 @@ Usage:
     check_ci_summary.py SUMMARY.json [--require-configs a,b]
                         [--require-overall pass]
 
-Expected shape (schema v5; v4/v3/v2 artifacts are still accepted):
+Expected shape (schema v6; v5/v4/v3/v2 artifacts are still accepted):
 
-    {"schema": "trkx-ci-summary-v5",
+    {"schema": "trkx-ci-summary-v6",
      "jobs": <int>,
      "configs": [{"name": "<config>", "status": "pass"|"fail",
                   "seconds": <number>, "detail": "<string>",
                   "findings": <non-negative int, optional>,
                   "findings_by_pass": {"<pass>": <int>, ...} optional,
                   "regressions": <non-negative int, optional>,
-                  "verdicts": {"<bench>": "pass"|"fail", ...} optional},
+                  "verdicts": {"<bench>": "pass"|"fail", ...} optional,
+                  "counters": {"serve.accepted": <int>, ...} optional},
                  ...],
      "overall": "pass"|"fail"}
 
@@ -29,6 +30,10 @@ v5 requires the analyze config's "findings_by_pass" (when present) to
 cover the phase-3 dataflow passes (collective-consistency, hot-path,
 rng-stream) — a summary claiming v5 can't silently drop them from the
 pass roster.
+v6 adds the serve leg's "counters" map (the serve.* failure-mode
+accounting printed by trkx-serve); a v6 serve config must carry it and
+it must cover the admission/retry counters, so a summary claiming v6
+can't drop the serving contract.
 
 Mirrors scripts/check_bench_json.py: schema violations are listed one per
 line and the exit code gates CI. --require-configs pins which matrix legs
@@ -40,12 +45,18 @@ import argparse
 import json
 import sys
 
-SCHEMAS = ("trkx-ci-summary-v5", "trkx-ci-summary-v4", "trkx-ci-summary-v3",
-           "trkx-ci-summary-v2")
+SCHEMAS = ("trkx-ci-summary-v6", "trkx-ci-summary-v5", "trkx-ci-summary-v4",
+           "trkx-ci-summary-v3", "trkx-ci-summary-v2")
 
 # Passes a v5 analyze leg's findings_by_pass must cover (the phase-3
 # dataflow passes introduced alongside the v5 schema bump).
 V5_ANALYZE_PASSES = ("collective-consistency", "hot-path", "rng-stream")
+# v5 requirements carry into v6 and later.
+V5_SCHEMAS = ("trkx-ci-summary-v6", "trkx-ci-summary-v5")
+
+# Counters a v6 serve leg must report (the serving failure-mode contract).
+V6_SERVE_COUNTERS = ("serve.accepted", "serve.completed",
+                     "serve.rejected.queue_full", "serve.retry")
 
 
 def main() -> int:
@@ -136,7 +147,7 @@ def main() -> int:
                             f"{where}: findings_by_pass[{pass_name!r}] "
                             "must be a non-negative integer"
                         )
-                if (doc.get("schema") == "trkx-ci-summary-v5"
+                if (doc.get("schema") in V5_SCHEMAS
                         and name == "analyze"):
                     for required in V5_ANALYZE_PASSES:
                         if required not in by_pass:
@@ -144,6 +155,29 @@ def main() -> int:
                                 f"{where}: v5 findings_by_pass must "
                                 f"include the {required!r} pass"
                             )
+        serve_counters = c.get("counters")
+        if serve_counters is not None:
+            if not isinstance(serve_counters, dict):
+                errors.append(f'{where}: "counters" must be an object')
+                serve_counters = {}
+            for counter, n in serve_counters.items():
+                if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+                    errors.append(
+                        f"{where}: counters[{counter!r}] must be a "
+                        "non-negative integer"
+                    )
+        if doc.get("schema") == "trkx-ci-summary-v6" and name == "serve":
+            if serve_counters is None:
+                errors.append(
+                    f'{where}: a v6 serve config must carry "counters"'
+                )
+            else:
+                for required in V6_SERVE_COUNTERS:
+                    if required not in serve_counters:
+                        errors.append(
+                            f"{where}: v6 serve counters must include "
+                            f"{required!r}"
+                        )
         verdicts = c.get("verdicts")
         if verdicts is not None:
             if not isinstance(verdicts, dict):

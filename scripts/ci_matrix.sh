@@ -27,9 +27,15 @@
 #                fact database to build-ci/facts.json unconditionally,
 #                as its own gated step
 #   lint-tidy    scripts/lint.py (+ headers) and clang-tidy if installed
+#   serve        serving robustness leg: trkx-serve driven end-to-end
+#                under a TRKX_FAULTS matrix (transient/persistent stage
+#                faults, admission faults, overload, corrupt-checkpoint
+#                reload), asserting exit codes and the serve.* counter
+#                contract on stdout; the summary carries the baseline
+#                run's counters map
 #   perf         scripts/trkx-bench quick profile against the release
 #                build, gated by scripts/check_regression.py against the
-#                committed BENCH_PR7.json trajectory; the summary carries
+#                committed BENCH_PR10.json trajectory; the summary carries
 #                the regression count and per-bench verdicts
 #
 # Usage:
@@ -64,14 +70,15 @@ export TSAN_OPTIONS="halt_on_error=1:suppressions=$SUPP/tsan.supp"
 
 mkdir -p build-ci
 NAMES=() STATUSES=() SECONDS_LIST=() DETAILS=() FINDINGS_LIST=()
-REGRESSIONS_LIST=() VERDICTS_LIST=() BY_PASS_LIST=()
+REGRESSIONS_LIST=() VERDICTS_LIST=() BY_PASS_LIST=() COUNTERS_LIST=()
 
 record() {  # record <name> <status> <seconds> <detail> [findings]
             #        [regressions] [verdicts-json] [findings-by-pass-json]
+            #        [counters-json]
   NAMES+=("$1"); STATUSES+=("$2"); SECONDS_LIST+=("$3"); DETAILS+=("$4")
   FINDINGS_LIST+=("${5:-}")
   REGRESSIONS_LIST+=("${6:-}"); VERDICTS_LIST+=("${7:-}")
-  BY_PASS_LIST+=("${8:-}")
+  BY_PASS_LIST+=("${8:-}"); COUNTERS_LIST+=("${9:-}")
   printf '[ci-matrix] %-12s %-5s (%ss) %s\n' "$1" "$2" "$3" "$4"
 }
 
@@ -215,6 +222,103 @@ if wants chaos; then
   record chaos "$status" "$(( $(date +%s) - t0 ))" "$chaos_log"
 fi
 
+if wants serve; then
+  # Serving robustness: the failure modes that must degrade, not kill.
+  # Every run asserts the exit code AND the serve.* counter contract the
+  # driver prints on stdout — an injected fault that silently stopped
+  # being counted fails the leg even if the process exits 0.
+  t0=$(date +%s)
+  dir=build-ci/serve
+  serve_log="$dir/serve.log"
+  status=pass counters=""
+  mkdir -p "$dir"
+  if cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       -DTRKX_BUILD_BENCHES=OFF -DTRKX_BUILD_EXAMPLES=OFF \
+       > "$dir/configure.log" 2>&1 &&
+     cmake --build "$dir" -j "$JOBS" --target trkx-serve \
+       > "$dir/build.log" 2>&1; then
+    srv="$dir/src/serve/trkx-serve"
+    ck="$dir/serve-ckpt"
+    rm -rf "$ck"
+    : > "$serve_log"
+    run_idx=0
+    serve_run() {  # serve_run <expect:ok|fail> <faults> <asserts> <args...>
+      # <asserts>: space-separated grep -E patterns that must ALL match
+      # the run's stdout (the serve.<counter>=<value> contract).
+      local expect="$1" faults="$2" asserts="$3"; shift 3
+      run_idx=$((run_idx + 1))
+      local out="$dir/run-$run_idx.out" rc=0 pat
+      echo "== [$run_idx] TRKX_FAULTS='$faults' trkx-serve $*" >> "$serve_log"
+      TRKX_FAULTS="$faults" "$srv" "$@" > "$out" 2>> "$serve_log" || rc=$?
+      cat "$out" >> "$serve_log"
+      if { [ "$expect" = ok ] && [ "$rc" -ne 0 ]; } ||
+         { [ "$expect" = fail ] && [ "$rc" -eq 0 ]; }; then
+        echo "== FAIL: expected $expect, got exit $rc" >> "$serve_log"
+        status=fail
+      fi
+      for pat in $asserts; do
+        if ! grep -Eq "$pat" "$out"; then
+          echo "== FAIL: counter assert '$pat' not satisfied" >> "$serve_log"
+          status=fail
+        fi
+      done
+    }
+    # Baseline, fault-free: everything accepted completes, and the warm
+    # model + a first checkpoint are left behind for the later runs.
+    serve_run ok "" \
+      "serve.completed=[1-9] serve.failed=0 serve.exit=ok" \
+      --events 10 --train 2 --save-model "$dir/model.bin" \
+      --checkpoint-dir "$ck" --write-checkpoint
+    # Transient stage fault: retried within budget, the request completes.
+    serve_run ok "serve.stage:error:nth=3" \
+      "serve.retry=[1-9] serve.retry.exhausted=0 serve.exit=ok" \
+      --events 8 --model "$dir/model.bin"
+    # Admission fault: one fast typed rejection, the rest serve normally.
+    serve_run ok "serve.admit:error:nth=2" \
+      "serve.rejected.admit_fault=1 serve.submit.rejected=[1-9] serve.exit=ok" \
+      --events 8 --model "$dir/model.bin"
+    # Persistent stage fault: every request fails *typed* (retry budget
+    # exhausted per request), yet the server drains and exits cleanly —
+    # degraded, not dead.
+    serve_run ok "serve.stage:error:every=1" \
+      "serve.retry.exhausted=[1-9] serve.result.failed=[1-9] serve.exit=ok" \
+      --events 6 --model "$dir/model.bin"
+    # Overload: 1 worker, depth-1 queue, full-speed submission — the
+    # bounded queue sheds with OverloadError instead of queueing.
+    serve_run ok "" \
+      "serve.rejected.queue_full=[1-9] serve.completed=[1-9] serve.exit=ok" \
+      --events 24 --workers 1 --queue-depth 1 --model "$dir/model.bin"
+    # Corrupt newest checkpoint: the reload scan skips it and swaps in the
+    # older valid one.
+    printf 'torn write garbage' > "$ck/ckpt-000099.ckpt"
+    serve_run ok "" \
+      "serve.reload.ok=[1-9] serve.exit=ok" \
+      --events 6 --model "$dir/model.bin" --checkpoint-dir "$ck" \
+      --reload-every 3
+    # Injected reload fault: every reload fails, the original replica
+    # keeps serving (generation stays 1).
+    serve_run ok "serve.checkpoint_reload:error:every=1" \
+      "serve.reload.fail=[1-9] serve.replica.generation=1 serve.exit=ok" \
+      --events 6 --model "$dir/model.bin" --checkpoint-dir "$ck" \
+      --reload-every 2
+    counters=$(python3 - "$dir/run-1.out" << 'EOF'
+import json, sys
+c = {}
+for line in open(sys.argv[1]):
+    key, _, value = line.strip().partition("=")
+    if key.startswith("serve.") and value.isdigit():
+        c[key] = int(value)
+print(json.dumps(c))
+EOF
+    ) || status=fail
+  else
+    status=fail
+    serve_log="$dir/build.log"
+  fi
+  record serve "$status" "$(( $(date +%s) - t0 ))" "$serve_log" \
+    "" "" "" "" "$counters"
+fi
+
 if wants perf; then
   t0=$(date +%s)
   dir=build-ci/perf
@@ -226,7 +330,7 @@ if wants perf; then
      cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1; then
     if python3 scripts/trkx-bench --build-dir "$dir" --profile quick \
          --out "$dir/BENCH.json" > "$perf_log" 2>&1; then
-      python3 scripts/check_regression.py BENCH_PR7.json "$dir/BENCH.json" \
+      python3 scripts/check_regression.py BENCH_PR10.json "$dir/BENCH.json" \
         --report "$dir/regression.json" >> "$perf_log" 2>&1 || status=fail
       if [ -f "$dir/regression.json" ]; then
         regressions=$(python3 -c "import json; \
@@ -297,7 +401,7 @@ fi
 # ---- summary JSON ----
 FAILED=0
 {
-  printf '{\n  "schema": "trkx-ci-summary-v5",\n'
+  printf '{\n  "schema": "trkx-ci-summary-v6",\n'
   printf '  "jobs": %s,\n' "$JOBS"
   printf '  "configs": [\n'
   for i in "${!NAMES[@]}"; do
@@ -310,6 +414,8 @@ FAILED=0
       extra="$extra, \"verdicts\": ${VERDICTS_LIST[$i]}"
     [ -n "${BY_PASS_LIST[$i]}" ] && \
       extra="$extra, \"findings_by_pass\": ${BY_PASS_LIST[$i]}"
+    [ -n "${COUNTERS_LIST[$i]}" ] && \
+      extra="$extra, \"counters\": ${COUNTERS_LIST[$i]}"
     printf '    {"name": "%s", "status": "%s", "seconds": %s, "detail": "%s"%s}%s\n' \
       "${NAMES[$i]}" "${STATUSES[$i]}" "${SECONDS_LIST[$i]}" \
       "${DETAILS[$i]}" "$extra" \

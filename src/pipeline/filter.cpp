@@ -87,6 +87,10 @@ std::vector<double> FilterModel::train(const std::vector<Event>& events) {
 }
 
 std::size_t FilterModel::apply(Event& event) const {
+  return apply(event, config_.keep_threshold);
+}
+
+std::size_t FilterModel::apply(Event& event, float keep_threshold) const {
   TRKX_TRACE_SPAN("filter.apply", "pipeline");
   metrics().counter("pipeline.filter.events").add(1);
   const std::vector<float> scores = score(event);
@@ -95,7 +99,7 @@ std::size_t FilterModel::apply(Event& event) const {
   std::vector<char> kept_labels;
   std::vector<std::uint32_t> kept_idx;
   for (std::size_t e = 0; e < scores.size(); ++e) {
-    if (scores[e] < config_.keep_threshold) continue;
+    if (scores[e] < keep_threshold) continue;
     kept_edges.push_back(event.graph.edge(e));
     kept_labels.push_back(event.edge_labels[e]);
     kept_idx.push_back(static_cast<std::uint32_t>(e));

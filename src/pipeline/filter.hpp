@@ -41,6 +41,10 @@ class FilterModel {
   /// Inference stage 3: TRKX_HOT — no allocation/blocking in its closure.
   TRKX_HOT std::size_t apply(Event& event) const;
 
+  /// Same, with an explicit cut overriding config().keep_threshold — the
+  /// serving layer's coarse-filter degradation level passes a raised one.
+  TRKX_HOT std::size_t apply(Event& event, float keep_threshold) const;
+
   const FilterConfig& config() const { return config_; }
   ParameterStore& store() { return store_; }
 

@@ -22,11 +22,33 @@ TrackingPipeline::TrackingPipeline(std::size_t node_dim, std::size_t edge_dim,
 
 Event TrackingPipeline::prepare_event(const Event& event) const {
   Event out = event;
-  if (!config_.use_learned_graphs) return out;
-  const Matrix embedded = embedding_->embed(out.node_features);
-  rebuild_event_graph(out, embedded, config_.frnn, edge_dim_, scales_);
-  filter_->apply(out);
+  embed_stage(out);
+  filter_stage(out, 1.0f);
   return out;
+}
+
+void TrackingPipeline::embed_stage(Event& event) const {
+  if (!config_.use_learned_graphs) return;
+  const Matrix embedded = embedding_->embed(event.node_features);
+  rebuild_event_graph(event, embedded, config_.frnn, edge_dim_, scales_);
+}
+
+std::size_t TrackingPipeline::filter_stage(Event& event,
+                                           float threshold_scale) const {
+  if (!config_.use_learned_graphs) return 0;
+  return filter_->apply(event,
+                        filter_->config().keep_threshold * threshold_scale);
+}
+
+std::vector<float> TrackingPipeline::gnn_stage(const Event& event) const {
+  if (event.graph.num_edges() == 0) return {};
+  return gnn_->gnn->predict(event.node_features, event.edge_features,
+                            event.graph);
+}
+
+std::vector<TrackCandidate> TrackingPipeline::build_stage(
+    const Event& event, const std::vector<float>& scores) const {
+  return build_tracks(event, scores, config_.track);
 }
 
 TrainResult TrackingPipeline::fit(const std::vector<Event>& train_events,
@@ -103,15 +125,11 @@ PipelineOutput TrackingPipeline::reconstruct(const Event& event) const {
   metrics().counter("pipeline.reconstruct.events").add(1);
   const Event prepared = prepare_event(event);
   PipelineOutput out;
-  std::vector<float> scores;
-  if (prepared.graph.num_edges() > 0) {
-    scores = gnn_->gnn->predict(prepared.node_features,
-                                prepared.edge_features, prepared.graph);
-    for (std::size_t e = 0; e < scores.size(); ++e)
-      out.edge_metrics.add(scores[e] >= config_.track.edge_threshold,
-                           prepared.edge_labels[e] != 0);
-  }
-  out.tracks = build_tracks(prepared, scores, config_.track);
+  const std::vector<float> scores = gnn_stage(prepared);
+  for (std::size_t e = 0; e < scores.size(); ++e)
+    out.edge_metrics.add(scores[e] >= config_.track.edge_threshold,
+                         prepared.edge_labels[e] != 0);
+  out.tracks = build_stage(prepared, scores);
   out.metrics = score_tracks(prepared, out.tracks, config_.track);
   return out;
 }

@@ -49,6 +49,20 @@ class TrackingPipeline {
   /// from scratch when use_learned_graphs is set).
   PipelineOutput reconstruct(const Event& event) const;
 
+  /// Stage-resolved inference API for the serving layer (src/serve): the
+  /// same computation as reconstruct(), split so a caller can check a
+  /// request deadline between stages and degrade stages individually.
+  /// embed_stage re-embeds the hits and rebuilds the FRNN candidate graph
+  /// in place (a no-op when use_learned_graphs is false); filter_stage
+  /// prunes with the configured cut times `threshold_scale` (> 1 = a
+  /// coarser cut keeping fewer edges); gnn_stage scores the surviving
+  /// edges; build_stage walks them into track candidates.
+  void embed_stage(Event& event) const;
+  std::size_t filter_stage(Event& event, float threshold_scale) const;
+  std::vector<float> gnn_stage(const Event& event) const;
+  std::vector<TrackCandidate> build_stage(
+      const Event& event, const std::vector<float>& scores) const;
+
   /// Stage access for examples and tests.
   EmbeddingModel& embedding() { return *embedding_; }
   FilterModel& filter() { return *filter_; }

@@ -1,0 +1,92 @@
+#include "serve/degrade.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace trkx::serve {
+
+const char* degrade_level_name(int level) {
+  switch (level) {
+    case 0: return "normal";
+    case 1: return "shed-low";
+    case 2: return "skip-fit";
+    case 3: return "coarse-filter";
+  }
+  return "?";
+}
+
+DegradeController::DegradeController(const DegradeConfig& config)
+    : config_(config) {
+  TRKX_CHECK_MSG(config_.low < config_.high,
+                 "DegradeConfig: low must be below high");
+  TRKX_CHECK_MSG(config_.sustain >= 1, "DegradeConfig: sustain must be >= 1");
+  TRKX_CHECK_MSG(config_.max_level >= 0 && config_.max_level <= 3,
+                 "DegradeConfig: max_level must be in [0, 3]");
+  metrics().gauge("serve.degrade.level").set(0.0);
+}
+
+int DegradeController::update(double occupancy) {
+  if (occupancy < 0.0) occupancy = 0.0;
+  if (occupancy > 1.0) occupancy = 1.0;
+  int new_level = 0;
+  int old_level = 0;
+  {
+    LockGuard lock(mutex_);
+    if (!ewma_seeded_) {
+      ewma_ = occupancy;
+      ewma_seeded_ = true;
+    } else {
+      ewma_ += config_.ewma_alpha * (occupancy - ewma_);
+    }
+    above_ = ewma_ >= config_.high ? above_ + 1 : 0;
+    below_ = ewma_ <= config_.low ? below_ + 1 : 0;
+    old_level = level_;
+    if (above_ >= config_.sustain && level_ < config_.max_level) {
+      ++level_;
+      above_ = 0;
+      ++transitions_;
+    } else if (below_ >= config_.sustain && level_ > 0) {
+      --level_;
+      below_ = 0;
+      ++transitions_;
+    }
+    new_level = level_;
+  }
+  if (new_level != old_level) {
+    metrics().counter("serve.degrade.transitions").add(1);
+    metrics().gauge("serve.degrade.level")
+        .set(static_cast<double>(new_level));
+    TRKX_WARN << "serve: degradation ladder "
+              << degrade_level_name(old_level) << " -> "
+              << degrade_level_name(new_level);
+  }
+  return new_level;
+}
+
+int DegradeController::level() const {
+  LockGuard lock(mutex_);
+  return level_;
+}
+
+double DegradeController::ewma() const {
+  LockGuard lock(mutex_);
+  return ewma_;
+}
+
+std::uint64_t DegradeController::transitions() const {
+  LockGuard lock(mutex_);
+  return transitions_;
+}
+
+StagePlan DegradeController::plan() const {
+  StagePlan plan;
+  plan.level = level();
+  plan.shed_low = plan.level >= 1;
+  plan.skip_fit = plan.level >= 2;
+  plan.filter_threshold_scale =
+      plan.level >= 3 ? config_.coarse_filter_scale : 1.0f;
+  return plan;
+}
+
+}  // namespace trkx::serve

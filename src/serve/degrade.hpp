@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/annotations.hpp"
+
+namespace trkx::serve {
+
+/// What the ladder tells the request path to do at the current level.
+/// Level 0 runs the full five-stage pipeline; each higher level gives up
+/// a little quality to shed a lot of work:
+///
+///   level 1 (shed-low)       admission rejects Priority::kLow requests
+///   level 2 (skip-fit)       + the helix-fit stage is skipped
+///   level 3 (coarse-filter)  + the edge filter cut is raised, so the
+///                            GNN sees a much sparser graph
+struct StagePlan {
+  int level = 0;
+  bool shed_low = false;
+  bool skip_fit = false;
+  /// Multiplier on FilterConfig::keep_threshold (1 = configured cut).
+  float filter_threshold_scale = 1.0f;
+};
+
+const char* degrade_level_name(int level);
+
+/// Hysteresis thresholds for the ladder. Occupancy is the admission
+/// queue's depth/capacity in [0, 1]; a level change needs `sustain`
+/// consecutive readings past the threshold, so one bursty tick cannot
+/// flap the service between variants.
+struct DegradeConfig {
+  double high = 0.75;  ///< escalate when EWMA occupancy stays >= high
+  double low = 0.25;   ///< recover when EWMA occupancy stays <= low
+  double ewma_alpha = 0.3;
+  int sustain = 3;
+  int max_level = 3;
+  float coarse_filter_scale = 4.0f;  ///< level-3 keep_threshold multiplier
+};
+
+/// The graceful-degradation ladder: a small deterministic state machine
+/// fed queue-occupancy samples, publishing its level as the
+/// serve.degrade.level gauge and every transition as a counter — each
+/// step down in quality is an observable event, not a silent mode flip.
+class DegradeController {
+ public:
+  explicit DegradeController(const DegradeConfig& config);
+
+  /// Feed one occupancy sample in [0, 1]; returns the (possibly new)
+  /// level. At most one level step per update.
+  int update(double occupancy);
+
+  int level() const;
+  StagePlan plan() const;
+  std::uint64_t transitions() const;
+  double ewma() const;
+
+  DegradeController(const DegradeController&) = delete;
+  DegradeController& operator=(const DegradeController&) = delete;
+
+ private:
+  const DegradeConfig config_;
+  mutable Mutex mutex_;
+  int level_ TRKX_GUARDED_BY(mutex_) = 0;
+  double ewma_ TRKX_GUARDED_BY(mutex_) = 0.0;
+  bool ewma_seeded_ TRKX_GUARDED_BY(mutex_) = false;
+  int above_ TRKX_GUARDED_BY(mutex_) = 0;
+  int below_ TRKX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t transitions_ TRKX_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace trkx::serve

@@ -1,0 +1,112 @@
+#include "serve/queue.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+namespace trkx::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  TRKX_CHECK_MSG(capacity_ > 0, "AdmissionQueue capacity must be positive");
+}
+
+std::size_t AdmissionQueue::depth_locked() const {
+  return lanes_[0].size() + lanes_[1].size() + lanes_[2].size();
+}
+
+void AdmissionQueue::push(Request request) {
+  {
+    LockGuard lock(mutex_);
+    if (closed_) {
+      throw ServerStoppedError("serve: queue closed, request rejected");
+    }
+    if (depth_locked() >= capacity_) {
+      std::ostringstream os;
+      os << "serve: admission queue full (" << capacity_
+         << "), request " << request.id << " rejected";
+      throw OverloadError(os.str());
+    }
+    lanes_[static_cast<int>(request.priority)].push_back(std::move(request));
+  }
+  ready_.notify_one();
+}
+
+std::optional<Request> AdmissionQueue::pop(long wait_ms) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms);
+  UniqueLock lock(mutex_);
+  for (;;) {
+    for (int p = 2; p >= 0; --p) {
+      if (!lanes_[p].empty()) {
+        Request out = std::move(lanes_[p].front());
+        lanes_[p].pop_front();
+        return out;
+      }
+    }
+    if (closed_) return std::nullopt;
+    if (wait_ms > 0) {
+      if (ready_.wait_until(lock, give_up) == std::cv_status::timeout) {
+        // One more drain pass above on the next loop iteration would
+        // re-wait; check emptiness directly instead.
+        for (int p = 2; p >= 0; --p) {
+          if (!lanes_[p].empty()) {
+            Request out = std::move(lanes_[p].front());
+            lanes_[p].pop_front();
+            return out;
+          }
+        }
+        return std::nullopt;
+      }
+    } else {
+      ready_.wait(lock);
+    }
+  }
+}
+
+std::size_t AdmissionQueue::shed(Priority up_to, std::size_t max_count) {
+  // Collect under the lock, fail the promises outside it: set_exception
+  // wakes arbitrary waiters and must not run while holding mutex_.
+  std::vector<Request> dropped;
+  {
+    LockGuard lock(mutex_);
+    for (int p = 0; p <= static_cast<int>(up_to); ++p) {
+      while (!lanes_[p].empty() && dropped.size() < max_count) {
+        dropped.push_back(std::move(lanes_[p].front()));
+        lanes_[p].pop_front();
+      }
+    }
+  }
+  for (Request& r : dropped) {
+    std::ostringstream os;
+    os << "serve: request " << r.id << " (" << priority_name(r.priority)
+       << ") shed under overload";
+    r.result.set_exception(
+        std::make_exception_ptr(OverloadError(os.str())));
+  }
+  return dropped.size();
+}
+
+void AdmissionQueue::close() {
+  {
+    LockGuard lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  LockGuard lock(mutex_);
+  return depth_locked();
+}
+
+double AdmissionQueue::occupancy() const {
+  // NOLINT(trkx-div-guard): capacity_ > 0 enforced in the constructor
+  return static_cast<double>(depth()) / static_cast<double>(capacity_);
+}
+
+bool AdmissionQueue::closed() const {
+  LockGuard lock(mutex_);
+  return closed_;
+}
+
+}  // namespace trkx::serve

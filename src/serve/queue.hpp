@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "serve/request.hpp"
+#include "util/annotations.hpp"
+
+namespace trkx::serve {
+
+/// Bounded admission queue with priority classes and explicit
+/// backpressure — the serving-side sibling of the PrefetchQueue idiom
+/// (bounded look-ahead, condvar hand-off, stats the snapshotter can
+/// publish). The crucial difference: a full PrefetchQueue blocks its
+/// producer, a full AdmissionQueue *rejects* — under overload the server
+/// answers "no" in microseconds instead of queueing unboundedly and
+/// answering everyone late.
+///
+/// push() never blocks: it either enqueues or throws OverloadError.
+/// pop() blocks (bounded by `wait` or until close()) and always hands out
+/// the highest-priority class first, FIFO within a class, so latecomer
+/// kHigh requests overtake a backlog of kLow ones.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Enqueue or throw OverloadError (queue full) / ServerStoppedError
+  /// (closed). Wakes one waiting worker on success.
+  void push(Request request);
+
+  /// Dequeue the highest-priority request, waiting up to `wait_ms` (<= 0:
+  /// wait until close). Returns nullopt on timeout or when the queue is
+  /// closed and drained.
+  std::optional<Request> pop(long wait_ms);
+
+  /// Drop up to `max_count` queued requests of priority <= `up_to`,
+  /// oldest first, failing each one's promise with OverloadError — the
+  /// degradation ladder's shed step. Returns how many were dropped.
+  std::size_t shed(Priority up_to, std::size_t max_count);
+
+  /// Stop accepting pushes and wake every waiter. Queued requests remain
+  /// poppable (stop() drains them); a closed *and* empty queue makes
+  /// pop() return nullopt immediately.
+  void close();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t depth() const;
+  /// depth() / capacity() in [0, 1] — the degradation controller's input.
+  double occupancy() const;
+  bool closed() const;
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+ private:
+  std::size_t depth_locked() const TRKX_REQUIRES(mutex_);
+
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  /// One FIFO per priority class, indexed by static_cast<int>(Priority).
+  std::deque<Request> lanes_[3] TRKX_GUARDED_BY(mutex_);
+  bool closed_ TRKX_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace trkx::serve

@@ -1,0 +1,114 @@
+#include "serve/replica.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "pipeline/checkpoint.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+
+namespace trkx::serve {
+
+ReplicaSet::ReplicaSet(std::size_t node_dim, std::size_t edge_dim,
+                       const PipelineConfig& config)
+    : node_dim_(node_dim), edge_dim_(edge_dim), config_(config) {}
+
+void ReplicaSet::install(std::unique_ptr<TrackingPipeline> pipeline,
+                         const std::string& source) {
+  TRKX_CHECK_MSG(pipeline != nullptr, "ReplicaSet::install: null pipeline");
+  auto replica = std::make_shared<ModelReplica>();
+  replica->source = source;
+  replica->pipeline = std::move(pipeline);
+  {
+    LockGuard lock(mutex_);
+    replica->generation = ++generation_;
+    current_ = std::move(replica);
+  }
+  metrics().gauge("serve.replica.generation")
+      .set(static_cast<double>(generation()));
+}
+
+std::shared_ptr<const ModelReplica> ReplicaSet::acquire() const {
+  LockGuard lock(mutex_);
+  TRKX_CHECK_MSG(current_ != nullptr,
+                 "ReplicaSet::acquire before install()");
+  return current_;
+}
+
+std::uint64_t ReplicaSet::generation() const {
+  LockGuard lock(mutex_);
+  return generation_;
+}
+
+std::uint64_t ReplicaSet::reloads_ok() const {
+  LockGuard lock(mutex_);
+  return reloads_ok_;
+}
+
+std::uint64_t ReplicaSet::reloads_failed() const {
+  LockGuard lock(mutex_);
+  return reloads_failed_;
+}
+
+std::unique_ptr<TrackingPipeline> ReplicaSet::clone_with_checkpoint(
+    const std::string& path) {
+  // Clone the embedding/filter/scales from the serving replica (the
+  // checkpoint carries only the GNN stage), then overwrite the GNN store
+  // through the CRC-validating envelope.
+  std::shared_ptr<const ModelReplica> base = acquire();
+  auto clone =
+      std::make_unique<TrackingPipeline>(node_dim_, edge_dim_, config_);
+  std::stringstream weights;
+  base->pipeline->save(weights);
+  clone->load(weights);
+  Adam throwaway(clone->gnn().store, AdamOptions{});
+  read_checkpoint(path, clone->gnn().store, throwaway);
+  return clone;
+}
+
+bool ReplicaSet::reload_impl(const std::string& what,
+                             const std::string& path) {
+  try {
+    fault::inject("serve.checkpoint_reload");
+    if (path.empty()) {
+      throw CheckpointError("serve: no valid checkpoint found in " + what);
+    }
+    auto replica = std::make_shared<ModelReplica>();
+    replica->source = path;
+    replica->pipeline = clone_with_checkpoint(path);
+    std::uint64_t gen = 0;
+    {
+      LockGuard lock(mutex_);
+      replica->generation = ++generation_;
+      ++reloads_ok_;
+      gen = generation_;
+      current_ = std::move(replica);
+    }
+    metrics().counter("serve.reload.ok").add(1);
+    metrics().gauge("serve.replica.generation").set(static_cast<double>(gen));
+    TRKX_INFO << "serve: replica generation " << gen << " loaded from "
+              << path;
+    return true;
+  } catch (const Error& e) {
+    {
+      LockGuard lock(mutex_);
+      ++reloads_failed_;
+    }
+    metrics().counter("serve.reload.fail").add(1);
+    TRKX_WARN << "serve: checkpoint reload from " << what
+              << " failed, keeping generation " << generation() << ": "
+              << e.what();
+    return false;
+  }
+}
+
+bool ReplicaSet::reload_from_checkpoint_dir(const std::string& dir) {
+  return reload_impl(dir, latest_checkpoint(dir));
+}
+
+bool ReplicaSet::reload_from_checkpoint_file(const std::string& path) {
+  return reload_impl(path, path);
+}
+
+}  // namespace trkx::serve

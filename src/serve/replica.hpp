@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pipeline/pipeline.hpp"
+#include "util/annotations.hpp"
+
+namespace trkx::serve {
+
+/// One immutable warm model replica: a fully constructed pipeline plus
+/// provenance. Workers hold a shared_ptr snapshot for the duration of a
+/// request, so a reload can swap the set's current replica without ever
+/// invalidating in-flight work — the old replica dies when its last
+/// request finishes.
+struct ModelReplica {
+  std::uint64_t generation = 0;
+  std::string source;  ///< "warm" or the checkpoint file it came from
+  std::unique_ptr<TrackingPipeline> pipeline;
+};
+
+/// Holder of the current replica with atomic swap semantics.
+///
+/// The reload path (SIGHUP / --reload-every in trkx-serve) builds the
+/// *candidate* replica completely off to the side — clone the current
+/// pipeline, read the checkpoint through the CRC-validating PR 5
+/// envelope — and only then swaps the pointer under the lock. Any
+/// failure (missing dir, torn file, bad CRC, injected
+/// serve.checkpoint_reload fault) leaves the serving replica untouched:
+/// a corrupt new checkpoint can cost an operator a reload, never the
+/// service.
+class ReplicaSet {
+ public:
+  /// `node_dim`/`edge_dim`/`config` must match what the checkpoints were
+  /// trained with (clones are constructed from them on every reload).
+  ReplicaSet(std::size_t node_dim, std::size_t edge_dim,
+             const PipelineConfig& config);
+
+  /// Install the initial warm replica (trained in-process or loaded from
+  /// a pipeline save file). Generation 1.
+  void install(std::unique_ptr<TrackingPipeline> pipeline,
+               const std::string& source);
+
+  /// Snapshot of the current replica (never null after install()).
+  std::shared_ptr<const ModelReplica> acquire() const;
+
+  /// Swap in GNN weights from the newest *valid* checkpoint under `dir`
+  /// (torn/corrupt files are skipped by latest_checkpoint; the chosen
+  /// file's CRC is verified before anything is deserialized). Returns
+  /// true on swap; false — with the old replica still serving — on any
+  /// failure.
+  bool reload_from_checkpoint_dir(const std::string& dir);
+
+  /// Same, from one explicit checkpoint file (no directory scan): a
+  /// corrupt file fails the reload and keeps the old replica.
+  bool reload_from_checkpoint_file(const std::string& path);
+
+  std::uint64_t generation() const;
+  std::uint64_t reloads_ok() const;
+  std::uint64_t reloads_failed() const;
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+ private:
+  /// Clone the current pipeline (weights copied via the save/load
+  /// envelope), then overwrite its GNN store from `path`.
+  std::unique_ptr<TrackingPipeline> clone_with_checkpoint(
+      const std::string& path);
+  bool reload_impl(const std::string& what, const std::string& path);
+
+  const std::size_t node_dim_;
+  const std::size_t edge_dim_;
+  const PipelineConfig config_;
+  mutable Mutex mutex_;
+  std::shared_ptr<const ModelReplica> current_ TRKX_GUARDED_BY(mutex_);
+  std::uint64_t generation_ TRKX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t reloads_ok_ TRKX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t reloads_failed_ TRKX_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace trkx::serve

@@ -39,6 +39,25 @@ constexpr Knob kKnobs[] = {
      "Write the metrics-registry JSON to this path at exit"},
     {"TRKX_POOL_MAX_MB", "128",
      "Per-thread TensorPool free-list cache cap in MiB"},
+    {"TRKX_SERVE_DEADLINE_MS", "0",
+     "trkx-serve default per-request deadline in milliseconds; 0 means "
+     "unbounded"},
+    {"TRKX_SERVE_QUEUE_DEPTH", "8",
+     "trkx-serve bounded admission-queue capacity; a full queue rejects "
+     "with OverloadError"},
+    {"TRKX_SERVE_RETRY_BUDGET", "1",
+     "trkx-serve per-stage retry attempts beyond the first; 0 fails fast"},
+    {"TRKX_SERVE_SHED_HIGH_PCT", "75",
+     "trkx-serve queue-occupancy percentage above which the degradation "
+     "ladder escalates"},
+    {"TRKX_SERVE_SHED_LOW_PCT", "25",
+     "trkx-serve queue-occupancy percentage below which the degradation "
+     "ladder recovers"},
+    {"TRKX_SERVE_STAGE_TIMEOUT_MS", "0",
+     "trkx-serve per-stage latency budget in milliseconds; 0 disables the "
+     "stage timeout"},
+    {"TRKX_SERVE_WORKERS", "2",
+     "trkx-serve worker-thread count draining the admission queue"},
     {"TRKX_SIMD", "auto",
      "Kernel dispatch table: auto (cpuid resolves), avx2, or scalar"},
     {"TRKX_TENSOR_POOL", "1",

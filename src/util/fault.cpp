@@ -247,6 +247,9 @@ void Registry::check(const char* site, int rank) {
   if (sleep_ms > 0) {
     TRKX_WARN << "fault injected: site=" << site << " kind=delay ms="
               << sleep_ms << " rank=" << rank;
+    // The injected delay IS the modelled stall — it only runs when a
+    // chaos spec arms this site, never in production.
+    // NOLINT(trkx-hot-block): chaos-armed delay, not a production stall
     std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
   if (throw_kill) {
